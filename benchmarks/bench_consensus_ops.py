@@ -1,0 +1,114 @@
+"""Experiment E6 — shared-memory operation complexity of the consensus objects.
+
+The paper's qualitative claim: the PEATS algorithms are "much simpler and
+require less shared memory operations" than the sticky-bit constructions.
+We count the operations each algorithm actually issues on its shared
+object(s) for growing system sizes.
+
+Expected shape:
+
+* weak consensus — exactly one operation per process, independent of ``n``;
+* strong consensus — ``O(n)`` operations per process (one ``out``, at most
+  ``n`` reads plus one ``cas``);
+* the sticky-bit baseline — ``>= 2t + 1`` reads per polling round per
+  process, repeated until every bit is set, for the *much larger*
+  ``n = (t+1)(2t+1)`` population the baseline needs.
+"""
+
+import pytest
+
+from benchmarks._output import emit_table
+from repro.analysis import consensus_operation_counts
+from repro.baselines import StickyBitStrongConsensus
+from repro.consensus import StrongConsensus, WeakConsensus, run_consensus
+from repro.peo import PEATS
+from repro.policy import strong_consensus_policy, weak_consensus_policy
+from repro.tspace.history import HistoryRecorder
+
+
+def run_weak(n):
+    history = HistoryRecorder()
+    space = PEATS(weak_consensus_policy(), history=history)
+    consensus = WeakConsensus(space)
+    run = run_consensus(consensus, {p: p % 2 for p in range(n)})
+    assert run.terminated
+    return consensus_operation_counts(history)
+
+
+def run_strong(n, t):
+    history = HistoryRecorder()
+    space = PEATS(strong_consensus_policy(range(n), t), history=history)
+    consensus = StrongConsensus(range(n), t, space=space)
+    run = run_consensus(consensus, {p: p % 2 for p in range(n)})
+    assert run.terminated
+    return consensus_operation_counts(history)
+
+
+def run_sticky(t):
+    n = (t + 1) * (2 * t + 1)
+    history = HistoryRecorder()
+    consensus = StickyBitStrongConsensus(range(n), t, history=history)
+    run = run_consensus(consensus, {p: p % 2 for p in range(n)}, max_rounds=2000)
+    assert run.terminated
+    return n, consensus_operation_counts(history)
+
+
+def collect_rows():
+    rows = []
+    for t in (1, 2, 3):
+        n = 3 * t + 1
+        weak = run_weak(n)
+        strong = run_strong(n, t)
+        sticky_n, sticky = run_sticky(t)
+        rows.append(
+            {
+                "t": t,
+                "n (PEATS)": n,
+                "weak ops/proc": round(weak["mean_per_process"], 2),
+                "strong ops/proc": round(strong["mean_per_process"], 2),
+                "n (sticky)": sticky_n,
+                "sticky ops/proc": round(sticky["mean_per_process"], 2),
+                "strong total ops": strong["total_operations"],
+                "sticky total ops": sticky["total_operations"],
+            }
+        )
+    return rows
+
+
+def test_e6_operation_counts_table(benchmark):
+    rows = benchmark(collect_rows)
+    emit_table(
+        rows,
+        title="E6 — shared-memory operations per process to reach a decision",
+    )
+    for row in rows:
+        # Weak consensus: exactly one cas per process.
+        assert row["weak ops/proc"] == 1.0
+        # Strong consensus stays linear in n: 1 out + <= 2n reads + 1 cas.
+        assert row["strong ops/proc"] <= 2 * row["n (PEATS)"] + 2
+        # The sticky-bit baseline needs a far larger population, and in
+        # total (population x per-process work) does strictly more work.
+        assert row["n (sticky)"] > row["n (PEATS)"]
+        assert row["sticky total ops"] > row["strong total ops"]
+
+
+def test_e6_strong_consensus_latency(benchmark):
+    """Wall-clock of a full n = 7, t = 2 strong-consensus execution."""
+
+    def execute():
+        consensus = StrongConsensus(range(7), 2)
+        return run_consensus(consensus, {p: p % 2 for p in range(7)})
+
+    run = benchmark(execute)
+    assert run.terminated
+
+
+def test_e6_weak_consensus_latency(benchmark):
+    """Wall-clock of a 7-process weak-consensus execution."""
+
+    def execute():
+        consensus = WeakConsensus.create()
+        return run_consensus(consensus, {p: p % 2 for p in range(7)})
+
+    run = benchmark(execute)
+    assert run.terminated

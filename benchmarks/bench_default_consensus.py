@@ -1,0 +1,87 @@
+"""Experiment E4 — default multivalued consensus (Theorem 5).
+
+Measures, for ``n = 3t + 1`` and increasingly scattered proposal
+distributions (optionally with a Byzantine ⊥-forcer), which value the
+default consensus decides.  Expected shape:
+
+* whenever some value is proposed by at least ``t + 1`` correct processes
+  it (or another justified value) is decided — never ⊥ forced by the
+  adversary;
+* when proposals are fully scattered the decision is ⊥;
+* resilience stays at ``3t + 1`` even though the value domain is unbounded,
+  which is the point of the variant (contrast with E3's ``(k + 1) t + 1``).
+"""
+
+import pytest
+
+from benchmarks._output import emit_table
+from repro.consensus import DefaultConsensus, run_consensus
+from repro.consensus.base import check_agreement, check_default_strong_validity
+from repro.model.faults import bottom_forcing_byzantine, silent_byzantine
+from repro.policy.library import BOTTOM
+
+
+SCENARIOS = [
+    ("unanimous", {0: "a", 1: "a", 2: "a"}, True),
+    ("majority t+1", {0: "a", 1: "a", 2: "b"}, True),
+    ("scattered", {0: "a", 1: "b", 2: "c"}, False),
+]
+
+
+def run_scenario(proposals, with_bottom_forcer):
+    consensus = DefaultConsensus(range(4), 1)
+    byzantine = {3: bottom_forcing_byzantine() if with_bottom_forcer else silent_byzantine}
+    run = run_consensus(consensus, proposals, byzantine=byzantine, max_rounds=500)
+    return consensus, run
+
+
+def collect_rows():
+    rows = []
+    for label, proposals, _ in SCENARIOS:
+        for with_forcer in (False, True):
+            consensus, run = run_scenario(proposals, with_forcer)
+            outcomes = list(run.outcomes.values())
+            rows.append(
+                {
+                    "scenario": label,
+                    "byzantine": "bottom-forcer" if with_forcer else "silent",
+                    "decision": repr(run.decision()),
+                    "terminated": run.terminated,
+                    "agreement": check_agreement(outcomes),
+                    "default_validity": check_default_strong_validity(outcomes, proposals, BOTTOM),
+                    "policy_denials": consensus.space.monitor.denied_count,
+                }
+            )
+    return rows
+
+
+def test_e4_default_consensus_decision_distribution(benchmark):
+    rows = benchmark(collect_rows)
+    emit_table(rows, title="E4 — default multivalued consensus decisions (n = 4, t = 1)")
+    for row in rows:
+        assert row["terminated"]
+        assert row["agreement"]
+        assert row["default_validity"]
+    # A value with t+1 correct supporters can never be displaced by the
+    # Byzantine ⊥-forcer.
+    majority_rows = [row for row in rows if row["scenario"] in ("unanimous", "majority t+1")]
+    assert all(row["decision"] != repr(BOTTOM) for row in majority_rows)
+    # Fully scattered proposals legitimately decide ⊥.
+    scattered_rows = [row for row in rows if row["scenario"] == "scattered"]
+    assert all(row["decision"] == repr(BOTTOM) for row in scattered_rows)
+
+
+def test_e4_unbounded_domain_keeps_3t_plus_1_resilience(benchmark):
+    """Many distinct values, n = 3t + 1 only: still terminates (unlike E3)."""
+
+    def run_wide_domain():
+        consensus = DefaultConsensus(range(7), 2)
+        proposals = {p: f"value-{p}" for p in range(5)}
+        run = run_consensus(
+            consensus, proposals, byzantine={5: silent_byzantine, 6: silent_byzantine}
+        )
+        return run
+
+    run = benchmark(run_wide_domain)
+    assert run.terminated
+    assert run.decision() == BOTTOM or str(run.decision()).startswith("value-")

@@ -1,0 +1,100 @@
+"""Experiment E1 — shared-memory cost of strong consensus (Section 5.2).
+
+Regenerates the paper's cost comparison between the PEATS strong-consensus
+algorithm and the sticky-bit/ACL baselines, both analytically (the closed
+forms of Section 5.2 and footnotes 3–4) and empirically (bits actually
+resident in the PEATS after a full consensus execution).
+
+Expected shape: the PEATS cost grows as ``O((n + t) log n)`` while Alon et
+al.'s sticky-bit count grows as ``(n + 1) * C(2t+1, t)`` — i.e. tens of
+bits versus thousands already at ``t = 4`` (the paper's 68-vs-1,764
+example), with the ratio exploding as ``t`` grows.
+"""
+
+import pytest
+
+from benchmarks._output import emit, emit_table
+from repro.analysis import peats_stored_bits
+from repro.baselines import costs
+from repro.consensus import StrongConsensus, run_consensus
+
+T_VALUES = [1, 2, 3, 4, 6, 8, 10]
+
+
+def analytic_rows():
+    rows = []
+    for row in costs.comparison_table(T_VALUES):
+        row = dict(row)
+        row["alon_over_peats"] = row["alon_sticky_bits"] / row["peats_bits"]
+        rows.append(row)
+    return rows
+
+
+def measured_bits(n: int, t: int) -> int:
+    consensus = StrongConsensus(range(n), t)
+    run = run_consensus(consensus, {p: p % 2 for p in range(n)})
+    assert run.terminated
+    return peats_stored_bits(consensus.space, process_count=n)
+
+
+def test_e1_memory_bits_table(benchmark):
+    """Analytic table (paper formulas) + timing of the tabulation itself."""
+    rows = benchmark(analytic_rows)
+    emit_table(
+        rows,
+        title=(
+            "E1 — strong binary consensus memory cost at optimal resilience "
+            "(PEATS bits vs sticky bits)"
+        ),
+        columns=[
+            "t",
+            "n",
+            "peats_bits",
+            "alon_sticky_bits",
+            "alon_over_peats",
+            "malkhi_sticky_bits",
+            "malkhi_required_n",
+        ],
+    )
+    # Paper footnotes (t = 4, n = 13): 1,764 sticky bits; the PEATS formula
+    # evaluates to 86 bits (the text quotes 68 — see EXPERIMENTS.md note).
+    t4 = next(row for row in rows if row["t"] == 4)
+    assert t4["alon_sticky_bits"] == 1764
+    assert t4["peats_bits"] < 100
+    # The separation grows without bound.
+    assert rows[-1]["alon_over_peats"] > rows[0]["alon_over_peats"]
+
+
+def test_e1_measured_bits_in_live_peats(benchmark):
+    """Bits actually stored in the PEATS after running Algorithm 2."""
+    configurations = [(4, 1), (7, 2), (10, 3), (13, 4)]
+    rows = []
+    for n, t in configurations:
+        measured = measured_bits(n, t)
+        rows.append(
+            {
+                "n": n,
+                "t": t,
+                "analytic_bits": costs.peats_strong_consensus_bits(n, t),
+                "measured_bits": measured,
+                "alon_sticky_bits": costs.alon_sticky_bits(n, t),
+            }
+        )
+    benchmark(measured_bits, 7, 2)
+    emit_table(
+        rows,
+        title="E1 — analytic vs measured PEATS bits after a full strong-consensus run",
+    )
+    for row in rows:
+        # The live measurement additionally stores the tuple-name strings
+        # ("PROPOSE" = 56 bits per proposal, "DECISION" = 64 bits), which the
+        # paper's accounting omits.  Net of that constant framing overhead,
+        # the measurement stays within a small factor of the analytic count.
+        framing = 56 * row["n"] + 64
+        assert row["measured_bits"] <= 4 * (row["analytic_bits"] + framing)
+    # Shape check: the PEATS cost grows polynomially while the sticky-bit
+    # cost grows exponentially in t, so the measured/sticky ratio must fall
+    # monotonically and drop below 1 at the paper's t = 4 data point.
+    ratios = [row["measured_bits"] / row["alon_sticky_bits"] for row in rows]
+    assert all(earlier > later for earlier, later in zip(ratios, ratios[1:]))
+    assert ratios[-1] < 1.0

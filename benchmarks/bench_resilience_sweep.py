@@ -1,0 +1,82 @@
+"""Experiments E2 and E3 — resilience bounds of strong consensus.
+
+E2 (Theorem 2 / Corollary 1): strong *binary* consensus terminates with
+agreement and strong validity iff ``n >= 3t + 1``.
+
+E3 (Theorems 3–4): strong *k-valued* consensus terminates iff
+``n >= (k + 1) t + 1`` — the crossover moves right as ``k`` grows.
+
+The sweep runs the actual Algorithm 2 in the worst-case execution of
+Theorem 4 (values spread evenly, ``t`` silent faulty processes) and reports
+whether every correct process decided within the round budget.  Expected
+shape: termination flips from False to True exactly at the bound, and
+agreement/strong-validity hold in every terminating configuration.
+"""
+
+import pytest
+
+from benchmarks._output import emit_table
+from repro.analysis.resilience import sweep_strong_consensus_resilience
+
+
+def binary_configurations():
+    configurations = []
+    for t in (1, 2, 3):
+        bound = 3 * t + 1
+        configurations.extend([(bound - 1, t, 2), (bound, t, 2), (bound + 1, t, 2)])
+    return configurations
+
+
+def k_valued_configurations():
+    configurations = []
+    for k in (2, 3, 4):
+        t = 1
+        bound = (k + 1) * t + 1
+        configurations.extend([(bound - 1, t, k), (bound, t, k)])
+    for k in (2, 3):
+        t = 2
+        bound = (k + 1) * t + 1
+        configurations.extend([(bound - 1, t, k), (bound, t, k)])
+    return configurations
+
+
+def run_sweep(configurations):
+    return sweep_strong_consensus_resilience(configurations, max_rounds=200)
+
+
+def rows_from(results):
+    return [
+        {
+            "n": r.n,
+            "t": r.t,
+            "k": r.k,
+            "bound_(k+1)t+1": r.bound,
+            "meets_bound": r.meets_bound,
+            "terminated": r.terminated,
+            "agreement": r.agreement,
+            "strong_validity": r.strong_validity,
+        }
+        for r in results
+    ]
+
+
+def test_e2_binary_resilience_crossover(benchmark):
+    results = benchmark(run_sweep, binary_configurations())
+    emit_table(
+        rows_from(results),
+        title="E2 — strong binary consensus around the n = 3t + 1 bound (Corollary 1)",
+    )
+    for result in results:
+        assert result.terminated == result.meets_bound
+        assert result.agreement and result.strong_validity
+
+
+def test_e3_k_valued_resilience_crossover(benchmark):
+    results = benchmark(run_sweep, k_valued_configurations())
+    emit_table(
+        rows_from(results),
+        title="E3 — k-valued strong consensus around the n = (k+1)t + 1 bound (Theorems 3-4)",
+    )
+    for result in results:
+        assert result.terminated == result.meets_bound
+        assert result.agreement and result.strong_validity

@@ -1,0 +1,21 @@
+"""Pytest bootstrap for running the suite from a source checkout.
+
+If the package has been installed (``pip install -e .`` or
+``python setup.py develop``) this file does nothing; otherwise it puts
+``src/`` on ``sys.path`` so that ``pytest tests/`` and
+``pytest benchmarks/`` work straight from a clone, even on machines where
+an editable install is not possible (e.g. offline, no ``wheel`` package).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent / "src"
+
+try:  # pragma: no cover - trivial import probe
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover - exercised on clean checkouts
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fine-grained policies versus a determined Byzantine attacker.
+
+The paper's thesis is that *fine-grained policy enforcement* is a better
+protection model for shared objects than ACLs.  This example makes that
+concrete: a Byzantine process throws a battery of attacks at
+
+1. the strong-consensus PEATS (Fig. 4 policy),
+2. the default-consensus PEATS (Fig. 5 policy), and
+3. the wait-free universal-construction PEATS (Fig. 8 policy),
+
+and the script reports how many attempts each policy rejected.  It then
+shows what the same attacker can do to an ACL-only object — the ACL lets
+every "syntactically authorised" write through, so garbage values land in
+the object and the higher-level protocol has to cope.
+
+Run it with::
+
+    python examples/byzantine_attack_demo.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import PEATS  # noqa: E402
+from repro.baselines import ACL, SharedRegister  # noqa: E402
+from repro.model.faults import attack_peats  # noqa: E402
+from repro.policy import (  # noqa: E402
+    default_consensus_policy,
+    strong_consensus_policy,
+    wait_free_universal_policy,
+)
+
+
+def attack_policy_enforced_spaces() -> None:
+    processes = list(range(4))
+    targets = {
+        "strong consensus (Fig. 4)": PEATS(strong_consensus_policy(processes, t=1)),
+        "default consensus (Fig. 5)": PEATS(default_consensus_policy(processes, t=1)),
+        "wait-free universal (Fig. 8)": PEATS(wait_free_universal_policy(processes)),
+    }
+    print("== Attacking policy-enforced tuple spaces ==")
+    for label, space in targets.items():
+        report = attack_peats(space.bind(3), attacker=3, victims=[0, 1], t=1)
+        print(f"  {label:30} -> {report.denied}/{report.total} attacks denied")
+        if report.succeeded_attacks():
+            print("     still possible:", report.succeeded_attacks())
+    print()
+
+
+def attack_acl_protected_register() -> None:
+    print("== The same attacker against an ACL-protected register ==")
+    # The attacker is on the write ACL (it is a legitimate participant);
+    # the ACL has no way to constrain *what* it writes.
+    register = SharedRegister(initial=0, writers={0, 1, 2, 3})
+    register.write(42, process=0)
+    print("  correct process 0 wrote 42  -> value:", register.read(process=9))
+    register.write(-999, process=3)
+    print("  Byzantine process 3 wrote -999 -> value:", register.read(process=9))
+    print("  An ACL can only say WHO may write, never WHAT or WHEN;")
+    print("  the fine-grained policies above reject the same attempts outright.")
+    print()
+
+
+def main() -> None:
+    attack_policy_enforced_spaces()
+    attack_acl_protected_register()
+
+
+if __name__ == "__main__":
+    main()

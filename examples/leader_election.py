@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Leader election among mutually distrustful processes.
+
+The paper motivates PEATS with coordination problems like electing a leader
+among processes that may be Byzantine.  Two constructions are shown here:
+
+* **uniform election** with weak consensus (Algorithm 1): the first process
+  to reach the PEATS becomes the leader.  Simple and wait-free, but a
+  Byzantine process may crown itself — acceptable when the leader's actions
+  are themselves validated (e.g. it only gets to *propose* work).
+* **justified election** with default multivalued consensus (Section 5.4):
+  the elected leader must have been nominated by at least ``t + 1``
+  processes (hence by a correct one); if nominations are too scattered the
+  election returns ``⊥`` and a deterministic fallback is applied.  Note how
+  Theorem 3 forbids plain strong consensus here — every process nominates a
+  process id, so ``|V| = n`` and strong consensus would need
+  ``n >= (n + 1) t + 1`` — which is exactly why the default variant exists.
+
+Run it with::
+
+    python examples/leader_election.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import BOTTOM, DefaultConsensus, WeakConsensus, run_consensus  # noqa: E402
+from repro.model.faults import bottom_forcing_byzantine  # noqa: E402
+
+
+def uniform_election() -> None:
+    print("== Uniform (first-come) leader election — weak consensus ==")
+    election = WeakConsensus.create()
+    candidates = ["node-3", "node-1", "node-7", "node-2"]
+    for candidate in candidates:
+        elected = election.propose(candidate, candidate)
+        print(f"  {candidate} nominates itself -> leader is {elected}")
+    print()
+
+
+def justified_election() -> None:
+    print("== Justified leader election — default multivalued consensus ==")
+    processes = list(range(7))   # n = 7, t = 2
+    t = 2
+    election = DefaultConsensus(processes, t)
+
+    # Five correct processes nominate; 0, 1 and 2 agree on node-1, which
+    # therefore has t + 1 = 3 nominations; process 6 is Byzantine and tries
+    # to force the election to return ⊥; process 5 stays silent (crashed).
+    nominations = {0: "node-1", 1: "node-1", 2: "node-1", 3: "node-4", 4: "node-2"}
+    run = run_consensus(
+        election,
+        nominations,
+        byzantine={6: bottom_forcing_byzantine()},
+    )
+    leader = run.decision()
+    print("  nominations:", nominations)
+    print("  elected leader:", leader)
+    print("  agreement among correct processes:", run.agreement)
+    print("  policy denials (Byzantine attempts rejected):",
+          election.space.monitor.denied_count)
+    assert leader == "node-1"
+    print()
+
+
+def scattered_election_falls_back() -> None:
+    print("== Scattered nominations: the election returns ⊥ and falls back ==")
+    processes = list(range(4))
+    election = DefaultConsensus(processes, t=1)
+    nominations = {0: "node-0", 1: "node-1", 2: "node-2", 3: "node-3"}
+    run = run_consensus(election, nominations)
+    outcome = run.decision()
+    print("  nominations:", nominations)
+    print("  consensus value:", outcome)
+    if outcome == BOTTOM:
+        fallback = min(nominations.values())
+        print("  no candidate had t+1 nominations -> deterministic fallback:", fallback)
+    print()
+
+
+def main() -> None:
+    uniform_election()
+    justified_election()
+    scattered_election_falls_back()
+
+
+if __name__ == "__main__":
+    main()

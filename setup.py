@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+the package can also be installed in environments whose tooling predates
+PEP 660 editable installs (``python setup.py develop`` or legacy
+``pip install -e . --no-use-pep517``), including fully offline machines
+without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,26 @@
+"""Measurement and reporting utilities for the reproduction experiments.
+
+* :mod:`repro.analysis.metrics` — count shared-memory bits and operations
+  from live objects and recorded histories (experiments E1 and E6);
+* :mod:`repro.analysis.resilience` — empirical resilience sweeps
+  (experiments E2 and E3) built on the deterministic consensus runner;
+* :mod:`repro.analysis.reporting` — plain-text table rendering shared by
+  the benchmarks and EXPERIMENTS.md.
+"""
+
+from repro.analysis.metrics import (
+    consensus_operation_counts,
+    peats_stored_bits,
+    space_tuple_census,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.resilience import ResilienceResult, sweep_strong_consensus_resilience
+
+__all__ = [
+    "peats_stored_bits",
+    "space_tuple_census",
+    "consensus_operation_counts",
+    "format_table",
+    "ResilienceResult",
+    "sweep_strong_consensus_resilience",
+]

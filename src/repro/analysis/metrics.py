@@ -1,0 +1,65 @@
+"""Bit and operation accounting on live objects and recorded histories."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.tspace.history import HistoryRecorder
+from repro.tuples import Entry
+
+__all__ = [
+    "peats_stored_bits",
+    "space_tuple_census",
+    "consensus_operation_counts",
+]
+
+
+def peats_stored_bits(space: Any, *, process_count: int | None = None) -> int:
+    """Total payload bits stored in a tuple space / PEATS.
+
+    When ``process_count`` is given, fields that are process identifiers of
+    those processes are charged ``ceil(log2 n)`` bits (the accounting of
+    Section 5.2); otherwise fields are charged their natural size via
+    :func:`repro.tuples.bits_of`.
+    """
+    from repro.tuples import bits_of
+
+    total = 0
+    for stored in space.snapshot():
+        for field in stored.fields:
+            if process_count is not None and _looks_like_process_id(field, process_count):
+                total += bits_of(field, domain_size=process_count)
+            else:
+                total += bits_of(field)
+    return total
+
+
+def _looks_like_process_id(field: Any, process_count: int) -> bool:
+    return isinstance(field, int) and not isinstance(field, bool) and 0 <= field < process_count
+
+
+def space_tuple_census(space: Any) -> dict[str, int]:
+    """Number of stored tuples per tuple name (first field)."""
+    census: dict[str, int] = {}
+    for stored in space.snapshot():
+        name = str(stored.fields[0])
+        census[name] = census.get(name, 0) + 1
+    return census
+
+
+def consensus_operation_counts(history: HistoryRecorder) -> dict[str, Any]:
+    """Summarise a consensus execution's shared-memory operations.
+
+    Returns total operations, per-kind counts, per-process counts, the
+    number of denied invocations and the mean operations per process —
+    the quantities compared in experiment E6.
+    """
+    by_process = history.operations_by_process()
+    total = history.total_operations()
+    return {
+        "total_operations": total,
+        "by_kind": history.operations_by_kind(),
+        "by_process": by_process,
+        "denied": history.denied_count(),
+        "mean_per_process": (total / len(by_process)) if by_process else 0.0,
+    }

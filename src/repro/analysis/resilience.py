@@ -1,0 +1,91 @@
+"""Empirical resilience sweeps (experiments E2 and E3).
+
+Theorems 2–4 of the paper pin the resilience of strong consensus at
+``n >= (k + 1) t + 1``.  The sweep below runs the *actual algorithm* under
+the deterministic runner in the worst-case execution of Theorem 4 — the
+``k`` values split as evenly as possible over the correct processes, the
+``t`` faulty processes silent — and records whether every correct process
+decided within a round budget.  At or above the bound the execution always
+terminates with agreement and strong validity; below the bound it does
+not terminate, exactly as the impossibility proof predicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Hashable, Sequence
+
+from repro.consensus.base import check_agreement, check_strong_validity
+from repro.consensus.runner import run_consensus
+from repro.consensus.strong import StrongConsensus
+
+__all__ = ["ResilienceResult", "sweep_strong_consensus_resilience", "worst_case_proposals"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceResult:
+    """Outcome of one (n, t, k) configuration of the resilience sweep."""
+
+    n: int
+    t: int
+    k: int
+    bound: int
+    meets_bound: bool
+    terminated: bool
+    agreement: bool
+    strong_validity: bool
+    rounds: int
+
+
+def worst_case_proposals(processes: Sequence[Hashable], t: int, values: Sequence[Any]) -> dict[Hashable, Any]:
+    """The adversarial proposal assignment of Theorem 4.
+
+    The last ``t`` processes are reserved as the silent faulty ones; the
+    remaining (correct) processes spread their proposals over the ``k``
+    values as evenly as possible, at most ``t`` per value when that is
+    feasible — the split that starves every value of a ``t + 1`` quorum
+    whenever ``n <= (k + 1) t``.
+    """
+    correct = list(processes[: len(processes) - t])
+    k = len(values)
+    proposals: dict[Hashable, Any] = {}
+    for index, process in enumerate(correct):
+        if t > 0 and len(correct) <= k * t:
+            # Below (or at) the bound: fill value buckets up to t proposals
+            # each so no value ever reaches t + 1.
+            proposals[process] = values[min(index // t, k - 1)]
+        else:
+            proposals[process] = values[index % k]
+    return proposals
+
+
+def sweep_strong_consensus_resilience(
+    configurations: Sequence[tuple[int, int, int]],
+    *,
+    max_rounds: int = 300,
+) -> list[ResilienceResult]:
+    """Run the worst-case execution for every ``(n, t, k)`` configuration."""
+    results: list[ResilienceResult] = []
+    for n, t, k in configurations:
+        values = tuple(range(k))
+        processes = tuple(range(n))
+        consensus = StrongConsensus(
+            processes, t, values=values, enforce_resilience=False
+        )
+        proposals = worst_case_proposals(processes, t, values)
+        run = run_consensus(consensus, proposals, max_rounds=max_rounds)
+        outcomes = list(run.outcomes.values())
+        results.append(
+            ResilienceResult(
+                n=n,
+                t=t,
+                k=k,
+                bound=(k + 1) * t + 1,
+                meets_bound=n >= (k + 1) * t + 1,
+                terminated=run.terminated,
+                agreement=check_agreement(outcomes),
+                strong_validity=check_strong_validity(outcomes, proposals.values()),
+                rounds=run.rounds,
+            )
+        )
+    return results

@@ -1,0 +1,37 @@
+"""Baselines from the prior ACL + sticky-bit model (Section 7 comparison).
+
+The paper positions the PEATS against the earlier model in which simple
+objects (registers, sticky bits) are protected by access control lists
+(Alon et al. [9], Attie [10], Malkhi et al. [11]).  This package implements
+that model so the comparison experiments run against real code:
+
+``ACLProtectedObject`` / ``StickyBit`` / ``SharedRegister``
+    The baseline objects, with per-operation ACLs enforced by the same
+    reference-monitor machinery as the PEOs (an ACL is just a degenerate
+    policy — membership of the invoker in a list).
+
+``StickyBitStrongConsensus``
+    A t-threshold strong *binary* consensus built from ``2t + 1`` sticky
+    bits and requiring ``n >= (t + 1)(2t + 1)`` processes — the resource
+    profile of the construction in Malkhi et al. [11].
+
+``costs``
+    Closed-form cost models for the comparison of Section 5.2 (experiment
+    E1): the PEATS bit counts of the paper versus the
+    ``(n + 1) * C(2t+1, t)`` sticky bits of Alon et al. [9] and the
+    ``2t + 1`` bits / ``(t+1)(2t+1)`` processes of Malkhi et al. [11].
+"""
+
+from repro.baselines.acl import ACL, ACLProtectedObject
+from repro.baselines.objects import SharedRegister, StickyBit
+from repro.baselines.sticky_consensus import StickyBitStrongConsensus
+from repro.baselines import costs
+
+__all__ = [
+    "ACL",
+    "ACLProtectedObject",
+    "StickyBit",
+    "SharedRegister",
+    "StickyBitStrongConsensus",
+    "costs",
+]

@@ -1,0 +1,95 @@
+"""Access control lists: the protection model of the prior work.
+
+An ACL associates each operation of a shared object with the set of
+processes allowed to invoke it.  In the paper's framing an ACL is the
+degenerate case of a fine-grained policy whose conditions look only at the
+invoker — which is exactly how we implement it: :class:`ACL` compiles to an
+:class:`~repro.policy.policy.AccessPolicy` and the object reuses the PEO
+machinery, so the two models are compared on equal footing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Collection, Hashable, Mapping, Sequence
+
+from repro.peo.base import PolicyEnforcedObject
+from repro.policy.expressions import Condition
+from repro.policy.policy import AccessPolicy
+from repro.policy.rules import Rule
+from repro.tspace.history import HistoryRecorder
+
+__all__ = ["ACL", "ACLProtectedObject"]
+
+
+class ACL:
+    """Per-operation access control lists.
+
+    ``None`` for an operation means "everyone may invoke it"; an explicit
+    collection restricts the operation to its members; operations not
+    mentioned at all are denied for everyone (fail-safe default, matching
+    the policy engine's behaviour).
+    """
+
+    def __init__(self, entries: Mapping[str, Collection[Hashable] | None]) -> None:
+        self._entries: dict[str, frozenset[Hashable] | None] = {}
+        for operation, allowed in entries.items():
+            self._entries[operation] = None if allowed is None else frozenset(allowed)
+
+    def allows(self, operation: str, process: Hashable) -> bool:
+        if operation not in self._entries:
+            return False
+        allowed = self._entries[operation]
+        return allowed is None or process in allowed
+
+    def operations(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def allowed_processes(self, operation: str) -> frozenset[Hashable] | None:
+        """Processes allowed to invoke ``operation`` (``None`` = everyone)."""
+        return self._entries.get(operation)
+
+    def to_policy(self, *, name: str = "acl") -> AccessPolicy:
+        """Compile the ACL into an equivalent fine-grained access policy."""
+        rules = []
+        for operation, allowed in self._entries.items():
+            if allowed is None:
+                rules.append(Rule(f"Racl_{operation}", operation))
+            else:
+                members = allowed
+                rules.append(
+                    Rule(
+                        f"Racl_{operation}",
+                        operation,
+                        Condition(
+                            f"invoker in ACL({operation})",
+                            lambda inv, st, members=members: inv.process in members,
+                        ),
+                    )
+                )
+        return AccessPolicy(rules, name=name)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(
+            f"{op}: {'*' if allowed is None else sorted(map(repr, allowed))}"
+            for op, allowed in self._entries.items()
+        )
+        return f"ACL({rendered})"
+
+
+class ACLProtectedObject(PolicyEnforcedObject):
+    """Base class for shared objects protected by an :class:`ACL`."""
+
+    def __init__(
+        self,
+        acl: ACL,
+        *,
+        name: str = "acl-object",
+        history: HistoryRecorder | None = None,
+        raise_on_deny: bool = False,
+    ) -> None:
+        super().__init__(acl.to_policy(name=name), history=history, raise_on_deny=raise_on_deny)
+        self._acl = acl
+
+    @property
+    def acl(self) -> ACL:
+        return self._acl

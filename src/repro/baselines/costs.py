@@ -1,0 +1,164 @@
+"""Closed-form cost models for the PEATS vs. sticky-bit comparison (E1).
+
+All formulas come from Section 5.2 of the paper and its footnotes 3–4:
+
+* the PEATS strong binary consensus stores ``n`` PROPOSE tuples of
+  ``ceil(log n) + 1`` bits each (a process id plus a binary value) and one
+  DECISION tuple of ``1 + (t + 1) ceil(log n)`` bits (a binary value plus a
+  justification set of ``t + 1`` process ids), for a total of
+
+      n (ceil(log n) + 1) + 1 + (t + 1) ceil(log n)        bits;
+
+* the strong consensus of Alon et al. [9] with the same resilience uses
+  ``(n + 1) * C(2t + 1, t)`` sticky bits;
+* the construction of Malkhi et al. [11] uses ``2t + 1`` sticky bits but
+  needs ``n >= (t + 1)(2t + 1)`` processes.
+
+Footnote checks (reproduced by the unit tests): for ``t = 4`` and
+``n = 13``, the PEATS uses 68 bits while Alon et al. need 1,764 sticky
+bits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "log_ceil",
+    "peats_weak_consensus_bits",
+    "peats_strong_consensus_bits",
+    "peats_multivalued_consensus_bits",
+    "alon_sticky_bits",
+    "alon_min_processes",
+    "malkhi_sticky_bits",
+    "malkhi_min_processes",
+    "peats_min_processes",
+    "min_processes_k_valued",
+    "comparison_table",
+]
+
+
+def log_ceil(n: int) -> int:
+    """``ceil(log2 n)`` with the convention ``log_ceil(1) == 1``.
+
+    The paper charges a process identifier ``ceil(log n)`` bits; for a
+    single process we still need one bit to name it.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return 1
+    return math.ceil(math.log2(n))
+
+
+# ----------------------------------------------------------------------
+# PEATS costs.
+# ----------------------------------------------------------------------
+
+
+def peats_weak_consensus_bits(domain_size: int = 2) -> int:
+    """Bits stored by Algorithm 1: one DECISION tuple holding one value."""
+    if domain_size < 2:
+        raise ValueError("a consensus domain needs at least two values")
+    return log_ceil(domain_size)
+
+
+def peats_strong_consensus_bits(n: int, t: int) -> int:
+    """Bits stored by Algorithm 2 (strong *binary* consensus).
+
+    ``n`` PROPOSE tuples of ``ceil(log n) + 1`` bits plus one DECISION tuple
+    of ``1 + (t + 1) ceil(log n)`` bits — the formula of Section 5.2.
+    """
+    if n < 1 or t < 0:
+        raise ValueError("need n >= 1 and t >= 0")
+    id_bits = log_ceil(n)
+    propose_bits = n * (id_bits + 1)
+    decision_bits = 1 + (t + 1) * id_bits
+    return propose_bits + decision_bits
+
+
+def peats_multivalued_consensus_bits(n: int, t: int, domain_size: int) -> int:
+    """Bits stored by the k-valued generalisation: ``O(n (log n + log |V|))``.
+
+    ``n`` PROPOSE tuples of ``ceil(log n) + ceil(log |V|)`` bits plus one
+    DECISION tuple of ``ceil(log |V|) + (t + 1) ceil(log n)`` bits.
+    """
+    if domain_size < 2:
+        raise ValueError("a consensus domain needs at least two values")
+    id_bits = log_ceil(n)
+    value_bits = log_ceil(domain_size)
+    propose_bits = n * (id_bits + value_bits)
+    decision_bits = value_bits + (t + 1) * id_bits
+    return propose_bits + decision_bits
+
+
+def peats_min_processes(t: int, k: int = 2) -> int:
+    """Minimum processes for k-valued strong consensus on PEOs: ``(k+1)t + 1``."""
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    return (k + 1) * t + 1
+
+
+# ----------------------------------------------------------------------
+# Sticky-bit baselines.
+# ----------------------------------------------------------------------
+
+
+def alon_sticky_bits(n: int, t: int) -> int:
+    """Sticky bits used by the optimal-resilience algorithm of Alon et al. [9]."""
+    if n < 1 or t < 0:
+        raise ValueError("need n >= 1 and t >= 0")
+    return (n + 1) * math.comb(2 * t + 1, t)
+
+
+def alon_min_processes(t: int) -> int:
+    """Alon et al. reach the optimal resilience ``n >= 3t + 1``."""
+    return 3 * t + 1
+
+
+def malkhi_sticky_bits(t: int) -> int:
+    """Sticky bits used by the construction of Malkhi et al. [11]: ``2t + 1``."""
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    return 2 * t + 1
+
+
+def malkhi_min_processes(t: int) -> int:
+    """Processes required by Malkhi et al. [11]: ``(t + 1)(2t + 1)``."""
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    return (t + 1) * (2 * t + 1)
+
+
+def min_processes_k_valued(t: int, k: int) -> int:
+    """Theorem 4 bound: k-valued strong consensus needs ``n >= (k+1)t + 1``."""
+    return peats_min_processes(t, k)
+
+
+# ----------------------------------------------------------------------
+# Tabulation helper used by the E1 benchmark and EXPERIMENTS.md.
+# ----------------------------------------------------------------------
+
+
+def comparison_table(t_values: Iterable[int]) -> list[dict[str, int]]:
+    """One row per ``t``: optimal ``n`` and the memory cost of each approach.
+
+    The row uses ``n = 3t + 1`` (the optimal resilience all three
+    approaches are compared at in the paper; Malkhi et al. cannot run at
+    that ``n`` and the row also reports the ``n`` they would need).
+    """
+    rows: list[dict[str, int]] = []
+    for t in t_values:
+        n = 3 * t + 1
+        rows.append(
+            {
+                "t": t,
+                "n": n,
+                "peats_bits": peats_strong_consensus_bits(n, t),
+                "alon_sticky_bits": alon_sticky_bits(n, t),
+                "malkhi_sticky_bits": malkhi_sticky_bits(t),
+                "malkhi_required_n": malkhi_min_processes(t),
+            }
+        )
+    return rows

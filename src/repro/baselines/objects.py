@@ -1,0 +1,121 @@
+"""The baseline shared objects: sticky bits and plain registers with ACLs."""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Hashable
+
+from repro.baselines.acl import ACL, ACLProtectedObject
+from repro.peo.base import DeniedResult
+from repro.tspace.history import HistoryRecorder
+
+__all__ = ["StickyBit", "SharedRegister"]
+
+
+class StickyBit(ACLProtectedObject):
+    """A sticky bit [13]: initially unset; the first ``set`` sticks forever.
+
+    Operations:
+
+    * ``read()`` — open to everyone unless restricted; returns ``None``
+      while unset, otherwise the stuck value;
+    * ``set(v)`` with ``v ∈ {0, 1}`` — restricted by the ACL to ``writers``;
+      returns ``True`` if this call stuck the bit, ``False`` if it was
+      already stuck (the value is *not* overwritten), and a falsy
+      :class:`~repro.peo.base.DeniedResult` when the invoker is not allowed.
+
+    Sticky bits are persistent (non-resettable), which is why they — unlike
+    plain registers — can solve consensus in the Byzantine model [10].
+    """
+
+    def __init__(
+        self,
+        writers: Collection[Hashable] | None = None,
+        *,
+        readers: Collection[Hashable] | None = None,
+        history: HistoryRecorder | None = None,
+        raise_on_deny: bool = False,
+    ) -> None:
+        super().__init__(
+            ACL({"read": readers, "set": writers}),
+            name="sticky-bit",
+            history=history,
+            raise_on_deny=raise_on_deny,
+        )
+        self._value: int | None = None
+
+    def _policy_state(self) -> Any:
+        return self._value
+
+    @property
+    def value(self) -> int | None:
+        """Unprotected view of the current value (tests/diagnostics)."""
+        return self._value
+
+    @property
+    def is_set(self) -> bool:
+        return self._value is not None
+
+    def read(self, *, process: Hashable = None) -> Any:
+        return self._guarded(process, "read", (), lambda: self._value)
+
+    def set(self, value: int, *, process: Hashable = None) -> Any:
+        if value not in (0, 1):
+            raise ValueError("a sticky bit only holds 0 or 1")
+
+        def execute() -> bool:
+            if self._value is None:
+                self._value = value
+                return True
+            return False
+
+        return self._guarded(process, "set", (value,), execute)
+
+    def __repr__(self) -> str:
+        return f"StickyBit(value={self._value!r})"
+
+
+class SharedRegister(ACLProtectedObject):
+    """A plain read/write register with per-operation ACLs.
+
+    Registers are *resettable* objects: any reachable state can be driven
+    back to the initial one by a write, which is why they cannot solve even
+    weak consensus among Byzantine processes (Attie [10]).  The register is
+    included as a baseline object and for the universal-construction tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        initial: Any = None,
+        writers: Collection[Hashable] | None = None,
+        readers: Collection[Hashable] | None = None,
+        history: HistoryRecorder | None = None,
+        raise_on_deny: bool = False,
+    ) -> None:
+        super().__init__(
+            ACL({"read": readers, "write": writers}),
+            name="shared-register",
+            history=history,
+            raise_on_deny=raise_on_deny,
+        )
+        self._value = initial
+
+    def _policy_state(self) -> Any:
+        return self._value
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def read(self, *, process: Hashable = None) -> Any:
+        return self._guarded(process, "read", (), lambda: self._value)
+
+    def write(self, value: Any, *, process: Hashable = None) -> Any:
+        def execute() -> bool:
+            self._value = value
+            return True
+
+        return self._guarded(process, "write", (value,), execute)
+
+    def __repr__(self) -> str:
+        return f"SharedRegister(value={self._value!r})"

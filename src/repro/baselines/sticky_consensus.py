@@ -1,0 +1,153 @@
+"""Strong binary consensus from sticky bits and ACLs.
+
+This is the baseline the paper compares against in Section 7: the model of
+Malkhi et al. [11], where strong binary consensus is built from ``2t + 1``
+sticky bits protected by ACLs and requires ``n >= (t + 1)(2t + 1)``
+processes.  We implement a construction with exactly that resource profile:
+
+* the ``n`` processes are partitioned into ``2t + 1`` disjoint groups of at
+  least ``t + 1`` processes each — so every group contains at least one
+  correct process;
+* group ``g`` is the ACL of sticky bit ``g`` (only its members may set it);
+* a process proposes by setting its group's bit to its input value (the
+  sticky semantics keep the first write), then waits until **all**
+  ``2t + 1`` bits are set — guaranteed because every group has a correct
+  member — and decides the **majority** value of the bits.
+
+Agreement follows because sticky bits are immutable once set, so every
+process computes the majority of the same vector.  Strong validity follows
+because at most ``t`` bits can have been set by faulty processes, so the
+majority value (``>= t + 1`` bits) was written by at least one correct
+process.  Termination is t-threshold: it needs the correct processes of
+every group to participate.
+
+The construction is **not** claimed to be a line-by-line transcription of
+[11] (whose algorithm is round-based); it is a faithful stand-in with the
+same object count, object type, ACL protection and resilience, which is
+what the cost comparison of experiment E1 and the complexity comparison of
+experiment E6 need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, Mapping, Sequence
+
+from repro.baselines.objects import StickyBit
+from repro.consensus.base import ConsensusObject, TerminationCondition
+from repro.errors import ResilienceError, TerminationError
+from repro.tspace.history import HistoryRecorder
+
+__all__ = ["StickyBitStrongConsensus"]
+
+
+class StickyBitStrongConsensus(ConsensusObject):
+    """t-threshold strong binary consensus from ``2t + 1`` ACL-protected sticky bits."""
+
+    termination = TerminationCondition.T_THRESHOLD
+
+    def __init__(
+        self,
+        processes: Sequence[Hashable],
+        t: int,
+        *,
+        history: HistoryRecorder | None = None,
+        enforce_resilience: bool = True,
+    ) -> None:
+        self._processes = tuple(processes)
+        self._t = t
+        n = len(self._processes)
+        self._bit_count = 2 * t + 1
+        required = (t + 1) * (2 * t + 1)
+        if enforce_resilience and n < required:
+            raise ResilienceError(
+                f"sticky-bit strong consensus requires n >= (t+1)(2t+1) = {required} "
+                f"processes for t = {t}, got n = {n}"
+            )
+        self._history = history
+        # Partition processes into 2t+1 groups round-robin; group g is the
+        # write ACL of sticky bit g.
+        self._group_of: dict[Hashable, int] = {
+            process: index % self._bit_count for index, process in enumerate(self._processes)
+        }
+        groups: dict[int, list[Hashable]] = {g: [] for g in range(self._bit_count)}
+        for process, group in self._group_of.items():
+            groups[group].append(process)
+        self._bits: list[StickyBit] = [
+            StickyBit(writers=groups[g], history=history) for g in range(self._bit_count)
+        ]
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def bits(self) -> tuple[StickyBit, ...]:
+        return tuple(self._bits)
+
+    @property
+    def bit_count(self) -> int:
+        return self._bit_count
+
+    @property
+    def processes(self) -> tuple[Hashable, ...]:
+        return self._processes
+
+    @property
+    def t(self) -> int:
+        return self._t
+
+    def group_of(self, process: Hashable) -> int:
+        return self._group_of[process]
+
+    # ------------------------------------------------------------------
+    # Consensus interface
+    # ------------------------------------------------------------------
+
+    def propose(self, process: Hashable, value: Any, *, max_iterations: int = 100_000) -> Any:
+        steps = self.propose_steps(process, value)
+        iterations = 0
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+            iterations += 1
+            if iterations > max_iterations:
+                steps.close()
+                raise TerminationError(
+                    f"sticky-bit consensus did not terminate for process {process!r} "
+                    f"after {max_iterations} polling rounds"
+                )
+
+    def propose_steps(self, process: Hashable, value: Any) -> Generator[None, None, Any]:
+        if value not in (0, 1):
+            raise ValueError("the sticky-bit baseline solves binary consensus only")
+        group = self._group_of[process]
+        # Phase 1: contribute the input to the group's sticky bit.
+        self._bits[group].set(value, process=process)
+        # Phase 2: wait until every bit is set, then decide the majority.
+        while True:
+            readings = [bit.read(process=process) for bit in self._bits]
+            if all(reading is not None for reading in readings):
+                ones = sum(1 for reading in readings if reading == 1)
+                return 1 if ones > self._bit_count // 2 else 0
+            yield
+
+    def decision(self) -> Any:
+        """Administrative view: the decision if every bit is set, else ``None``."""
+        readings = [bit.value for bit in self._bits]
+        if any(reading is None for reading in readings):
+            return None
+        ones = sum(1 for reading in readings if reading == 1)
+        return 1 if ones > self._bit_count // 2 else 0
+
+    # ------------------------------------------------------------------
+    # Cost accounting (experiment E1/E6)
+    # ------------------------------------------------------------------
+
+    def memory_bits(self) -> int:
+        """Shared-memory bits used: one bit of payload per sticky bit."""
+        return self._bit_count
+
+    def required_processes(self) -> int:
+        return (self._t + 1) * (2 * self._t + 1)

@@ -1,0 +1,148 @@
+"""Common definitions for the consensus objects.
+
+Includes the termination-condition taxonomy of Section 2.2, the abstract
+consensus-object interface, the outcome record produced by the runners, and
+property checkers (Agreement, Validity, Strong Validity, Default Strong
+Validity) used by the tests and the resilience benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable, Generator, Hashable, Iterable, Mapping
+
+from repro.errors import ResilienceError
+
+__all__ = [
+    "TerminationCondition",
+    "ConsensusObject",
+    "ConsensusOutcome",
+    "check_agreement",
+    "check_validity",
+    "check_strong_validity",
+    "check_default_strong_validity",
+    "require_resilience",
+]
+
+
+class TerminationCondition(enum.Enum):
+    """Liveness guarantees of Section 2.2, weakest to strongest."""
+
+    LOCK_FREE = "lock-free"
+    T_RESILIENT = "t-resilient"
+    T_THRESHOLD = "t-threshold"
+    WAIT_FREE = "wait-free"
+
+
+@dataclasses.dataclass(frozen=True)
+class ConsensusOutcome:
+    """The result of one process's participation in a consensus execution."""
+
+    process: Hashable
+    proposed: Any
+    decided: Any
+    operations: int = 0
+    iterations: int = 0
+    terminated: bool = True
+
+
+class ConsensusObject:
+    """Abstract interface of a consensus object ``x`` with ``x.propose(v)``.
+
+    Concrete objects additionally expose ``propose_steps`` returning a
+    generator that yields once per polling iteration and returns the
+    decision, which is what the deterministic runner drives.
+    """
+
+    #: Liveness guarantee of the object (overridden by subclasses).
+    termination: TerminationCondition = TerminationCondition.WAIT_FREE
+
+    def propose(self, process: Hashable, value: Any, *, max_iterations: int = 100_000) -> Any:
+        """Propose ``value`` on behalf of ``process`` and return the decision."""
+        raise NotImplementedError
+
+    def propose_steps(
+        self, process: Hashable, value: Any
+    ) -> Generator[None, None, Any]:
+        """Stepwise version of :meth:`propose` (yields between poll rounds)."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Property checkers.
+# ----------------------------------------------------------------------
+
+
+def check_agreement(outcomes: Iterable[ConsensusOutcome]) -> bool:
+    """Agreement: every correct process that decided decided the same value."""
+    decided = [o.decided for o in outcomes if o.terminated]
+    if not decided:
+        return True
+    first = decided[0]
+    return all(d == first for d in decided)
+
+
+def check_validity(outcomes: Iterable[ConsensusOutcome], all_proposals: Iterable[Any]) -> bool:
+    """(Weak) Validity: the decision was proposed by *some* process.
+
+    ``all_proposals`` must include the values proposed by faulty processes
+    too, since weak validity only requires the decision to be one of the
+    proposed values when every participant is correct; callers pass the
+    proposals of the execution under test.
+    """
+    proposals = set(all_proposals)
+    decided = {o.decided for o in outcomes if o.terminated}
+    return all(d in proposals for d in decided)
+
+
+def check_strong_validity(
+    outcomes: Iterable[ConsensusOutcome], correct_proposals: Iterable[Any]
+) -> bool:
+    """Strong Validity: the decision was proposed by some *correct* process."""
+    proposals = set(correct_proposals)
+    decided = {o.decided for o in outcomes if o.terminated}
+    return all(d in proposals for d in decided)
+
+
+def check_default_strong_validity(
+    outcomes: Iterable[ConsensusOutcome],
+    correct_proposals: Mapping[Hashable, Any],
+    bottom: Any,
+) -> bool:
+    """Default Strong Validity (Section 5.4).
+
+    1. If all correct processes proposed the same value ``v`` then ``v`` is
+       the decision, and
+    2. the decision is a value proposed by a correct process or ``⊥``.
+    """
+    decided_values = {o.decided for o in outcomes if o.terminated}
+    if not decided_values:
+        return True
+    proposals = set(correct_proposals.values())
+    # Condition 2.
+    for decided in decided_values:
+        if decided != bottom and decided not in proposals:
+            return False
+    # Condition 1.
+    if len(proposals) == 1:
+        (only_value,) = proposals
+        if decided_values != {only_value}:
+            return False
+    return True
+
+
+def require_resilience(n: int, t: int, *, k: int = 2, context: str = "strong consensus") -> None:
+    """Raise :class:`ResilienceError` unless ``n >= (k + 1) t + 1``.
+
+    ``k = 2`` gives the binary bound ``n >= 3t + 1`` (Corollary 1); general
+    ``k`` gives the k-valued bound of Theorems 3–4.  The runners call this
+    with ``strict=False`` semantics by catching the error when they want to
+    *demonstrate* non-termination below the bound.
+    """
+    if t < 0:
+        raise ResilienceError("t must be non-negative")
+    if n < (k + 1) * t + 1:
+        raise ResilienceError(
+            f"{context} requires n >= ({k} + 1)*t + 1 = {(k + 1) * t + 1} processes, got n = {n}"
+        )

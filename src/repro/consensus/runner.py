@@ -1,0 +1,235 @@
+"""Execution harnesses for consensus objects.
+
+Two runners are provided:
+
+``run_consensus``
+    Deterministic, single-threaded.  Every correct process is turned into a
+    step generator (``propose_steps``) and the generators are interleaved
+    according to a schedule (round-robin by default, or any callable that
+    permutes the ready processes each round — the adversarial schedulers of
+    :mod:`repro.model.scheduler` plug in here).  Byzantine participants are
+    given as step generators too (see :mod:`repro.model.faults`).  The
+    runner detects non-termination by bounding the number of rounds, which
+    is how the resilience experiments (E2/E3) demonstrate Theorem 4.
+
+``run_consensus_threaded``
+    One OS thread per correct process, exercising the real concurrency of
+    the linearizable PEATS.  Used by integration tests and the throughput
+    benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Callable, Generator, Hashable, Iterable, Mapping, Sequence
+
+from repro.consensus.base import ConsensusObject, ConsensusOutcome
+from repro.errors import TerminationError
+
+__all__ = ["ConsensusRun", "run_consensus", "run_consensus_threaded"]
+
+#: A schedule permutes the list of ready processes for a given round.
+Schedule = Callable[[Sequence[Hashable], int], Sequence[Hashable]]
+
+#: A Byzantine strategy returns a step generator for a faulty process.
+ByzantineStrategy = Callable[[ConsensusObject, Hashable], Generator[None, None, Any]]
+
+
+@dataclasses.dataclass
+class ConsensusRun:
+    """Aggregate result of a consensus execution."""
+
+    outcomes: dict[Hashable, ConsensusOutcome]
+    rounds: int
+    terminated: bool
+    errors: dict[Hashable, BaseException] = dataclasses.field(default_factory=dict)
+
+    @property
+    def decided_values(self) -> set[Any]:
+        """Values decided by the processes that terminated."""
+        return {o.decided for o in self.outcomes.values() if o.terminated}
+
+    @property
+    def agreement(self) -> bool:
+        return len(self.decided_values) <= 1
+
+    def decision(self) -> Any:
+        """The single decided value (raises if there is disagreement)."""
+        values = self.decided_values
+        if len(values) > 1:
+            raise AssertionError(f"agreement violated: {values}")
+        return next(iter(values)) if values else None
+
+
+def _round_robin(ready: Sequence[Hashable], _round_number: int) -> Sequence[Hashable]:
+    return ready
+
+
+def run_consensus(
+    consensus: ConsensusObject,
+    proposals: Mapping[Hashable, Any],
+    *,
+    byzantine: Mapping[Hashable, ByzantineStrategy] | None = None,
+    schedule: Schedule | None = None,
+    max_rounds: int = 10_000,
+) -> ConsensusRun:
+    """Run ``consensus`` deterministically with interleaved step generators.
+
+    Parameters
+    ----------
+    consensus:
+        The consensus object under test.
+    proposals:
+        Mapping from *correct* process to the value it proposes.
+    byzantine:
+        Mapping from faulty process to its strategy (a callable returning a
+        step generator).  Faulty processes that should stay silent are
+        simply omitted from both mappings.
+    schedule:
+        Optional schedule permuting the ready processes each round.
+    max_rounds:
+        Bound on scheduling rounds; when exceeded, the processes that have
+        not yet decided are reported as non-terminated (``terminated`` on
+        the run is then ``False``).
+    """
+    schedule = schedule or _round_robin
+    byzantine = dict(byzantine or {})
+
+    generators: dict[Hashable, Generator[None, None, Any]] = {}
+    is_correct: dict[Hashable, bool] = {}
+    for process, value in proposals.items():
+        generators[process] = consensus.propose_steps(process, value)
+        is_correct[process] = True
+    for process, strategy in byzantine.items():
+        generators[process] = strategy(consensus, process)
+        is_correct[process] = False
+
+    outcomes: dict[Hashable, ConsensusOutcome] = {}
+    errors: dict[Hashable, BaseException] = {}
+    iterations: dict[Hashable, int] = {p: 0 for p in generators}
+
+    active = list(generators)
+    rounds = 0
+    while active and rounds < max_rounds:
+        rounds += 1
+        for process in list(schedule(tuple(active), rounds)):
+            if process not in generators:
+                continue
+            generator = generators.get(process)
+            if generator is None:
+                continue
+            try:
+                next(generator)
+                iterations[process] += 1
+            except StopIteration as stop:
+                if is_correct[process]:
+                    outcomes[process] = ConsensusOutcome(
+                        process=process,
+                        proposed=proposals.get(process),
+                        decided=stop.value,
+                        iterations=iterations[process],
+                        terminated=True,
+                    )
+                del generators[process]
+                if process in active:
+                    active.remove(process)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors[process] = exc
+                del generators[process]
+                if process in active:
+                    active.remove(process)
+                if is_correct[process]:
+                    outcomes[process] = ConsensusOutcome(
+                        process=process,
+                        proposed=proposals.get(process),
+                        decided=None,
+                        iterations=iterations[process],
+                        terminated=False,
+                    )
+
+    # Whoever is still active did not terminate within the round budget.
+    for process in active:
+        if is_correct.get(process, False):
+            outcomes[process] = ConsensusOutcome(
+                process=process,
+                proposed=proposals.get(process),
+                decided=None,
+                iterations=iterations[process],
+                terminated=False,
+            )
+        generators[process].close()
+
+    all_correct_terminated = all(
+        outcomes[p].terminated for p in proposals if p in outcomes
+    ) and all(p in outcomes for p in proposals)
+    return ConsensusRun(
+        outcomes=outcomes,
+        rounds=rounds,
+        terminated=all_correct_terminated,
+        errors=errors,
+    )
+
+
+def run_consensus_threaded(
+    consensus: ConsensusObject,
+    proposals: Mapping[Hashable, Any],
+    *,
+    byzantine: Mapping[Hashable, Callable[[ConsensusObject, Hashable], Any]] | None = None,
+    max_iterations: int = 100_000,
+    timeout: float = 30.0,
+) -> ConsensusRun:
+    """Run ``consensus`` with one thread per correct process.
+
+    Byzantine participants here are plain callables executed in their own
+    threads (they typically hammer the space with forbidden operations).
+    """
+    byzantine = dict(byzantine or {})
+    outcomes: dict[Hashable, ConsensusOutcome] = {}
+    errors: dict[Hashable, BaseException] = {}
+    lock = threading.Lock()
+
+    def correct_worker(process: Hashable, value: Any) -> None:
+        try:
+            decided = consensus.propose(process, value, max_iterations=max_iterations)
+            with lock:
+                outcomes[process] = ConsensusOutcome(
+                    process=process, proposed=value, decided=decided, terminated=True
+                )
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with lock:
+                errors[process] = exc
+                outcomes[process] = ConsensusOutcome(
+                    process=process, proposed=value, decided=None, terminated=False
+                )
+
+    def byzantine_worker(process: Hashable, behaviour: Callable[[ConsensusObject, Hashable], Any]) -> None:
+        try:
+            behaviour(consensus, process)
+        except BaseException as exc:  # noqa: BLE001 - Byzantine failures are expected
+            with lock:
+                errors[process] = exc
+
+    threads: list[threading.Thread] = []
+    for process, value in proposals.items():
+        threads.append(
+            threading.Thread(target=correct_worker, args=(process, value), daemon=True)
+        )
+    for process, behaviour in byzantine.items():
+        threads.append(
+            threading.Thread(target=byzantine_worker, args=(process, behaviour), daemon=True)
+        )
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+
+    all_correct_terminated = all(
+        process in outcomes and outcomes[process].terminated for process in proposals
+    )
+    return ConsensusRun(
+        outcomes=outcomes,
+        rounds=0,
+        terminated=all_correct_terminated,
+        errors=errors,
+    )

@@ -1,0 +1,128 @@
+"""Exception hierarchy for the PEATS reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such
+as :class:`TypeError` coming from their own code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TupleError",
+    "MalformedTupleError",
+    "MatchTypeError",
+    "PolicyError",
+    "PolicyEvaluationError",
+    "AccessDeniedError",
+    "TupleSpaceError",
+    "PendingOperationError",
+    "ConsensusError",
+    "TerminationError",
+    "ResilienceError",
+    "UniversalConstructionError",
+    "ReplicationError",
+    "AuthenticationError",
+    "QuorumError",
+    "ViewChangeError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class TupleError(ReproError):
+    """Base class for errors related to tuples and templates."""
+
+
+class MalformedTupleError(TupleError):
+    """Raised when a tuple or template is structurally invalid.
+
+    Examples: an *entry* containing a wildcard or formal field, an empty
+    tuple, or a field of an unsupported type.
+    """
+
+
+class MatchTypeError(TupleError):
+    """Raised when matching is attempted between incompatible objects."""
+
+
+class PolicyError(ReproError):
+    """Base class for access-policy related errors."""
+
+
+class PolicyEvaluationError(PolicyError):
+    """Raised when a rule expression cannot be evaluated.
+
+    Following the fail-safe-defaults principle of the paper (Section 3),
+    the reference monitor converts this error into a *deny* decision, but
+    the error itself is preserved for diagnostics.
+    """
+
+
+class AccessDeniedError(PolicyError):
+    """Raised (optionally) when an invocation is denied by the monitor.
+
+    The default behaviour of a PEO is to return ``False`` on denial, as in
+    the paper.  ``AccessDeniedError`` is raised only when the object is
+    configured with ``raise_on_deny=True``, which is convenient in tests.
+    """
+
+    def __init__(self, message: str, *, process: object = None, operation: str | None = None):
+        super().__init__(message)
+        self.process = process
+        self.operation = operation
+
+
+class TupleSpaceError(ReproError):
+    """Base class for tuple-space errors."""
+
+
+class PendingOperationError(TupleSpaceError):
+    """Raised when a process violates well-formedness (correct interaction).
+
+    The paper assumes every process invokes a new operation only after the
+    previous one returned; the linearizable wrapper can enforce this.
+    """
+
+
+class ConsensusError(ReproError):
+    """Base class for consensus-object errors."""
+
+
+class TerminationError(ConsensusError):
+    """Raised when a consensus execution exceeds its step budget.
+
+    Used by the test/benchmark harness to detect non-termination in
+    configurations below the resilience bound (Theorems 3 and 4).
+    """
+
+
+class ResilienceError(ConsensusError):
+    """Raised when a consensus object is configured below its bound."""
+
+
+class UniversalConstructionError(ReproError):
+    """Base class for universal-construction errors."""
+
+
+class ReplicationError(ReproError):
+    """Base class for errors in the replicated PEATS substrate."""
+
+
+class AuthenticationError(ReplicationError):
+    """Raised when a message fails authentication (bad MAC / signature)."""
+
+
+class QuorumError(ReplicationError):
+    """Raised when a quorum cannot be assembled (too many faulty replicas)."""
+
+
+class ViewChangeError(ReplicationError):
+    """Raised when a view change cannot complete."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event simulator on inconsistent schedules."""

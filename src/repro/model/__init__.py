@@ -1,0 +1,44 @@
+"""The system model: processes, Byzantine behaviours and schedulers.
+
+Implements Section 2.1's cast of characters for the experiments:
+
+* :mod:`repro.model.process` — process identities and roles;
+* :mod:`repro.model.faults` — a library of Byzantine behaviours (step
+  generators pluggable into the consensus runner, and direct attack drivers
+  against a PEATS) used by the fault-injection tests and experiment E5;
+* :mod:`repro.model.scheduler` — schedules for the deterministic runner:
+  round-robin, seeded-random, and adversarial schedules that try to starve
+  a victim process.
+"""
+
+from repro.model.faults import (
+    bottom_forcing_byzantine,
+    double_proposing_byzantine,
+    impersonating_byzantine,
+    silent_byzantine,
+    spamming_byzantine,
+    unjustified_deciding_byzantine,
+)
+from repro.model.process import ProcessRole, ProcessSpec, make_processes
+from repro.model.scheduler import (
+    adversarial_schedule,
+    random_schedule,
+    reversed_schedule,
+    round_robin_schedule,
+)
+
+__all__ = [
+    "ProcessRole",
+    "ProcessSpec",
+    "make_processes",
+    "silent_byzantine",
+    "double_proposing_byzantine",
+    "impersonating_byzantine",
+    "unjustified_deciding_byzantine",
+    "bottom_forcing_byzantine",
+    "spamming_byzantine",
+    "round_robin_schedule",
+    "reversed_schedule",
+    "random_schedule",
+    "adversarial_schedule",
+]

@@ -1,0 +1,57 @@
+"""Process identities and roles.
+
+The paper's system model has ``n`` processes, at most ``t`` of which are
+Byzantine.  Experiments describe such populations with
+:func:`make_processes`, which returns :class:`ProcessSpec` records the
+runners and fault injectors consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Hashable, Sequence
+
+__all__ = ["ProcessRole", "ProcessSpec", "make_processes"]
+
+
+class ProcessRole(enum.Enum):
+    """Whether a process follows its specification or behaves arbitrarily."""
+
+    CORRECT = "correct"
+    BYZANTINE = "byzantine"
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessSpec:
+    """A process identity plus its role in an experiment."""
+
+    pid: Hashable
+    role: ProcessRole = ProcessRole.CORRECT
+
+    @property
+    def is_correct(self) -> bool:
+        return self.role is ProcessRole.CORRECT
+
+    @property
+    def is_byzantine(self) -> bool:
+        return self.role is ProcessRole.BYZANTINE
+
+
+def make_processes(n: int, *, byzantine: int = 0, prefix: str | None = None) -> list[ProcessSpec]:
+    """Build ``n`` processes, the last ``byzantine`` of which are faulty.
+
+    Identifiers are the integers ``0..n-1`` (the convention used by the
+    wait-free universal construction) unless ``prefix`` is given, in which
+    case they are strings ``f"{prefix}{i}"``.
+    """
+    if n < 1:
+        raise ValueError("a system needs at least one process")
+    if byzantine < 0 or byzantine > n:
+        raise ValueError("the number of Byzantine processes must be within [0, n]")
+    specs: list[ProcessSpec] = []
+    for index in range(n):
+        pid: Hashable = f"{prefix}{index}" if prefix is not None else index
+        role = ProcessRole.BYZANTINE if index >= n - byzantine else ProcessRole.CORRECT
+        specs.append(ProcessSpec(pid=pid, role=role))
+    return specs

@@ -1,0 +1,68 @@
+"""Schedules for the deterministic consensus runner.
+
+A schedule is a callable ``(ready_processes, round_number) -> sequence``
+that decides in which order the ready processes take their next step in a
+given round.  Because the model is asynchronous, any schedule is legal;
+the adversarial ones below are the interesting stress tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+__all__ = [
+    "round_robin_schedule",
+    "reversed_schedule",
+    "random_schedule",
+    "adversarial_schedule",
+]
+
+
+def round_robin_schedule(ready: Sequence[Hashable], round_number: int) -> Sequence[Hashable]:
+    """Take steps in the natural order, rotated by the round number.
+
+    Rotating avoids always giving the same process the first step, which
+    would hide races between symmetric processes.
+    """
+    if not ready:
+        return ready
+    offset = round_number % len(ready)
+    return tuple(ready[offset:]) + tuple(ready[:offset])
+
+
+def reversed_schedule(ready: Sequence[Hashable], round_number: int) -> Sequence[Hashable]:
+    """Always step processes in reverse declaration order."""
+    return tuple(reversed(ready))
+
+
+def random_schedule(seed: int):
+    """A seeded uniformly-random schedule (reproducible across runs)."""
+    generator = random.Random(seed)
+
+    def schedule(ready: Sequence[Hashable], round_number: int) -> Sequence[Hashable]:
+        shuffled = list(ready)
+        generator.shuffle(shuffled)
+        return shuffled
+
+    return schedule
+
+
+def adversarial_schedule(victims: Sequence[Hashable], *, starve_rounds: int = 50):
+    """Starve ``victims``: they only take steps every ``starve_rounds`` rounds.
+
+    All other processes run at full speed, which is the scenario where the
+    lock-free universal construction can delay a victim indefinitely but
+    the wait-free construction (and t-threshold consensus with enough
+    correct processes) must still let it finish.
+    """
+    victim_set = set(victims)
+
+    def schedule(ready: Sequence[Hashable], round_number: int) -> Sequence[Hashable]:
+        fast = [process for process in ready if process not in victim_set]
+        if round_number % starve_rounds == 0:
+            slow = [process for process in ready if process in victim_set]
+            return fast + slow
+        return fast
+
+    return schedule

@@ -1,0 +1,25 @@
+"""Policy-Enforced Objects (PEOs) and the PEATS.
+
+A PEO couples a deterministic shared-memory object with a reference monitor
+evaluating a fine-grained access policy (Section 3).  The package provides:
+
+``PolicyEnforcedObject``
+    Generic machinery: build the invocation, consult the monitor, execute or
+    deny, record the outcome.
+
+``PolicyEnforcedRegister``
+    The numeric register of Fig. 1 (anyone reads, listed writers may only
+    increase the value).
+
+``PEATS``
+    The Policy-Enforced Augmented Tuple Space — the paper's central object.
+    Local, in-memory, linearizable and wait-free; the replicated
+    Byzantine-fault-tolerant deployment of Fig. 2 lives in
+    :mod:`repro.replication` and exposes the same interface.
+"""
+
+from repro.peo.base import DeniedResult, PolicyEnforcedObject
+from repro.peo.peats import PEATS
+from repro.peo.register import PolicyEnforcedRegister
+
+__all__ = ["PolicyEnforcedObject", "DeniedResult", "PolicyEnforcedRegister", "PEATS"]

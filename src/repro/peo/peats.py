@@ -1,0 +1,197 @@
+"""The Policy-Enforced Augmented Tuple Space (PEATS).
+
+The PEATS is the paper's central object: a linearizable, wait-free
+augmented tuple space whose every operation is mediated by a reference
+monitor evaluating a fine-grained access policy.  This module provides the
+*local* (single address space) PEATS; the replicated Byzantine
+fault-tolerant deployment of Fig. 2 is :class:`repro.replication.service.
+ReplicatedPEATS` and exposes the same per-process interface.
+
+Semantics of denied operations
+------------------------------
+
+Following the paper, a denied invocation returns the logical value *false*:
+
+* ``out``/``cas`` return a falsy :class:`~repro.peo.base.DeniedResult`
+  (``cas`` returns ``(False-like, None)`` shaped the same as a failure so
+  callers can treat denial and failure uniformly when they only test
+  truthiness);
+* ``rdp``/``inp`` return ``None`` — indistinguishable from "no match",
+  which is intentional: a process without read rights learns nothing;
+* blocking ``rd``/``in_`` raise immediately when denied (they cannot
+  meaningfully block forever on a denial), unless ``raise_on_deny`` is
+  ``False`` in which case they also return a denial marker via exception
+  suppression being impossible — we raise ``AccessDeniedError`` always for
+  blocking calls, since returning from a blocking read without a tuple
+  would violate its contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.errors import AccessDeniedError
+from repro.peo.base import DeniedResult, PolicyEnforcedObject
+from repro.policy.policy import AccessPolicy
+from repro.tspace.augmented import AugmentedTupleSpace
+from repro.tspace.history import HistoryRecorder
+from repro.tspace.interface import TupleSpaceInterface
+from repro.tuples import Entry, Template
+
+__all__ = ["PEATS", "ProcessBoundPEATS"]
+
+
+class PEATS(PolicyEnforcedObject):
+    """A local, linearizable, wait-free policy-enforced augmented tuple space."""
+
+    def __init__(
+        self,
+        policy: AccessPolicy,
+        *,
+        initial: Iterable[Entry] = (),
+        history: HistoryRecorder | None = None,
+        raise_on_deny: bool = False,
+        audit: bool = False,
+    ) -> None:
+        super().__init__(
+            policy, history=history, raise_on_deny=raise_on_deny, audit=audit
+        )
+        self._space = AugmentedTupleSpace(initial)
+
+    # ------------------------------------------------------------------
+    # Policy plumbing
+    # ------------------------------------------------------------------
+
+    def _policy_state(self) -> AugmentedTupleSpace:
+        # Policies see the raw space so their conditions can use rdp/snapshot.
+        return self._space
+
+    # ------------------------------------------------------------------
+    # Tuple-space operations (each takes the invoking process)
+    # ------------------------------------------------------------------
+
+    def out(self, entry: Entry, *, process: Any = None) -> Any:
+        """Insert ``entry``; returns ``True`` or a falsy denial."""
+        return self._guarded(process, "out", (entry,), lambda: self._space.out(entry))
+
+    def rdp(self, template: Template, *, process: Any = None) -> Optional[Entry]:
+        """Non-blocking read; ``None`` when no match **or** when denied."""
+        result = self._guarded(process, "rdp", (template,), lambda: self._space.rdp(template))
+        if isinstance(result, DeniedResult):
+            return None
+        return result
+
+    def inp(self, template: Template, *, process: Any = None) -> Optional[Entry]:
+        """Non-blocking destructive read; ``None`` when no match or denied."""
+        result = self._guarded(process, "inp", (template,), lambda: self._space.inp(template))
+        if isinstance(result, DeniedResult):
+            return None
+        return result
+
+    def rd(
+        self, template: Template, *, timeout: float | None = None, process: Any = None
+    ) -> Entry:
+        """Blocking read.  Raises :class:`AccessDeniedError` when denied.
+
+        The permission check is done once, against the state at invocation
+        time; the wait itself happens outside the object lock (otherwise no
+        writer could ever satisfy it).
+        """
+        decision_result = self._guarded(process, "rd", (template,), lambda: True)
+        if isinstance(decision_result, DeniedResult):
+            raise AccessDeniedError(decision_result.reason, process=process, operation="rd")
+        return self._space.rd(template, timeout=timeout)
+
+    def in_(
+        self, template: Template, *, timeout: float | None = None, process: Any = None
+    ) -> Entry:
+        """Blocking destructive read.  Raises on denial (see :meth:`rd`)."""
+        decision_result = self._guarded(process, "in", (template,), lambda: True)
+        if isinstance(decision_result, DeniedResult):
+            raise AccessDeniedError(decision_result.reason, process=process, operation="in")
+        return self._space.in_(template, timeout=timeout)
+
+    def cas(
+        self, template: Template, entry: Entry, *, process: Any = None
+    ) -> tuple[Any, Optional[Entry]]:
+        """Conditional atomic swap.
+
+        Returns ``(True, None)`` when the entry was inserted,
+        ``(False, match)`` when a match pre-existed, and
+        ``(DeniedResult, None)`` (falsy first element) when the policy
+        denied the invocation.
+        """
+        result = self._guarded(
+            process, "cas", (template, entry), lambda: self._space.cas(template, entry)
+        )
+        if isinstance(result, DeniedResult):
+            return result, None
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection (not policy mediated — used by tests and benchmarks;
+    # a real deployment would restrict this to the service administrator).
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        return self._space.snapshot()
+
+    def size_bits(self) -> int:
+        """Total bits stored in the space (experiment E1 accounting)."""
+        return sum(stored.size_bits() for stored in self.snapshot())
+
+    def bind(self, process: Any) -> "ProcessBoundPEATS":
+        """Return a view through which ``process`` issues its operations."""
+        return ProcessBoundPEATS(self, process)
+
+    def __len__(self) -> int:
+        return len(self.snapshot())
+
+    def __repr__(self) -> str:
+        return f"PEATS(policy={self.policy.name!r}, size={len(self)})"
+
+
+class ProcessBoundPEATS(TupleSpaceInterface):
+    """Per-process view of a :class:`PEATS`.
+
+    Implements :class:`~repro.tspace.interface.TupleSpaceInterface`, so the
+    consensus algorithms and universal constructions — written against that
+    interface — can run over a policy-enforced space without carrying the
+    invoker identity themselves.
+    """
+
+    def __init__(self, peats: PEATS, process: Any) -> None:
+        self._peats = peats
+        self._process = process
+
+    @property
+    def process(self) -> Any:
+        return self._process
+
+    @property
+    def peats(self) -> PEATS:
+        return self._peats
+
+    def out(self, entry: Entry) -> Any:
+        return self._peats.out(entry, process=self._process)
+
+    def rdp(self, template: Template) -> Optional[Entry]:
+        return self._peats.rdp(template, process=self._process)
+
+    def inp(self, template: Template) -> Optional[Entry]:
+        return self._peats.inp(template, process=self._process)
+
+    def rd(self, template: Template, *, timeout: float | None = None) -> Entry:
+        return self._peats.rd(template, timeout=timeout, process=self._process)
+
+    def in_(self, template: Template, *, timeout: float | None = None) -> Entry:
+        return self._peats.in_(template, timeout=timeout, process=self._process)
+
+    def cas(self, template: Template, entry: Entry) -> tuple[Any, Optional[Entry]]:
+        return self._peats.cas(template, entry, process=self._process)
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        return self._peats.snapshot()
+
+    def __repr__(self) -> str:
+        return f"ProcessBoundPEATS(process={self._process!r})"

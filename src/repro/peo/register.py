@@ -1,0 +1,75 @@
+"""The policy-enforced monotonic register of Fig. 1.
+
+The register illustrates the PEO model on the simplest possible object:
+anyone may read; only the processes listed as writers may write, and only
+values strictly greater than the current value.  The object is linearizable
+(its operations are serialised by the PEO lock) and wait-free (operations
+never block).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Hashable
+
+from repro.peo.base import PolicyEnforcedObject
+from repro.policy.library import monotonic_register_policy
+from repro.policy.policy import AccessPolicy
+from repro.tspace.history import HistoryRecorder
+
+__all__ = ["PolicyEnforcedRegister"]
+
+
+class PolicyEnforcedRegister(PolicyEnforcedObject):
+    """A numeric atomic register in which values can only grow.
+
+    Parameters
+    ----------
+    writers:
+        Processes allowed to write (the ACL part of Fig. 1's ``Rwrite``).
+    initial:
+        Initial register value (defaults to 0).
+    policy:
+        Optional custom policy; defaults to the Fig. 1 policy over
+        ``writers``.  Supplying a custom policy is how the tests build
+        attack variants (e.g. a policy with no write restriction).
+    """
+
+    def __init__(
+        self,
+        writers: Collection[Hashable],
+        *,
+        initial: Any = 0,
+        policy: AccessPolicy | None = None,
+        history: HistoryRecorder | None = None,
+        raise_on_deny: bool = False,
+    ) -> None:
+        super().__init__(
+            policy if policy is not None else monotonic_register_policy(writers),
+            history=history,
+            raise_on_deny=raise_on_deny,
+        )
+        self._value = initial
+
+    def _policy_state(self) -> Any:
+        return self._value
+
+    def read(self, *, process: Any = None) -> Any:
+        """Read the current value (allowed for every process by ``Rread``)."""
+        return self._guarded(process, "read", (), lambda: self._value)
+
+    def write(self, value: Any, *, process: Any = None) -> Any:
+        """Write ``value`` if the invoker may and the value increases."""
+
+        def execute() -> bool:
+            self._value = value
+            return True
+
+        return self._guarded(process, "write", (value,), execute)
+
+    @property
+    def value(self) -> Any:
+        """Unprotected view of the current value (for tests/diagnostics)."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"PolicyEnforcedRegister(value={self._value!r})"

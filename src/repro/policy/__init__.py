@@ -1,0 +1,78 @@
+"""Fine-grained access policies and the reference monitor (Section 3).
+
+A policy is a set of :class:`Rule` objects.  Each rule names the operation
+it governs and carries a condition — an expression over the *invocation*
+(who invoked, which operation, with which arguments) and the *current state*
+of the protected object.  The reference monitor grants an invocation iff
+some rule for that operation evaluates to true; anything else is denied
+(fail-safe defaults).
+
+The canonical policies of the paper's figures are provided ready-made in
+:mod:`repro.policy.library`:
+
+===========================  =====================================================
+Figure                       Constructor
+===========================  =====================================================
+Fig. 1 (monotonic register)  :func:`monotonic_register_policy`
+Fig. 3 (weak consensus)      :func:`weak_consensus_policy`
+Fig. 4 (strong consensus)    :func:`strong_consensus_policy`
+Fig. 5 (default consensus)   :func:`default_consensus_policy`
+Fig. 7 (lock-free universal) :func:`lock_free_universal_policy`
+Fig. 8 (wait-free universal) :func:`wait_free_universal_policy`
+===========================  =====================================================
+"""
+
+from repro.policy.expressions import (
+    Condition,
+    all_of,
+    any_of,
+    arg,
+    arg_count_is,
+    invoker,
+    invoker_in,
+    is_entry,
+    is_formal,
+    is_template,
+    lift,
+    negate,
+    state,
+)
+from repro.policy.invocation import Invocation
+from repro.policy.library import (
+    default_consensus_policy,
+    lock_free_universal_policy,
+    monotonic_register_policy,
+    strong_consensus_policy,
+    wait_free_universal_policy,
+    weak_consensus_policy,
+)
+from repro.policy.monitor import Decision, ReferenceMonitor
+from repro.policy.policy import AccessPolicy
+from repro.policy.rules import Rule
+
+__all__ = [
+    "Invocation",
+    "Rule",
+    "AccessPolicy",
+    "ReferenceMonitor",
+    "Decision",
+    "Condition",
+    "lift",
+    "all_of",
+    "any_of",
+    "negate",
+    "invoker",
+    "invoker_in",
+    "arg",
+    "arg_count_is",
+    "is_formal",
+    "is_entry",
+    "is_template",
+    "state",
+    "monotonic_register_policy",
+    "weak_consensus_policy",
+    "strong_consensus_policy",
+    "default_consensus_policy",
+    "lock_free_universal_policy",
+    "wait_free_universal_policy",
+]

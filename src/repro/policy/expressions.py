@@ -1,0 +1,171 @@
+"""A small combinator DSL for rule conditions.
+
+A :class:`Condition` is a named, composable predicate over an
+:class:`~repro.policy.invocation.Invocation` and the state of the protected
+object.  Conditions support ``&``, ``|`` and ``~`` so policies read close
+to the logical expressions of the paper's figures::
+
+    Rwrite = Rule(
+        "Rwrite",
+        "write",
+        invoker_in({"p1", "p2", "p3"}) & lift("v > r", lambda inv, st: inv.argument(0) > st),
+    )
+
+Any plain callable ``(invocation, state) -> bool`` can be lifted into a
+condition with :func:`lift`; the helpers below cover the recurring shapes
+(who invoked, argument inspection, formal-field tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Collection, Iterable
+
+from repro.errors import PolicyEvaluationError
+from repro.tuples import Entry, Formal, Template
+
+__all__ = [
+    "Condition",
+    "lift",
+    "all_of",
+    "any_of",
+    "negate",
+    "always",
+    "never",
+    "invoker",
+    "invoker_in",
+    "arg",
+    "arg_count_is",
+    "is_formal",
+    "is_entry",
+    "is_template",
+    "state",
+]
+
+Predicate = Callable[["Invocation", Any], bool]  # noqa: F821 - documented type alias
+
+
+class Condition:
+    """A named predicate over (invocation, state) supporting ``&``, ``|``, ``~``."""
+
+    def __init__(self, description: str, predicate: Callable[[Any, Any], bool]):
+        self._description = description
+        self._predicate = predicate
+
+    @property
+    def description(self) -> str:
+        return self._description
+
+    def evaluate(self, invocation: Any, state: Any) -> bool:
+        """Evaluate the condition; evaluation errors become PolicyEvaluationError."""
+        try:
+            return bool(self._predicate(invocation, state))
+        except PolicyEvaluationError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - converted to a library error
+            raise PolicyEvaluationError(
+                f"error evaluating condition {self._description!r}: {exc}"
+            ) from exc
+
+    def __call__(self, invocation: Any, state: Any) -> bool:
+        return self.evaluate(invocation, state)
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return Condition(
+            f"({self._description} AND {other.description})",
+            lambda inv, st: self.evaluate(inv, st) and other.evaluate(inv, st),
+        )
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Condition(
+            f"({self._description} OR {other.description})",
+            lambda inv, st: self.evaluate(inv, st) or other.evaluate(inv, st),
+        )
+
+    def __invert__(self) -> "Condition":
+        return Condition(
+            f"(NOT {self._description})",
+            lambda inv, st: not self.evaluate(inv, st),
+        )
+
+    def __repr__(self) -> str:
+        return f"Condition({self._description})"
+
+
+def lift(description: str, predicate: Callable[[Any, Any], bool]) -> Condition:
+    """Turn a plain ``(invocation, state) -> bool`` callable into a Condition."""
+    return Condition(description, predicate)
+
+
+def all_of(conditions: Iterable[Condition]) -> Condition:
+    """Conjunction of several conditions (true when the iterable is empty)."""
+    materialised = list(conditions)
+    description = " AND ".join(c.description for c in materialised) or "true"
+    return Condition(
+        f"({description})",
+        lambda inv, st: all(c.evaluate(inv, st) for c in materialised),
+    )
+
+
+def any_of(conditions: Iterable[Condition]) -> Condition:
+    """Disjunction of several conditions (false when the iterable is empty)."""
+    materialised = list(conditions)
+    description = " OR ".join(c.description for c in materialised) or "false"
+    return Condition(
+        f"({description})",
+        lambda inv, st: any(c.evaluate(inv, st) for c in materialised),
+    )
+
+
+def negate(condition: Condition) -> Condition:
+    """Logical negation (same as ``~condition``)."""
+    return ~condition
+
+
+always = Condition("always", lambda inv, st: True)
+never = Condition("never", lambda inv, st: False)
+
+
+def invoker(process: Any) -> Condition:
+    """True when the invoking process equals ``process``."""
+    return Condition(f"invoker == {process!r}", lambda inv, st: inv.process == process)
+
+
+def invoker_in(processes: Collection[Any]) -> Condition:
+    """True when the invoking process is a member of ``processes``."""
+    frozen = frozenset(processes)
+    return Condition(f"invoker in {sorted(map(repr, frozen))}", lambda inv, st: inv.process in frozen)
+
+
+def arg(index: int, predicate: Callable[[Any], bool], description: str | None = None) -> Condition:
+    """True when argument ``index`` exists and satisfies ``predicate``."""
+    text = description or f"arg[{index}] satisfies {getattr(predicate, '__name__', 'predicate')}"
+    return Condition(
+        text,
+        lambda inv, st: inv.arity > index and predicate(inv.arguments[index]),
+    )
+
+
+def arg_count_is(count: int) -> Condition:
+    """True when the invocation has exactly ``count`` arguments."""
+    return Condition(f"arity == {count}", lambda inv, st: inv.arity == count)
+
+
+def is_formal(value: Any) -> bool:
+    """The ``formal(x)`` predicate of the paper: is ``value`` a formal field?"""
+    return isinstance(value, Formal)
+
+
+def is_entry(value: Any) -> bool:
+    """True when ``value`` is a fully-defined tuple (an :class:`Entry`)."""
+    return isinstance(value, Entry)
+
+
+def is_template(value: Any) -> bool:
+    """True when ``value`` is a :class:`Template`."""
+    return isinstance(value, Template)
+
+
+def state(predicate: Callable[[Any], bool], description: str | None = None) -> Condition:
+    """True when the protected object's current state satisfies ``predicate``."""
+    text = description or f"state satisfies {getattr(predicate, '__name__', 'predicate')}"
+    return Condition(text, lambda inv, st: predicate(st))

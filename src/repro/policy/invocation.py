@@ -1,0 +1,51 @@
+"""Invocations: what the reference monitor sees.
+
+``invoke(p, op)`` in the paper carries the invoker identity, the operation
+name and its arguments.  The monitor additionally receives the current
+state of the protected object, which is *not* part of the invocation — it
+is looked up at evaluation time — so the invocation object stays a plain
+immutable value that can be logged, serialised and replayed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+__all__ = ["Invocation"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Invocation:
+    """An operation invocation as seen by the reference monitor.
+
+    Attributes
+    ----------
+    process:
+        Identifier of the invoking process.  The model assumes authenticated
+        access (Section 2.1): a faulty process cannot impersonate a correct
+        one, so this field is trustworthy.
+    operation:
+        Name of the invoked operation (``"out"``, ``"rdp"``, ``"cas"``,
+        ``"write"``, ...).
+    arguments:
+        Positional arguments of the invocation, as a tuple.
+    """
+
+    process: Any
+    operation: str
+    arguments: tuple = ()
+
+    def argument(self, index: int, default: Any = None) -> Any:
+        """Return the argument at ``index`` or ``default`` if absent."""
+        if 0 <= index < len(self.arguments):
+            return self.arguments[index]
+        return default
+
+    @property
+    def arity(self) -> int:
+        return len(self.arguments)
+
+    def __str__(self) -> str:
+        args = ", ".join(repr(a) for a in self.arguments)
+        return f"invoke({self.process!r}, {self.operation}({args}))"

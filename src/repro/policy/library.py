@@ -1,0 +1,578 @@
+"""The canonical access policies of the paper's figures.
+
+Each constructor returns an :class:`~repro.policy.policy.AccessPolicy` whose
+rules transcribe the logical expressions of the corresponding figure.  The
+"state" handed to PEATS policies is the underlying tuple space (anything
+with ``rdp``/``snapshot``), so conditions can ask "is there a tuple matching
+this template in TS?" exactly like the ``∃/∄ ... ∈ TS`` clauses of the
+figures.
+
+Conventions shared with the algorithm implementations
+------------------------------------------------------
+
+* Tuple names are the strings ``"DECISION"``, ``"PROPOSE"``, ``"SEQ"`` and
+  ``"ANN"``.
+* Process identifiers are arbitrary hashable values; the constructors that
+  need the notion of *who may participate* take the set (or ordered list)
+  of processes.
+* The wait-free universal construction identifies the preferred process for
+  position ``pos`` as the process whose *index* is ``pos mod n``; its
+  policy therefore takes an **ordered** sequence of processes and ``ANN``
+  tuples carry the process index.
+* Set-valued tuple fields (the justification sets of Figs. 4 and 5) are
+  ``frozenset`` instances so that entries stay hashable.
+* The default-consensus bottom value ``⊥`` is :data:`BOTTOM`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Hashable, Mapping, Sequence
+
+from repro.policy.expressions import Condition, is_formal, lift
+from repro.policy.invocation import Invocation
+from repro.policy.policy import AccessPolicy
+from repro.policy.rules import Rule
+from repro.tuples import ANY, Entry, Formal, Template, is_defined, template
+
+__all__ = [
+    "BOTTOM",
+    "DECISION",
+    "PROPOSE",
+    "SEQ",
+    "ANN",
+    "monotonic_register_policy",
+    "weak_consensus_policy",
+    "strong_consensus_policy",
+    "default_consensus_policy",
+    "lock_free_universal_policy",
+    "wait_free_universal_policy",
+]
+
+# Tuple-name constants used across the algorithms.
+DECISION = "DECISION"
+PROPOSE = "PROPOSE"
+SEQ = "SEQ"
+ANN = "ANN"
+
+
+class _Bottom:
+    """Singleton default value ``⊥`` of the default multivalued consensus."""
+
+    _instance: "_Bottom | None" = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "BOTTOM"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Bottom)
+
+    def __hash__(self) -> int:
+        return hash("repro.policy.BOTTOM")
+
+    def __reduce__(self):
+        return (_Bottom, ())
+
+
+BOTTOM = _Bottom()
+
+
+# ----------------------------------------------------------------------
+# Helpers shared by the PEATS policies.
+# ----------------------------------------------------------------------
+
+
+def _exists(space_state: Any, pattern: Template) -> bool:
+    """``∃ tuple ∈ TS`` matching ``pattern``."""
+    return space_state.rdp(pattern) is not None
+
+
+def _is_entry_named(value: Any, name: str, arity: int) -> bool:
+    return isinstance(value, Entry) and value.arity == arity and value.fields[0] == name
+
+
+def _is_template_named(value: Any, name: str, arity: int) -> bool:
+    return isinstance(value, Template) and value.arity == arity and value.fields[0] == name
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 — policy-enforced monotonic register.
+# ----------------------------------------------------------------------
+
+
+def monotonic_register_policy(writers: Collection[Hashable]) -> AccessPolicy:
+    """Access policy of Fig. 1: anyone may read; only ``writers`` may write
+    and only values strictly greater than the current register value.
+
+    The protected object state is the register's current value.
+    """
+    frozen_writers = frozenset(writers)
+
+    def write_condition(invocation: Invocation, current_value: Any) -> bool:
+        if invocation.process not in frozen_writers:
+            return False
+        if invocation.arity != 1:
+            return False
+        new_value = invocation.arguments[0]
+        return new_value > current_value
+
+    return AccessPolicy(
+        [
+            Rule("Rread", "read"),
+            Rule(
+                "Rwrite",
+                "write",
+                Condition("p in writers AND v > r", write_condition),
+            ),
+        ],
+        name="monotonic-register",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — weak consensus (Algorithm 1).
+# ----------------------------------------------------------------------
+
+
+def weak_consensus_policy() -> AccessPolicy:
+    """Access policy of Fig. 3.
+
+    Only ``cas`` is allowed; the template must be ``⟨DECISION, x⟩`` with
+    ``x`` formal and the entry must be ``⟨DECISION, v⟩``.  Because no read
+    or removal rule exists, the DECISION tuple can be inserted only once
+    and never removed — the PEATS behaves as a persistent object.
+    """
+
+    def cas_condition(invocation: Invocation, space_state: Any) -> bool:
+        if invocation.arity != 2:
+            return False
+        pattern, new_entry = invocation.arguments
+        if not _is_template_named(pattern, DECISION, 2):
+            return False
+        if not is_formal(pattern.fields[1]):
+            return False
+        if not _is_entry_named(new_entry, DECISION, 2):
+            return False
+        return True
+
+    return AccessPolicy(
+        [
+            Rule(
+                "Rcas",
+                "cas",
+                Condition(
+                    "cas(<DECISION, x>, <DECISION, v>) AND formal(x)", cas_condition
+                ),
+            )
+        ],
+        name="weak-consensus",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — strong (binary / k-valued) consensus (Algorithm 2).
+# ----------------------------------------------------------------------
+
+
+def strong_consensus_policy(
+    processes: Collection[Hashable],
+    t: int,
+    *,
+    values: Collection[Any] | None = (0, 1),
+) -> AccessPolicy:
+    """Access policy of Fig. 4.
+
+    Parameters
+    ----------
+    processes:
+        The set ``P`` of participating processes (needed so the policy can
+        reject PROPOSE tuples signed with identities outside the system and
+        justification sets containing unknown processes).
+    t:
+        Maximum number of Byzantine processes tolerated.  A DECISION tuple
+        may only be inserted when its value is justified by proposals of at
+        least ``t + 1`` distinct processes.
+    values:
+        The value domain ``V``.  Defaults to binary ``{0, 1}``; pass a
+        larger collection for k-valued consensus, or ``None`` to accept any
+        proposal value (the policy then only enforces the ``t + 1``
+        justification).
+    """
+    frozen_processes = frozenset(processes)
+    frozen_values = None if values is None else frozenset(values)
+
+    def rd_condition(invocation: Invocation, space_state: Any) -> bool:
+        return invocation.arity == 1 and isinstance(invocation.arguments[0], (Template, Entry))
+
+    def out_condition(invocation: Invocation, space_state: Any) -> bool:
+        if invocation.arity != 1:
+            return False
+        new_entry = invocation.arguments[0]
+        if not _is_entry_named(new_entry, PROPOSE, 3):
+            return False
+        _, proposer, value = new_entry.fields
+        # The proposer field must be the authenticated invoker itself.
+        if proposer != invocation.process or proposer not in frozen_processes:
+            return False
+        if frozen_values is not None and value not in frozen_values:
+            return False
+        # Each process may introduce at most one PROPOSE entry.
+        return not _exists(space_state, template(PROPOSE, proposer, ANY))
+
+    def cas_condition(invocation: Invocation, space_state: Any) -> bool:
+        if invocation.arity != 2:
+            return False
+        pattern, new_entry = invocation.arguments
+        if not _is_template_named(pattern, DECISION, 3):
+            return False
+        if not is_formal(pattern.fields[1]):
+            return False
+        if not _is_entry_named(new_entry, DECISION, 3):
+            return False
+        _, value, justification = new_entry.fields
+        if frozen_values is not None and value not in frozen_values:
+            return False
+        if not isinstance(justification, frozenset):
+            return False
+        if len(justification) < t + 1:
+            return False
+        if not justification <= frozen_processes:
+            return False
+        # Every member of the justification set must have a PROPOSE tuple
+        # for the decision value in the space.
+        return all(
+            _exists(space_state, template(PROPOSE, member, value))
+            for member in justification
+        )
+
+    return AccessPolicy(
+        [
+            Rule("Rrd", "rdp", Condition("any read", rd_condition)),
+            Rule("Rrd_blocking", "rd", Condition("any read", rd_condition)),
+            Rule(
+                "Rout",
+                "out",
+                Condition(
+                    "out(<PROPOSE, p, v>) AND p == invoker AND no prior proposal by p",
+                    out_condition,
+                ),
+            ),
+            Rule(
+                "Rcas",
+                "cas",
+                Condition(
+                    "cas(<DECISION, x, *>, <DECISION, v, S>) AND formal(x) AND "
+                    "|S| >= t+1 AND ∀q ∈ S: <PROPOSE, q, v> ∈ TS",
+                    cas_condition,
+                ),
+            ),
+        ],
+        name="strong-consensus",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 — default multivalued consensus.
+# ----------------------------------------------------------------------
+
+
+def default_consensus_policy(
+    processes: Collection[Hashable],
+    t: int,
+    *,
+    values: Collection[Any] | None = None,
+) -> AccessPolicy:
+    """Access policy of Fig. 5 (default multivalued consensus).
+
+    Differences from the strong-consensus policy:
+
+    * proposed values must be different from ``⊥`` (:data:`BOTTOM`);
+    * a DECISION tuple carrying ``⊥`` may be inserted only when its third
+      field proves that the inserter observed ``n - t`` proposals and no
+      value reached ``t + 1`` proposals.  The proof is a frozenset of
+      ``(value, frozenset_of_processes)`` pairs.
+    """
+    frozen_processes = frozenset(processes)
+    n = len(frozen_processes)
+    frozen_values = None if values is None else frozenset(values)
+
+    def rd_condition(invocation: Invocation, space_state: Any) -> bool:
+        return invocation.arity == 1 and isinstance(invocation.arguments[0], (Template, Entry))
+
+    def out_condition(invocation: Invocation, space_state: Any) -> bool:
+        if invocation.arity != 1:
+            return False
+        new_entry = invocation.arguments[0]
+        if not _is_entry_named(new_entry, PROPOSE, 3):
+            return False
+        _, proposer, value = new_entry.fields
+        if proposer != invocation.process or proposer not in frozen_processes:
+            return False
+        if value == BOTTOM:
+            return False
+        if frozen_values is not None and value not in frozen_values:
+            return False
+        return not _exists(space_state, template(PROPOSE, proposer, ANY))
+
+    def _valid_value_decision(value: Any, justification: Any, space_state: Any) -> bool:
+        if not isinstance(justification, frozenset):
+            return False
+        if len(justification) < t + 1:
+            return False
+        if not justification <= frozen_processes:
+            return False
+        return all(
+            _exists(space_state, template(PROPOSE, member, value))
+            for member in justification
+        )
+
+    def _valid_bottom_decision(proof: Any, space_state: Any) -> bool:
+        # ``proof`` must be a frozenset of (value, frozenset(processes)) pairs.
+        if not isinstance(proof, frozenset):
+            return False
+        union: set[Hashable] = set()
+        seen_values: set[Any] = set()
+        for item in proof:
+            if not (isinstance(item, tuple) and len(item) == 2):
+                return False
+            value, group = item
+            if value == BOTTOM:
+                return False
+            if value in seen_values:
+                return False
+            seen_values.add(value)
+            if not isinstance(group, frozenset) or not group:
+                return False
+            # Condition 2 of Rcas: no set S_v may have more than t members.
+            if len(group) > t:
+                return False
+            if not group <= frozen_processes:
+                return False
+            # Condition 3: every listed process really proposed that value.
+            for member in group:
+                if not _exists(space_state, template(PROPOSE, member, value)):
+                    return False
+            if union & group:
+                # A process may appear in at most one S_v (it proposed once).
+                return False
+            union |= group
+        # Condition 1: at least n - t processes are covered.
+        return len(union) >= n - t
+
+    def cas_condition(invocation: Invocation, space_state: Any) -> bool:
+        if invocation.arity != 2:
+            return False
+        pattern, new_entry = invocation.arguments
+        if not _is_template_named(pattern, DECISION, 3):
+            return False
+        if not is_formal(pattern.fields[1]):
+            return False
+        if not _is_entry_named(new_entry, DECISION, 3):
+            return False
+        _, value, third = new_entry.fields
+        if value == BOTTOM:
+            return _valid_bottom_decision(third, space_state)
+        if frozen_values is not None and value not in frozen_values:
+            return False
+        return _valid_value_decision(value, third, space_state)
+
+    return AccessPolicy(
+        [
+            Rule("Rrd", "rdp", Condition("any read", rd_condition)),
+            Rule("Rrd_blocking", "rd", Condition("any read", rd_condition)),
+            Rule(
+                "Rout",
+                "out",
+                Condition(
+                    "out(<PROPOSE, p, v>) AND v != BOTTOM AND p == invoker AND "
+                    "no prior proposal by p",
+                    out_condition,
+                ),
+            ),
+            Rule(
+                "Rcas",
+                "cas",
+                Condition(
+                    "decision justified by t+1 proposals, or BOTTOM justified by "
+                    "n-t proposals with no value reaching t+1",
+                    cas_condition,
+                ),
+            ),
+        ],
+        name="default-consensus",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — lock-free universal construction (Algorithm 3).
+# ----------------------------------------------------------------------
+
+
+def lock_free_universal_policy() -> AccessPolicy:
+    """Access policy of Fig. 7.
+
+    Reads are allowed (the construction replays the SEQ list) and SEQ tuples
+    may only be appended contiguously: a tuple at position ``pos`` requires
+    a tuple at ``pos - 1`` unless ``pos == 1``.
+    """
+
+    def rd_condition(invocation: Invocation, space_state: Any) -> bool:
+        return invocation.arity == 1 and isinstance(invocation.arguments[0], (Template, Entry))
+
+    def cas_condition(invocation: Invocation, space_state: Any) -> bool:
+        if invocation.arity != 2:
+            return False
+        pattern, new_entry = invocation.arguments
+        if not _is_template_named(pattern, SEQ, 3):
+            return False
+        if not _is_entry_named(new_entry, SEQ, 3):
+            return False
+        pos_template = pattern.fields[1]
+        pos_entry = new_entry.fields[1]
+        if not isinstance(pos_entry, int) or isinstance(pos_entry, bool) or pos_entry < 1:
+            return False
+        # The template and entry must talk about the same position and the
+        # template's invocation field must be formal.
+        if pos_template != pos_entry:
+            return False
+        if not is_formal(pattern.fields[2]):
+            return False
+        if pos_entry == 1:
+            return True
+        return _exists(space_state, template(SEQ, pos_entry - 1, ANY))
+
+    return AccessPolicy(
+        [
+            Rule("Rrd", "rdp", Condition("any read", rd_condition)),
+            Rule("Rrd_blocking", "rd", Condition("any read", rd_condition)),
+            Rule(
+                "Rcas",
+                "cas",
+                Condition(
+                    "cas(<SEQ, pos, x>, <SEQ, pos, inv>) AND formal(x) AND "
+                    "(pos == 1 OR <SEQ, pos-1, *> ∈ TS)",
+                    cas_condition,
+                ),
+            ),
+        ],
+        name="lock-free-universal",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — wait-free universal construction (Algorithm 4).
+# ----------------------------------------------------------------------
+
+
+def wait_free_universal_policy(processes: Sequence[Hashable]) -> AccessPolicy:
+    """Access policy of Fig. 8.
+
+    ``processes`` is an **ordered** sequence; the index of a process in it
+    is the identity used in ANN tuples and in the ``pos mod n`` preferred
+    process computation.
+
+    Rules (transcribing the figure):
+
+    * ``Rout``  — a process may announce only its own invocation:
+      ``out(<ANN, i, inv>)`` requires ``i == index(invoker)``.
+    * ``Rinp``  — a process may remove only its own announcement.
+    * ``Rrd``   — reads are allowed.
+    * ``Rcas``  — SEQ tuples must be appended contiguously, and the helping
+      mechanism is respected: the insertion for position ``pos`` is allowed
+      only if the preferred process (index ``pos mod n``) has not announced,
+      or its announced invocation is already threaded, or the tuple being
+      inserted carries exactly that announced invocation.
+    """
+    ordered = list(processes)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("wait_free_universal_policy requires at least one process")
+    index_of: Mapping[Hashable, int] = {p: i for i, p in enumerate(ordered)}
+    if len(index_of) != n:
+        raise ValueError("process identifiers must be unique")
+
+    def rd_condition(invocation: Invocation, space_state: Any) -> bool:
+        return invocation.arity == 1 and isinstance(invocation.arguments[0], (Template, Entry))
+
+    def out_condition(invocation: Invocation, space_state: Any) -> bool:
+        if invocation.arity != 1:
+            return False
+        new_entry = invocation.arguments[0]
+        if not _is_entry_named(new_entry, ANN, 3):
+            return False
+        announced_index = new_entry.fields[1]
+        return index_of.get(invocation.process) == announced_index
+
+    def inp_condition(invocation: Invocation, space_state: Any) -> bool:
+        if invocation.arity != 1:
+            return False
+        pattern = invocation.arguments[0]
+        if not isinstance(pattern, (Template, Entry)) or pattern.arity != 3:
+            return False
+        if pattern.fields[0] != ANN:
+            return False
+        announced_index = pattern.fields[1]
+        if not is_defined(announced_index):
+            return False
+        return index_of.get(invocation.process) == announced_index
+
+    def cas_condition(invocation: Invocation, space_state: Any) -> bool:
+        if invocation.arity != 2:
+            return False
+        pattern, new_entry = invocation.arguments
+        if not _is_template_named(pattern, SEQ, 3):
+            return False
+        if not _is_entry_named(new_entry, SEQ, 3):
+            return False
+        pos_template = pattern.fields[1]
+        pos_entry = new_entry.fields[1]
+        if not isinstance(pos_entry, int) or isinstance(pos_entry, bool) or pos_entry < 1:
+            return False
+        if pos_template != pos_entry:
+            return False
+        if not is_formal(pattern.fields[2]):
+            return False
+        if pos_entry > 1 and not _exists(space_state, template(SEQ, pos_entry - 1, ANY)):
+            return False
+        preferred_index = pos_entry % n
+        threaded_invocation = new_entry.fields[2]
+        announced = space_state.rdp(template(ANN, preferred_index, ANY))
+        if announced is None:
+            # Condition 1: the preferred process has not announced anything.
+            return True
+        announced_invocation = announced.fields[2]
+        if _exists(space_state, template(SEQ, ANY, announced_invocation)):
+            # Condition 2: the announced invocation is already threaded.
+            return True
+        # Condition 3: the invocation being threaded is the announced one.
+        return threaded_invocation == announced_invocation
+
+    return AccessPolicy(
+        [
+            Rule("Rrd", "rdp", Condition("any read", rd_condition)),
+            Rule("Rrd_blocking", "rd", Condition("any read", rd_condition)),
+            Rule(
+                "Rout",
+                "out",
+                Condition("out(<ANN, i, inv>) AND i == index(invoker)", out_condition),
+            ),
+            Rule(
+                "Rinp",
+                "inp",
+                Condition("inp(<ANN, i, *>) AND i == index(invoker)", inp_condition),
+            ),
+            Rule(
+                "Rcas",
+                "cas",
+                Condition(
+                    "contiguous SEQ append AND helping mechanism respected",
+                    cas_condition,
+                ),
+            ),
+        ],
+        name="wait-free-universal",
+    )

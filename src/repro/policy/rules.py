@@ -1,0 +1,71 @@
+"""Access rules.
+
+A rule is an *invocation pattern* (which operation it talks about, and how
+many arguments the invocation must carry) plus a *condition* over the
+invocation and the object state.  The rule applies to an invocation when
+the pattern matches; it grants the invocation when its condition holds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.policy.expressions import Condition, always
+from repro.policy.invocation import Invocation
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """A single access-policy rule.
+
+    Parameters
+    ----------
+    name:
+        Human-readable rule name, e.g. ``"Rcas"`` (used in decisions/logs).
+    operation:
+        Name of the operation the rule governs, e.g. ``"cas"``.  A rule
+        never applies to invocations of other operations.
+    condition:
+        A :class:`~repro.policy.expressions.Condition` (or any callable
+        ``(invocation, state) -> bool``).  Defaults to *always allow*.
+    arity:
+        Optional exact number of arguments the invocation must carry for
+        the rule to apply.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        operation: str,
+        condition: Condition | Callable[[Invocation, Any], bool] | None = None,
+        *,
+        arity: int | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("rule name must be non-empty")
+        if not operation:
+            raise ValueError("rule operation must be non-empty")
+        self.name = name
+        self.operation = operation
+        if condition is None:
+            condition = always
+        elif not isinstance(condition, Condition):
+            condition = Condition(getattr(condition, "__name__", "condition"), condition)
+        self.condition: Condition = condition
+        self.arity = arity
+
+    def applies_to(self, invocation: Invocation) -> bool:
+        """Whether the rule's invocation pattern matches ``invocation``."""
+        if invocation.operation != self.operation:
+            return False
+        if self.arity is not None and invocation.arity != self.arity:
+            return False
+        return True
+
+    def grants(self, invocation: Invocation, state: Any) -> bool:
+        """Whether the rule applies *and* its condition holds."""
+        return self.applies_to(invocation) and self.condition.evaluate(invocation, state)
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name}: {self.operation} if {self.condition.description})"

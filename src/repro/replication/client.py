@@ -1,0 +1,147 @@
+"""The client-side proxy of the replicated PEATS.
+
+A client broadcasts its request to every replica, then accepts the result
+as soon as ``f + 1`` replicas return byte-identical replies for it — with
+at most ``f`` faulty replicas, at least one of those replies comes from a
+correct replica, and since correct replicas are deterministic and execute
+requests in the same order, the matched value is the correct result.  This
+is the "basic voting protocol" of Section 4.
+
+The client drives the simulated network itself (the simulation is
+single-threaded): :meth:`invoke` keeps pumping events until the vote
+succeeds, retransmitting and nudging the replicas' view-change timers when
+the network goes quiet without an answer — exactly what a real client's
+retransmission timer achieves.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Hashable, Optional
+
+from repro.errors import QuorumError, ReplicationError
+from repro.replication.messages import ClientReply, ClientRequest
+from repro.replication.network import SimulatedNetwork
+
+__all__ = ["PEATSClient"]
+
+
+class PEATSClient:
+    """One authenticated client identity of the replicated PEATS."""
+
+    def __init__(
+        self,
+        client_id: Hashable,
+        replica_ids: tuple[Hashable, ...],
+        f: int,
+        network: SimulatedNetwork,
+        *,
+        nudge_timeouts: Any = None,
+        max_retransmissions: int = 20,
+    ) -> None:
+        self.client_id = client_id
+        self.replica_ids = tuple(replica_ids)
+        self.f = f
+        self.network = network
+        self._next_request_id = 0
+        self._replies: dict[tuple, dict[Hashable, ClientReply]] = collections.defaultdict(dict)
+        self._nudge_timeouts = nudge_timeouts
+        self._max_retransmissions = max_retransmissions
+        self._statistics = {"requests": 0, "retransmissions": 0, "mismatched_replies": 0}
+        network.register(self._address, self._on_message)
+
+    @property
+    def _address(self) -> Hashable:
+        # The client is registered on the network under its own identity:
+        # replicas address their replies to ``request.client``, and the
+        # reference monitor sees the same identifier — the authenticated
+        # channel ties the two together.
+        return self.client_id
+
+    @property
+    def statistics(self) -> dict[str, int]:
+        return dict(self._statistics)
+
+    # ------------------------------------------------------------------
+    # Network plumbing
+    # ------------------------------------------------------------------
+
+    def _on_message(self, sender: Hashable, payload: Any) -> None:
+        if not isinstance(payload, ClientReply):
+            return
+        if payload.replica != sender:
+            # A replica may only speak for itself on its authenticated link.
+            return
+        self._replies[payload.request_key][sender] = payload
+
+    def _voted_result(self, request_key: tuple) -> Optional[Any]:
+        """Return the result vouched for by ``f + 1`` matching replies."""
+        replies = self._replies.get(request_key, {})
+        tally: dict[str, list[ClientReply]] = collections.defaultdict(list)
+        for reply in replies.values():
+            tally[reply.result_digest].append(reply)
+        for matching in tally.values():
+            if len(matching) >= self.f + 1:
+                return matching[0].result
+        if len(replies) >= len(self.replica_ids):
+            self._statistics["mismatched_replies"] += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+
+    def invoke(self, operation: str, arguments: tuple) -> Any:
+        """Execute ``operation(*arguments)`` on the replicated PEATS.
+
+        Returns the deserialised result payload produced by
+        :class:`~repro.replication.replica.PEATSReplica` (an ``("OK", value)``
+        or ``(DENIED, reason)`` pair).
+        """
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        request = ClientRequest(
+            client=self.client_id,
+            request_id=request_id,
+            operation=operation,
+            arguments=arguments,
+        )
+        self._statistics["requests"] += 1
+        self.network.broadcast(self._address, self.replica_ids, request)
+
+        attempts = 0
+        while True:
+            self.network.run_until(lambda: self._voted_result(request.key) is not None)
+            result = self._voted_result(request.key)
+            if result is not None:
+                return result
+            attempts += 1
+            if attempts > self._max_retransmissions:
+                raise QuorumError(
+                    f"no f+1 matching replies for request {request.key} after "
+                    f"{attempts} retransmissions"
+                )
+            # The network went quiet without enough matching replies: nudge
+            # the replicas' view-change timers (simulating the passage of
+            # real time) and retransmit.
+            self._statistics["retransmissions"] += 1
+            self.network.advance_time(100.0)
+            if self._nudge_timeouts is not None:
+                self._nudge_timeouts()
+            self.network.broadcast(self._address, self.replica_ids, request)
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers used by ReplicatedPEATS views
+    # ------------------------------------------------------------------
+
+    def execute_tuple_operation(self, operation: str, arguments: tuple) -> Any:
+        """Invoke and unwrap a tuple-space operation.
+
+        Raises :class:`ReplicationError` on malformed replies; returns the
+        value for ``OK`` results and ``("DENIED", reason)`` markers as-is so
+        the caller can decide how to surface denials.
+        """
+        payload = self.invoke(operation, arguments)
+        if not isinstance(payload, tuple) or len(payload) != 2:
+            raise ReplicationError(f"malformed reply payload: {payload!r}")
+        return payload

@@ -1,0 +1,107 @@
+"""Protocol messages of the replicated PEATS.
+
+The message set follows the PBFT family (Castro & Liskov [3]) restricted to
+what the simulation needs: client requests and replies, the three ordering
+phases, and the view-change pair.  Messages are immutable dataclasses; the
+network layer wraps them in an authenticated envelope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Hashable, Mapping
+
+__all__ = [
+    "ClientRequest",
+    "ClientReply",
+    "PrePrepare",
+    "Prepare",
+    "Commit",
+    "ViewChange",
+    "NewView",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientRequest:
+    """An operation a client wants the replicated PEATS to execute.
+
+    ``operation``/``arguments`` describe the tuple-space invocation,
+    ``client`` is the authenticated client identity (the *process* the
+    reference monitor sees) and ``request_id`` makes retransmissions
+    idempotent.
+    """
+
+    client: Hashable
+    request_id: int
+    operation: str
+    arguments: tuple
+
+    @property
+    def key(self) -> tuple:
+        return (self.client, self.request_id)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientReply:
+    """A replica's reply to a client request."""
+
+    replica: Hashable
+    view: int
+    request_key: tuple
+    result_digest: str
+    result: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class PrePrepare:
+    """The primary's ordering proposal for one request."""
+
+    view: int
+    sequence: int
+    request_digest: str
+    request: ClientRequest
+    primary: Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class Prepare:
+    """A backup's agreement to the primary's proposal."""
+
+    view: int
+    sequence: int
+    request_digest: str
+    replica: Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class Commit:
+    """A replica's commitment to execute the request at the sequence number."""
+
+    view: int
+    sequence: int
+    request_digest: str
+    replica: Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class ViewChange:
+    """A replica's vote to move to ``new_view``.
+
+    ``prepared`` carries, per sequence number, the request that this
+    replica prepared in earlier views so the new primary can re-propose it.
+    """
+
+    new_view: int
+    replica: Hashable
+    last_executed: int
+    prepared: Mapping[int, ClientRequest]
+
+
+@dataclasses.dataclass(frozen=True)
+class NewView:
+    """The new primary's announcement that ``view`` has started."""
+
+    view: int
+    primary: Hashable
+    reproposals: Mapping[int, ClientRequest]

@@ -1,0 +1,225 @@
+"""A deterministic discrete-event message-passing network.
+
+The network is the asynchronous substrate of the Fig. 2 deployment.  Nodes
+(replicas and clients) register a handler; ``send``/``broadcast`` schedule
+deliveries at a future simulated time drawn from a seeded latency
+distribution, and :meth:`SimulatedNetwork.run` pumps the event queue.
+
+Fault injection hooks:
+
+* per-link drop probability (lossy channels);
+* partitions (pairs of nodes that temporarily cannot talk);
+* Byzantine senders may ask the network to tamper with a payload *en
+  route*, but the authenticated envelope means the receiver will reject it
+  — the network itself never forges MACs, mirroring the assumption that a
+  faulty process cannot impersonate a correct one.
+
+Everything is driven by one thread; determinism comes from the seeded RNG
+and the strict ``(time, sequence)`` ordering of the event queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Hashable, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.replication.crypto import KeyStore, MessageAuthenticator
+
+__all__ = ["NetworkConfig", "Envelope", "SimulatedNetwork"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkConfig:
+    """Tunable parameters of the simulated network."""
+
+    #: Mean one-way latency (simulated milliseconds).
+    mean_latency: float = 1.0
+    #: Latency jitter: each delivery adds U(0, jitter).
+    jitter: float = 0.5
+    #: Probability that a message is silently dropped.
+    drop_probability: float = 0.0
+    #: RNG seed (determinism).
+    seed: int = 42
+
+
+@dataclasses.dataclass(frozen=True)
+class Envelope:
+    """An authenticated message in flight."""
+
+    sender: Hashable
+    receiver: Hashable
+    payload: Any
+    mac: str
+
+
+class SimulatedNetwork:
+    """Discrete-event network with authenticated point-to-point channels."""
+
+    def __init__(self, config: NetworkConfig | None = None, *, keystore: KeyStore | None = None) -> None:
+        self._config = config or NetworkConfig()
+        self._rng = random.Random(self._config.seed)
+        self._authenticator = MessageAuthenticator(keystore or KeyStore())
+        self._handlers: dict[Hashable, Callable[[Hashable, Any], None]] = {}
+        self._queue: list[tuple[float, int, Envelope]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._partitioned: set[frozenset[Hashable]] = set()
+        self._delivered = 0
+        self._dropped = 0
+        self._rejected = 0
+        self._in_flight_tamper: dict[Hashable, Callable[[Any], Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+
+    def register(self, node: Hashable, handler: Callable[[Hashable, Any], None]) -> None:
+        """Attach ``node`` to the network with its message handler."""
+        if node in self._handlers:
+            raise SimulationError(f"node {node!r} is already registered")
+        self._handlers[node] = handler
+
+    def nodes(self) -> tuple[Hashable, ...]:
+        return tuple(self._handlers)
+
+    def partition(self, a: Hashable, b: Hashable) -> None:
+        """Cut the link between ``a`` and ``b`` (both directions)."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: Hashable, b: Hashable) -> None:
+        """Restore the link between ``a`` and ``b``."""
+        self._partitioned.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitioned.clear()
+
+    def set_tampering(self, sender: Hashable, tamper: Callable[[Any], Any] | None) -> None:
+        """Corrupt payloads sent by ``sender`` in flight (Byzantine link).
+
+        The MAC is computed over the original payload, so receivers detect
+        and reject the corruption; the hook exists to exercise that path.
+        """
+        if tamper is None:
+            self._in_flight_tamper.pop(sender, None)
+        else:
+            self._in_flight_tamper[sender] = tamper
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (milliseconds)."""
+        return self._now
+
+    def send(self, sender: Hashable, receiver: Hashable, payload: Any) -> None:
+        """Schedule the authenticated delivery of ``payload``."""
+        if receiver not in self._handlers:
+            raise SimulationError(f"unknown receiver {receiver!r}")
+        if frozenset((sender, receiver)) in self._partitioned:
+            self._dropped += 1
+            return
+        if self._config.drop_probability and self._rng.random() < self._config.drop_probability:
+            self._dropped += 1
+            return
+        mac = self._authenticator.mac(sender, receiver, payload)
+        if sender in self._in_flight_tamper:
+            payload = self._in_flight_tamper[sender](payload)
+        latency = self._config.mean_latency + self._rng.uniform(0, self._config.jitter)
+        deliver_at = self._now + max(latency, 0.001)
+        envelope = Envelope(sender=sender, receiver=receiver, payload=payload, mac=mac)
+        heapq.heappush(self._queue, (deliver_at, next(self._sequence), envelope))
+
+    def broadcast(self, sender: Hashable, receivers: Iterable[Hashable], payload: Any) -> None:
+        """Send ``payload`` to every receiver (independent deliveries)."""
+        for receiver in receivers:
+            if receiver != sender:
+                self.send(sender, receiver, payload)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Deliver the next scheduled message; returns False when idle."""
+        if not self._queue:
+            return False
+        deliver_at, _, envelope = heapq.heappop(self._queue)
+        self._now = max(self._now, deliver_at)
+        handler = self._handlers.get(envelope.receiver)
+        if handler is None:
+            self._dropped += 1
+            return True
+        if not self._authenticator.verify(
+            envelope.sender, envelope.receiver, envelope.payload, envelope.mac
+        ):
+            self._rejected += 1
+            return True
+        self._delivered += 1
+        handler(envelope.sender, envelope.payload)
+        return True
+
+    def run(self, *, max_events: int = 1_000_000) -> int:
+        """Pump events until the queue drains; returns the number delivered."""
+        events = 0
+        while self.step():
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"network did not quiesce after {max_events} events (livelock?)"
+                )
+        return events
+
+    def run_until(
+        self, condition: Callable[[], bool], *, max_events: int = 1_000_000
+    ) -> bool:
+        """Pump events until ``condition()`` holds or the queue drains."""
+        events = 0
+        while not condition():
+            if not self.step():
+                return condition()
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"condition not reached after {max_events} events"
+                )
+        return True
+
+    def advance_time(self, delta: float) -> None:
+        """Advance the simulated clock without delivering anything.
+
+        Used to trigger timeout-driven behaviour (view changes) when the
+        network is otherwise idle.
+        """
+        if delta < 0:
+            raise SimulationError("time cannot move backwards")
+        self._now += delta
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def statistics(self) -> dict[str, float]:
+        return {
+            "now": self._now,
+            "delivered": self._delivered,
+            "dropped": self._dropped,
+            "rejected": self._rejected,
+            "pending": len(self._queue),
+        }
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedNetwork(now={self._now:.3f}, pending={len(self._queue)}, "
+            f"delivered={self._delivered})"
+        )

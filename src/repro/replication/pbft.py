@@ -1,0 +1,465 @@
+"""A simplified PBFT-style total-order protocol for the PEATS replicas.
+
+The protocol follows the structure of Castro & Liskov's PBFT [3], which is
+the replica-coordination protocol the paper suggests for the Fig. 2
+deployment, simplified to what the simulation needs:
+
+* ``n = 3f + 1`` replicas, one of which is the *primary* of the current
+  view (``primary = view mod n``);
+* clients broadcast requests to every replica; the primary assigns sequence
+  numbers and multicasts ``PRE-PREPARE``; backups answer with ``PREPARE``;
+  once a replica has the pre-prepare and ``2f`` matching prepares it
+  multicasts ``COMMIT``; once it has ``2f + 1`` matching commits it
+  executes the request (in sequence order) on its local
+  :class:`~repro.replication.replica.PEATSReplica` and replies to the
+  client;
+* a backup that has buffered a request for longer than the view-change
+  timeout broadcasts ``VIEW-CHANGE``; on ``2f + 1`` view-change votes the
+  new primary installs the view with ``NEW-VIEW``, re-proposing every
+  request reported as prepared, and re-ordering the still-pending ones.
+
+Omissions relative to full PBFT — checkpoints / log garbage collection,
+MAC-vector authenticators (we use per-link HMACs provided by the network),
+and big-O optimisations — do not affect the properties the experiments
+measure (safety with ``f`` Byzantine replicas, liveness after the failure
+of a primary, request/reply message complexity).
+
+Byzantine replica behaviour is modelled with :class:`ReplicaFaultMode`:
+``CRASHED`` replicas go silent, ``MUTE`` ones execute but never send
+protocol messages, and ``LYING`` ones execute but return corrupted results
+to clients (caught by the client's ``f + 1`` matching-reply vote).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from repro.errors import QuorumError
+from repro.replication.crypto import digest
+from repro.replication.messages import (
+    ClientReply,
+    ClientRequest,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+)
+from repro.replication.network import SimulatedNetwork
+from repro.replication.replica import PEATSReplica
+
+__all__ = ["ReplicaFaultMode", "OrderingNode"]
+
+
+class ReplicaFaultMode(enum.Enum):
+    """Behaviour of a replica in the simulation."""
+
+    CORRECT = "correct"
+    CRASHED = "crashed"
+    MUTE = "mute"
+    LYING = "lying"
+
+
+class OrderingNode:
+    """One replica of the replicated PEATS: ordering layer + application."""
+
+    def __init__(
+        self,
+        replica_id: Hashable,
+        replica_ids: tuple[Hashable, ...],
+        f: int,
+        application: PEATSReplica,
+        network: SimulatedNetwork,
+        *,
+        view_change_timeout: float = 50.0,
+        fault_mode: ReplicaFaultMode = ReplicaFaultMode.CORRECT,
+    ) -> None:
+        self.replica_id = replica_id
+        self.replica_ids = tuple(replica_ids)
+        self.f = f
+        self.application = application
+        self.network = network
+        self.view_change_timeout = view_change_timeout
+        self.fault_mode = fault_mode
+
+        self.view = 0
+        self.next_sequence = 1
+        self.last_executed = 0
+
+        # Ordering state, keyed by (view, sequence).
+        self._pre_prepares: Dict[tuple[int, int], PrePrepare] = {}
+        self._prepares: Dict[tuple[int, int, str], set[Hashable]] = {}
+        self._commits: Dict[tuple[int, int, str], set[Hashable]] = {}
+        self._committed: Dict[int, ClientRequest] = {}
+        self._sent_prepare: set[tuple[int, int]] = set()
+        self._sent_commit: set[tuple[int, int]] = set()
+
+        # Client-request bookkeeping.
+        self._buffered: Dict[tuple, ClientRequest] = {}
+        self._buffered_since: Dict[tuple, float] = {}
+        self._ordered_keys: set[tuple] = set()
+        self._executed_keys: set[tuple] = set()
+
+        # View-change bookkeeping.
+        self._view_change_votes: Dict[int, Dict[Hashable, ViewChange]] = {}
+        self._view_changing = False
+        # Ordering messages for views we have not entered yet (they can
+        # overtake the NEW-VIEW announcement on the asynchronous network).
+        self._future_messages: list[tuple[Hashable, Any]] = []
+
+        network.register(replica_id, self.on_message)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.replica_ids)
+
+    @property
+    def quorum(self) -> int:
+        """The 2f + 1 quorum size used by prepares, commits and view changes."""
+        return 2 * self.f + 1
+
+    def primary_of(self, view: int) -> Hashable:
+        return self.replica_ids[view % self.n]
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary_of(self.view) == self.replica_id
+
+    @property
+    def is_silent(self) -> bool:
+        return self.fault_mode in (ReplicaFaultMode.CRASHED, ReplicaFaultMode.MUTE)
+
+    def _multicast(self, payload: Any) -> None:
+        if self.is_silent:
+            return
+        self.network.broadcast(self.replica_id, self.replica_ids, payload)
+
+    def _send(self, receiver: Hashable, payload: Any) -> None:
+        if self.fault_mode is ReplicaFaultMode.CRASHED:
+            return
+        self.network.send(self.replica_id, receiver, payload)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: Hashable, payload: Any) -> None:
+        """Network entry point for this replica."""
+        if self.fault_mode is ReplicaFaultMode.CRASHED:
+            return
+        if isinstance(payload, ClientRequest):
+            self._on_request(payload)
+        elif isinstance(payload, PrePrepare):
+            self._on_pre_prepare(sender, payload)
+        elif isinstance(payload, Prepare):
+            self._on_prepare(sender, payload)
+        elif isinstance(payload, Commit):
+            self._on_commit(sender, payload)
+        elif isinstance(payload, ViewChange):
+            self._on_view_change(sender, payload)
+        elif isinstance(payload, NewView):
+            self._on_new_view(sender, payload)
+        # Unknown payloads are ignored (a Byzantine node may send garbage).
+
+    # ------------------------------------------------------------------
+    # Client requests
+    # ------------------------------------------------------------------
+
+    def _on_request(self, request: ClientRequest) -> None:
+        if request.key in self._executed_keys:
+            # Retransmission of an executed request: resend the cached reply.
+            self._reply(request, self.application.execute(request))
+            return
+        if request.key in self._ordered_keys:
+            return
+        self._buffered.setdefault(request.key, request)
+        self._buffered_since.setdefault(request.key, self.network.now)
+        if self.is_primary and not self._view_changing:
+            self._order(request)
+
+    def _order(self, request: ClientRequest) -> None:
+        """Primary: assign the next sequence number and pre-prepare."""
+        if request.key in self._ordered_keys:
+            return
+        sequence = self.next_sequence
+        self.next_sequence += 1
+        self._ordered_keys.add(request.key)
+        message = PrePrepare(
+            view=self.view,
+            sequence=sequence,
+            request_digest=digest(request),
+            request=request,
+            primary=self.replica_id,
+        )
+        # The primary also records its own pre-prepare locally.
+        self._pre_prepares[(self.view, sequence)] = message
+        self._multicast(message)
+        self._maybe_send_commit(self.view, sequence, message.request_digest)
+
+    # ------------------------------------------------------------------
+    # Ordering phases
+    # ------------------------------------------------------------------
+
+    def _on_pre_prepare(self, sender: Hashable, message: PrePrepare) -> None:
+        if message.view > self.view:
+            self._future_messages.append((sender, message))
+            return
+        if message.view != self.view or sender != self.primary_of(message.view):
+            return
+        if digest(message.request) != message.request_digest:
+            return
+        key = (message.view, message.sequence)
+        if key in self._pre_prepares:
+            return
+        self._pre_prepares[key] = message
+        self._ordered_keys.add(message.request.key)
+        self._buffered.setdefault(message.request.key, message.request)
+        if not self.is_primary and key not in self._sent_prepare:
+            self._sent_prepare.add(key)
+            self._multicast(
+                Prepare(
+                    view=message.view,
+                    sequence=message.sequence,
+                    request_digest=message.request_digest,
+                    replica=self.replica_id,
+                )
+            )
+        self._maybe_send_commit(message.view, message.sequence, message.request_digest)
+
+    def _on_prepare(self, sender: Hashable, message: Prepare) -> None:
+        if message.view > self.view:
+            self._future_messages.append((sender, message))
+            return
+        if message.view != self.view:
+            return
+        key = (message.view, message.sequence, message.request_digest)
+        self._prepares.setdefault(key, set()).add(sender)
+        self._maybe_send_commit(message.view, message.sequence, message.request_digest)
+
+    def _prepared(self, view: int, sequence: int, request_digest: str) -> bool:
+        """PBFT ``prepared`` predicate: pre-prepare + 2f prepares (incl. self)."""
+        if (view, sequence) not in self._pre_prepares:
+            return False
+        if self._pre_prepares[(view, sequence)].request_digest != request_digest:
+            return False
+        votes = set(self._prepares.get((view, sequence, request_digest), set()))
+        votes.add(self.primary_of(view))
+        votes.add(self.replica_id)
+        return len(votes) >= self.quorum
+
+    def _maybe_send_commit(self, view: int, sequence: int, request_digest: str) -> None:
+        key = (view, sequence)
+        if key in self._sent_commit:
+            return
+        if not self._prepared(view, sequence, request_digest):
+            return
+        self._sent_commit.add(key)
+        self._multicast(
+            Commit(
+                view=view,
+                sequence=sequence,
+                request_digest=request_digest,
+                replica=self.replica_id,
+            )
+        )
+        # Count our own commit vote immediately.
+        self._commits.setdefault((view, sequence, request_digest), set()).add(self.replica_id)
+        self._maybe_execute(view, sequence, request_digest)
+
+    def _on_commit(self, sender: Hashable, message: Commit) -> None:
+        if message.view > self.view:
+            self._future_messages.append((sender, message))
+            return
+        if message.view != self.view:
+            return
+        key = (message.view, message.sequence, message.request_digest)
+        self._commits.setdefault(key, set()).add(sender)
+        self._maybe_execute(message.view, message.sequence, message.request_digest)
+
+    def _maybe_execute(self, view: int, sequence: int, request_digest: str) -> None:
+        key = (view, sequence)
+        votes = self._commits.get((view, sequence, request_digest), set())
+        if len(votes) < self.quorum:
+            return
+        if key not in self._pre_prepares:
+            return
+        if sequence in self._committed:
+            return
+        self._committed[sequence] = self._pre_prepares[key].request
+        self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        """Execute committed requests in strict sequence order."""
+        while (self.last_executed + 1) in self._committed:
+            sequence = self.last_executed + 1
+            request = self._committed[sequence]
+            result = self.application.execute(request)
+            self.last_executed = sequence
+            self._executed_keys.add(request.key)
+            self._buffered.pop(request.key, None)
+            self._buffered_since.pop(request.key, None)
+            self._reply(request, result)
+
+    def _reply(self, request: ClientRequest, result: Any) -> None:
+        if self.is_silent:
+            return
+        if self.fault_mode is ReplicaFaultMode.LYING:
+            # Each liar corrupts independently (the replica id is baked into
+            # the lie), so colluding on an identical wrong answer — which
+            # would defeat the client's f+1 vote — is not modelled here.
+            result = ("CORRUPTED", self.replica_id, repr(result))
+        reply = ClientReply(
+            replica=self.replica_id,
+            view=self.view,
+            request_key=request.key,
+            result_digest=digest(result),
+            result=result,
+        )
+        self._send(request.client, reply)
+
+    # ------------------------------------------------------------------
+    # View change
+    # ------------------------------------------------------------------
+
+    def check_timeouts(self) -> None:
+        """Start a view change if a buffered request has waited too long.
+
+        Called by the service after advancing simulated time; a real
+        deployment would use wall-clock timers.
+        """
+        if self.is_silent or self._view_changing:
+            return
+        now = self.network.now
+        overdue = [
+            key
+            for key, since in self._buffered_since.items()
+            if key not in self._executed_keys and now - since > self.view_change_timeout
+        ]
+        if overdue:
+            self._start_view_change(self.view + 1)
+
+    def _start_view_change(self, new_view: int) -> None:
+        self._view_changing = True
+        prepared: dict[int, ClientRequest] = {}
+        for (view, sequence), message in self._pre_prepares.items():
+            if sequence > self.last_executed and self._prepared(
+                view, sequence, message.request_digest
+            ):
+                prepared[sequence] = message.request
+        vote = ViewChange(
+            new_view=new_view,
+            replica=self.replica_id,
+            last_executed=self.last_executed,
+            prepared=prepared,
+        )
+        self._view_change_votes.setdefault(new_view, {})[self.replica_id] = vote
+        self._multicast(vote)
+        self._maybe_install_view(new_view)
+
+    def _on_view_change(self, sender: Hashable, message: ViewChange) -> None:
+        if message.new_view <= self.view:
+            return
+        self._view_change_votes.setdefault(message.new_view, {})[sender] = message
+        # Join the view change once f + 1 replicas are asking for it (we
+        # cannot all be faulty), even if our own timer has not fired.
+        votes = self._view_change_votes[message.new_view]
+        if len(votes) >= self.f + 1 and not self._view_changing:
+            self._start_view_change(message.new_view)
+        self._maybe_install_view(message.new_view)
+
+    def _maybe_install_view(self, new_view: int) -> None:
+        votes = self._view_change_votes.get(new_view, {})
+        if len(votes) < self.quorum:
+            return
+        if self.primary_of(new_view) != self.replica_id:
+            return
+        if new_view <= self.view:
+            return
+        # Collect every request reported prepared by some member of the quorum.
+        reproposals: dict[int, ClientRequest] = {}
+        max_executed = 0
+        for vote in votes.values():
+            max_executed = max(max_executed, vote.last_executed)
+            for sequence, request in vote.prepared.items():
+                reproposals.setdefault(sequence, request)
+        announcement = NewView(
+            view=new_view, primary=self.replica_id, reproposals=reproposals
+        )
+        self._multicast(announcement)
+        self._enter_view(new_view, reproposals, max_executed)
+
+    def _on_new_view(self, sender: Hashable, message: NewView) -> None:
+        if message.view <= self.view:
+            return
+        if sender != self.primary_of(message.view):
+            return
+        max_executed = max(
+            (vote.last_executed for vote in self._view_change_votes.get(message.view, {}).values()),
+            default=self.last_executed,
+        )
+        self._enter_view(message.view, dict(message.reproposals), max_executed)
+
+    def _enter_view(
+        self, new_view: int, reproposals: dict[int, ClientRequest], max_executed: int
+    ) -> None:
+        self.view = new_view
+        self._view_changing = False
+        self._sent_prepare.clear()
+        self._sent_commit.clear()
+        highest = max(
+            [self.next_sequence - 1, max_executed, self.last_executed]
+            + list(reproposals.keys())
+        )
+        self.next_sequence = highest + 1
+        if self.is_primary:
+            # Re-propose prepared-but-unexecuted requests under the new view,
+            # keeping their sequence numbers, then order the still-buffered ones.
+            for sequence in sorted(reproposals):
+                request = reproposals[sequence]
+                if sequence <= self.last_executed:
+                    continue
+                message = PrePrepare(
+                    view=self.view,
+                    sequence=sequence,
+                    request_digest=digest(request),
+                    request=request,
+                    primary=self.replica_id,
+                )
+                self._pre_prepares[(self.view, sequence)] = message
+                self._ordered_keys.add(request.key)
+                self._multicast(message)
+                self._maybe_send_commit(self.view, sequence, message.request_digest)
+            for key, request in list(self._buffered.items()):
+                if key not in self._executed_keys and key not in self._ordered_keys:
+                    self._order(request)
+        # Reset request timers so we do not immediately trigger another change.
+        for key in self._buffered_since:
+            self._buffered_since[key] = self.network.now
+        # Replay ordering messages that overtook the NEW-VIEW announcement.
+        replay, self._future_messages = self._future_messages, []
+        for sender, message in replay:
+            self.on_message(sender, message)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def statistics(self) -> dict[str, Any]:
+        return {
+            "view": self.view,
+            "last_executed": self.last_executed,
+            "buffered": len(self._buffered),
+            "fault_mode": self.fault_mode.value,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OrderingNode(id={self.replica_id!r}, view={self.view}, "
+            f"executed={self.last_executed}, mode={self.fault_mode.value})"
+        )

@@ -1,0 +1,132 @@
+"""The replica application: reference monitor + augmented tuple space.
+
+A :class:`PEATSReplica` is the deterministic state machine that the
+ordering protocol replicates (the "Tuple space + interceptor" box of
+Fig. 2).  It executes one :class:`~repro.replication.messages.ClientRequest`
+at a time, in the order decided by the ordering layer:
+
+1. the interceptor (a :class:`~repro.policy.monitor.ReferenceMonitor`)
+   evaluates the request against the access policy and the *local* copy of
+   the tuple space;
+2. if allowed, the corresponding tuple-space operation is executed;
+3. the result — which is a deterministic function of the replica state and
+   the request — is returned so the ordering layer can reply to the client.
+
+Because every correct replica holds the same policy, receives the same
+requests in the same order and both the monitor and the space are
+deterministic, all correct replicas produce identical results; the client
+only needs ``f + 1`` matching replies to trust one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.policy.invocation import Invocation
+from repro.policy.monitor import ReferenceMonitor
+from repro.policy.policy import AccessPolicy
+from repro.replication.messages import ClientRequest
+from repro.tspace.augmented import AugmentedTupleSpace
+from repro.tuples import Entry, Template
+
+__all__ = ["PEATSReplica", "ExecutionResult"]
+
+#: Marker used in serialised results for a denied invocation.
+DENIED = "PEATS-DENIED"
+
+
+class ExecutionResult:
+    """The outcome of executing one request on one replica."""
+
+    __slots__ = ("value", "denied", "reason")
+
+    def __init__(self, value: Any, *, denied: bool = False, reason: str = "") -> None:
+        self.value = value
+        self.denied = denied
+        self.reason = reason
+
+    def as_payload(self) -> Any:
+        """A picklable, comparable representation for reply voting."""
+        if self.denied:
+            return (DENIED, self.reason)
+        return ("OK", self.value)
+
+    def __repr__(self) -> str:
+        status = "denied" if self.denied else "ok"
+        return f"ExecutionResult({status}, value={self.value!r})"
+
+
+class PEATSReplica:
+    """One replica's copy of the policy-enforced augmented tuple space."""
+
+    #: Operations a replica understands (the augmented tuple space API,
+    #: minus the blocking reads, which a replicated object cannot offer
+    #: without a callback channel).
+    SUPPORTED_OPERATIONS = ("out", "rdp", "inp", "cas")
+
+    def __init__(self, replica_id: Any, policy: AccessPolicy) -> None:
+        self.replica_id = replica_id
+        self._space = AugmentedTupleSpace()
+        self._monitor = ReferenceMonitor(policy)
+        self._executed_requests: dict[tuple, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Deterministic execution
+    # ------------------------------------------------------------------
+
+    def execute(self, request: ClientRequest) -> Any:
+        """Execute ``request`` and return its reply payload.
+
+        Re-executing a request with the same ``(client, request_id)`` key
+        returns the cached reply (client retransmissions must not change
+        the state twice).
+        """
+        if request.key in self._executed_requests:
+            return self._executed_requests[request.key]
+        result = self._execute_once(request)
+        payload = result.as_payload()
+        self._executed_requests[request.key] = payload
+        return payload
+
+    def _execute_once(self, request: ClientRequest) -> ExecutionResult:
+        operation = request.operation
+        arguments = request.arguments
+        if operation not in self.SUPPORTED_OPERATIONS:
+            return ExecutionResult(None, denied=True, reason=f"unsupported operation {operation!r}")
+        invocation = Invocation(
+            process=request.client, operation=operation, arguments=arguments
+        )
+        decision = self._monitor.authorize(invocation, self._space)
+        if not decision.allowed:
+            return ExecutionResult(None, denied=True, reason=decision.reason)
+        if operation == "out":
+            return ExecutionResult(self._space.out(arguments[0]))
+        if operation == "rdp":
+            return ExecutionResult(self._space.rdp(arguments[0]))
+        if operation == "inp":
+            return ExecutionResult(self._space.inp(arguments[0]))
+        if operation == "cas":
+            inserted, existing = self._space.cas(arguments[0], arguments[1])
+            return ExecutionResult((inserted, existing))
+        raise AssertionError(f"unreachable operation {operation!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def space(self) -> AugmentedTupleSpace:
+        return self._space
+
+    @property
+    def monitor(self) -> ReferenceMonitor:
+        return self._monitor
+
+    def state_digest(self) -> str:
+        """Digest of the replica state, used by tests to compare replicas."""
+        from repro.replication.crypto import digest
+
+        return digest(tuple(sorted((repr(e) for e in self._space.snapshot()))))
+
+    def __repr__(self) -> str:
+        return f"PEATSReplica(id={self.replica_id!r}, tuples={len(self._space.snapshot())})"

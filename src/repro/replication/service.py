@@ -1,0 +1,280 @@
+"""The replicated PEATS facade (the full Fig. 2 deployment, simulated).
+
+:class:`ReplicatedPEATS` wires together the simulated network, ``3f + 1``
+ordering nodes each hosting a :class:`~repro.replication.replica.
+PEATSReplica` (tuple space + reference monitor), and hands out per-process
+client views whose interface matches the local
+:class:`~repro.peo.peats.PEATS`/:class:`~repro.peo.peats.ProcessBoundPEATS`.
+Every consensus algorithm and universal construction in the library
+therefore runs unchanged over the Byzantine fault-tolerant deployment —
+which is exactly the claim of Section 4.
+
+Usage::
+
+    from repro.policy import weak_consensus_policy
+    from repro.replication import ReplicatedPEATS
+
+    service = ReplicatedPEATS(weak_consensus_policy(), f=1)
+    space = service.client_view("p1")
+    inserted, _ = space.cas(template("DECISION", Formal("d")), entry("DECISION", 7))
+
+The simulation is single-threaded: client calls drive the network until
+their reply vote succeeds.  Use one thread only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional, Sequence
+
+from repro.errors import ReplicationError
+from repro.peo.base import DeniedResult
+from repro.policy.monitor import Decision
+from repro.policy.invocation import Invocation
+from repro.policy.policy import AccessPolicy
+from repro.replication.client import PEATSClient
+from repro.replication.network import NetworkConfig, SimulatedNetwork
+from repro.replication.pbft import OrderingNode, ReplicaFaultMode
+from repro.replication.replica import DENIED, PEATSReplica
+from repro.tspace.interface import TupleSpaceInterface
+from repro.tuples import Entry, Template
+
+__all__ = ["ReplicatedPEATS", "ReplicatedClientView"]
+
+
+class ReplicatedPEATS:
+    """A Byzantine fault-tolerant PEATS replicated over ``3f + 1`` servers."""
+
+    def __init__(
+        self,
+        policy: AccessPolicy,
+        *,
+        f: int = 1,
+        network_config: NetworkConfig | None = None,
+        replica_faults: dict[int, ReplicaFaultMode] | None = None,
+        view_change_timeout: float = 50.0,
+    ) -> None:
+        if f < 0:
+            raise ReplicationError("f must be non-negative")
+        self.f = f
+        self.n_replicas = 3 * f + 1
+        self._policy = policy
+        self._network = SimulatedNetwork(network_config or NetworkConfig())
+        self._replica_ids = tuple(f"replica-{index}" for index in range(self.n_replicas))
+        replica_faults = replica_faults or {}
+        self._nodes: list[OrderingNode] = []
+        for index, replica_id in enumerate(self._replica_ids):
+            application = PEATSReplica(replica_id, policy)
+            node = OrderingNode(
+                replica_id,
+                self._replica_ids,
+                f,
+                application,
+                self._network,
+                view_change_timeout=view_change_timeout,
+                fault_mode=replica_faults.get(index, ReplicaFaultMode.CORRECT),
+            )
+            self._nodes.append(node)
+        self._clients: dict[Hashable, PEATSClient] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def policy(self) -> AccessPolicy:
+        return self._policy
+
+    @property
+    def network(self) -> SimulatedNetwork:
+        return self._network
+
+    @property
+    def nodes(self) -> tuple[OrderingNode, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def replica_ids(self) -> tuple[str, ...]:
+        return self._replica_ids
+
+    def correct_nodes(self) -> list[OrderingNode]:
+        return [node for node in self._nodes if node.fault_mode is ReplicaFaultMode.CORRECT]
+
+    def check_timeouts(self) -> None:
+        """Fire the view-change timers of every replica (simulated time)."""
+        for node in self._nodes:
+            node.check_timeouts()
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+
+    def client(self, process: Hashable) -> PEATSClient:
+        """The raw request/reply client for ``process`` (created on demand)."""
+        if process not in self._clients:
+            self._clients[process] = PEATSClient(
+                process,
+                self._replica_ids,
+                self.f,
+                self._network,
+                nudge_timeouts=self.check_timeouts,
+            )
+        return self._clients[process]
+
+    def client_view(self, process: Hashable) -> "ReplicatedClientView":
+        """A tuple-space view through which ``process`` issues operations."""
+        return ReplicatedClientView(self, process)
+
+    def as_shared_space(self) -> "SharedReplicatedSpace":
+        """A PEATS-style shared space (operations take ``process=``).
+
+        The consensus objects and universal constructions accept either a
+        local :class:`~repro.peo.peats.PEATS` or this adapter, so they run
+        unchanged over the replicated deployment::
+
+            service = ReplicatedPEATS(strong_consensus_policy(procs, 1), f=1)
+            consensus = StrongConsensus(procs, 1, space=service.as_shared_space())
+        """
+        return SharedReplicatedSpace(self)
+
+    # ------------------------------------------------------------------
+    # Administrative introspection (tests, benchmarks)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        """Snapshot of the tuple space taken from a correct, up-to-date replica."""
+        correct = self.correct_nodes()
+        if not correct:
+            raise ReplicationError("no correct replica available for a snapshot")
+        most_advanced = max(correct, key=lambda node: node.last_executed)
+        return most_advanced.application.space.snapshot()
+
+    def replica_state_digests(self) -> dict[str, str]:
+        """State digest per replica (correct replicas must agree)."""
+        return {node.replica_id: node.application.state_digest() for node in self._nodes}
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatedPEATS(policy={self._policy.name!r}, f={self.f}, "
+            f"replicas={self.n_replicas})"
+        )
+
+
+class ReplicatedClientView(TupleSpaceInterface):
+    """Per-process tuple-space interface backed by the replicated service.
+
+    Mirrors :class:`~repro.peo.peats.ProcessBoundPEATS`: denied invocations
+    come back falsy, reads come back as entries or ``None``, and ``cas``
+    returns ``(inserted, existing)``.
+    """
+
+    def __init__(self, service: ReplicatedPEATS, process: Hashable) -> None:
+        self._service = service
+        self._process = process
+        self._client = service.client(process)
+
+    @property
+    def process(self) -> Hashable:
+        return self._process
+
+    @property
+    def service(self) -> ReplicatedPEATS:
+        return self._service
+
+    # ------------------------------------------------------------------
+    # TupleSpaceInterface
+    # ------------------------------------------------------------------
+
+    def out(self, entry: Entry) -> Any:
+        status, value = self._client.execute_tuple_operation("out", (entry,))
+        if status == DENIED:
+            return _denied(self._process, "out", value)
+        return value
+
+    def rdp(self, template: Template) -> Optional[Entry]:
+        status, value = self._client.execute_tuple_operation("rdp", (template,))
+        if status == DENIED:
+            return None
+        return value
+
+    def inp(self, template: Template) -> Optional[Entry]:
+        status, value = self._client.execute_tuple_operation("inp", (template,))
+        if status == DENIED:
+            return None
+        return value
+
+    def rd(self, template: Template, *, timeout: float | None = None) -> Entry:
+        raise ReplicationError(
+            "blocking reads are not offered by the replicated PEATS client; "
+            "poll with rdp instead"
+        )
+
+    def in_(self, template: Template, *, timeout: float | None = None) -> Entry:
+        raise ReplicationError(
+            "blocking reads are not offered by the replicated PEATS client; "
+            "poll with inp instead"
+        )
+
+    def cas(self, template: Template, entry: Entry) -> tuple[Any, Optional[Entry]]:
+        status, value = self._client.execute_tuple_operation("cas", (template, entry))
+        if status == DENIED:
+            return _denied(self._process, "cas", value), None
+        inserted, existing = value
+        return inserted, existing
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        return self._service.snapshot()
+
+    def __repr__(self) -> str:
+        return f"ReplicatedClientView(process={self._process!r})"
+
+
+class SharedReplicatedSpace:
+    """Adapter giving the replicated PEATS the local PEATS call signature.
+
+    Every operation takes the invoking process as a keyword argument and is
+    routed through that process's authenticated client, so the consensus
+    algorithms (which pass ``process=``) work over the replicated service
+    exactly as they do over a local :class:`~repro.peo.peats.PEATS`.
+    """
+
+    def __init__(self, service: ReplicatedPEATS) -> None:
+        self._service = service
+        self._views: dict[Hashable, ReplicatedClientView] = {}
+
+    def _view(self, process: Hashable) -> ReplicatedClientView:
+        if process not in self._views:
+            self._views[process] = self._service.client_view(process)
+        return self._views[process]
+
+    def out(self, entry: Entry, *, process: Hashable = None) -> Any:
+        return self._view(process).out(entry)
+
+    def rdp(self, template: Template, *, process: Hashable = None) -> Optional[Entry]:
+        return self._view(process).rdp(template)
+
+    def inp(self, template: Template, *, process: Hashable = None) -> Optional[Entry]:
+        return self._view(process).inp(template)
+
+    def cas(
+        self, template: Template, entry: Entry, *, process: Hashable = None
+    ) -> tuple[Any, Optional[Entry]]:
+        return self._view(process).cas(template, entry)
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        return self._service.snapshot()
+
+    def bind(self, process: Hashable) -> ReplicatedClientView:
+        return self._view(process)
+
+    def __repr__(self) -> str:
+        return f"SharedReplicatedSpace({self._service!r})"
+
+
+def _denied(process: Hashable, operation: str, reason: Any) -> DeniedResult:
+    decision = Decision(
+        allowed=False,
+        invocation=Invocation(process=process, operation=operation, arguments=()),
+        rule=None,
+        reason=str(reason),
+    )
+    return DeniedResult(decision)

@@ -1,0 +1,32 @@
+"""Augmented tuple-space objects (Section 2.3 of the paper).
+
+The central class is :class:`AugmentedTupleSpace`, an in-memory tuple space
+providing the LINDA operations ``out``, ``rd``, ``in`` plus their
+non-blocking variants ``rdp``/``inp`` and the conditional atomic swap
+``cas`` that gives the object consensus number *n*.
+
+``LinearizableTupleSpace`` wraps any space with a single lock so that every
+operation takes effect atomically — the linearizability assumption of the
+paper — and optionally records the operation history so tests can check
+linearizability and count operations/bits (experiments E1 and E6).
+
+The structures here model the *local* (single address space) object; the
+replicated, Byzantine fault-tolerant deployment of Fig. 2 lives in
+:mod:`repro.replication`.
+"""
+
+from repro.tspace.augmented import AugmentedTupleSpace
+from repro.tspace.history import HistoryRecorder, OperationRecord, check_sequential_consistency
+from repro.tspace.interface import TupleSpaceInterface
+from repro.tspace.linearizable import LinearizableTupleSpace
+from repro.tspace.space import TupleSpace
+
+__all__ = [
+    "TupleSpaceInterface",
+    "TupleSpace",
+    "AugmentedTupleSpace",
+    "LinearizableTupleSpace",
+    "HistoryRecorder",
+    "OperationRecord",
+    "check_sequential_consistency",
+]

@@ -1,0 +1,85 @@
+"""Abstract interface of an augmented tuple space.
+
+Every tuple-space flavour in the library — the plain in-memory space, the
+linearizable wrapper, the policy-enforced PEATS and the replicated PEATS
+client proxy — implements this interface, so the consensus algorithms and
+universal constructions of Sections 5 and 6 run unchanged on any of them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, Optional
+
+from repro.tuples import Entry, Template
+
+__all__ = ["TupleSpaceInterface"]
+
+
+class TupleSpaceInterface(abc.ABC):
+    """Operations of an augmented tuple space.
+
+    The read operations come in two flavours: ``rd``/``in`` block until a
+    matching tuple exists, while ``rdp``/``inp`` return immediately with
+    ``None`` when there is no match.  ``cas(template, entry)`` atomically
+    executes ``if not rdp(template): out(entry)`` and reports whether the
+    entry was inserted; when it was not, the matching tuple (the "reading of
+    the template") is returned alongside the boolean so callers can recover
+    the formal-field bindings, exactly as the algorithms in the paper expect
+    (``?d`` is set by the failed ``cas``).
+    """
+
+    @abc.abstractmethod
+    def out(self, entry: Entry) -> bool:
+        """Insert ``entry`` in the space.  Returns ``True`` on success."""
+
+    @abc.abstractmethod
+    def rdp(self, template: Template) -> Optional[Entry]:
+        """Non-blocking read: a matching entry, or ``None``."""
+
+    @abc.abstractmethod
+    def inp(self, template: Template) -> Optional[Entry]:
+        """Non-blocking destructive read: remove and return a match, or ``None``."""
+
+    @abc.abstractmethod
+    def rd(self, template: Template, *, timeout: float | None = None) -> Entry:
+        """Blocking read: wait until a matching entry exists and return it."""
+
+    @abc.abstractmethod
+    def in_(self, template: Template, *, timeout: float | None = None) -> Entry:
+        """Blocking destructive read: wait for a match, remove and return it."""
+
+    @abc.abstractmethod
+    def cas(self, template: Template, entry: Entry) -> tuple[bool, Optional[Entry]]:
+        """Conditional atomic swap: ``if not rdp(template): out(entry)``.
+
+        Returns ``(True, None)`` when the entry was inserted and
+        ``(False, match)`` when a tuple matching ``template`` already
+        existed (``match`` is that tuple).
+        """
+
+    # ------------------------------------------------------------------
+    # Introspection helpers shared by all implementations.
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def snapshot(self) -> tuple[Entry, ...]:
+        """Return all entries currently stored (for tests and policies)."""
+
+    def count(self, template: Template) -> int:
+        """Number of stored entries matching ``template``."""
+        from repro.tuples import matches
+
+        return sum(1 for stored in self.snapshot() if matches(stored, template))
+
+    def __len__(self) -> int:
+        return len(self.snapshot())
+
+    def __contains__(self, item: Any) -> bool:
+        from repro.tuples import Entry as _Entry, matches
+
+        if isinstance(item, _Entry):
+            return any(stored == item for stored in self.snapshot())
+        if isinstance(item, Template):
+            return any(matches(stored, item) for stored in self.snapshot())
+        return False

@@ -1,0 +1,40 @@
+"""Tuple and template data model of the LINDA / augmented tuple space.
+
+This package implements Section 2.3 of the paper: entries (fully defined
+tuples), templates (tuples with wildcard ``ANY`` or formal ``Formal`` fields)
+and the matching relation ``m(t, t̄)``.
+
+Public API
+----------
+``Entry``            -- an immutable fully-defined tuple.
+``Template``         -- an immutable pattern with wildcard/formal fields.
+``Formal``           -- a named formal field (``?v`` in the paper).
+``ANY``              -- the wildcard field (``*`` in the paper).
+``matches``          -- the matching predicate ``m(entry, template)``.
+``bind``             -- compute the formal-field bindings of a match.
+``entry`` / ``template`` -- convenience constructors.
+``tuple_type``       -- type signature of an entry or template.
+``bits_of``          -- memory accounting used by the cost experiments.
+"""
+
+from repro.tuples.fields import ANY, Formal, Wildcard, is_defined
+from repro.tuples.matching import bind, matches
+from repro.tuples.tuple import Entry, Template, entry, template
+from repro.tuples.typing import bits_of, field_type, tuple_type, types_compatible
+
+__all__ = [
+    "ANY",
+    "Formal",
+    "Wildcard",
+    "is_defined",
+    "Entry",
+    "Template",
+    "entry",
+    "template",
+    "matches",
+    "bind",
+    "field_type",
+    "tuple_type",
+    "types_compatible",
+    "bits_of",
+]

@@ -1,0 +1,102 @@
+"""Field kinds used in tuples and templates.
+
+A tuple field is either *defined* (a concrete Python value), the *wildcard*
+``ANY`` (written ``*`` in the paper, meaning "any value of any type is
+accepted in this position"), or a *formal* field ``Formal(name, type)``
+(written ``?v`` in the paper) that matches any value of a compatible type
+and binds it to ``name``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Wildcard", "ANY", "Formal", "is_defined"]
+
+
+class Wildcard:
+    """Singleton wildcard field: matches any value in its position.
+
+    The instance is exported as :data:`ANY`.  Two wildcards always compare
+    equal and the class cannot be meaningfully subclassed.
+    """
+
+    _instance: "Wildcard | None" = None
+
+    def __new__(cls) -> "Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "ANY"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Wildcard)
+
+    def __hash__(self) -> int:
+        return hash("repro.tuples.ANY")
+
+    def __reduce__(self):
+        # Preserve singleton identity across pickling (used by the
+        # simulated network, which serialises messages).
+        return (Wildcard, ())
+
+
+ANY = Wildcard()
+
+
+class Formal:
+    """A formal field ``?name`` optionally constrained to a Python type.
+
+    When an entry matches a template, the value found in the entry at the
+    position of the formal field is *bound* to ``name`` (see
+    :func:`repro.tuples.matching.bind`).  An optional ``type_`` restricts
+    the values the field may bind to; ``None`` means any type.
+
+    Parameters
+    ----------
+    name:
+        Variable name the matched value is bound to.  Must be a non-empty
+        string.
+    type_:
+        Optional Python type the matched value must be an instance of.
+    """
+
+    __slots__ = ("name", "type_")
+
+    def __init__(self, name: str, type_: type | None = None):
+        if not isinstance(name, str) or not name:
+            raise ValueError("formal field name must be a non-empty string")
+        self.name = name
+        self.type_ = type_
+
+    def accepts(self, value: Any) -> bool:
+        """Return ``True`` if ``value`` may be bound to this formal field."""
+        if self.type_ is None:
+            return True
+        # bool is a subclass of int; keep them distinct so a Formal("v", int)
+        # does not silently accept booleans in integer positions.
+        if self.type_ is int and isinstance(value, bool):
+            return False
+        return isinstance(value, self.type_)
+
+    def __repr__(self) -> str:
+        if self.type_ is None:
+            return f"?{self.name}"
+        return f"?{self.name}:{self.type_.__name__}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Formal)
+            and other.name == self.name
+            and other.type_ == self.type_
+        )
+
+    def __hash__(self) -> int:
+        return hash(("repro.tuples.Formal", self.name, self.type_))
+
+
+def is_defined(field: Any) -> bool:
+    """Return ``True`` if ``field`` is a concrete value (not ANY/Formal)."""
+    return not isinstance(field, (Wildcard, Formal))

@@ -1,0 +1,89 @@
+"""The matching relation ``m(entry, template)`` and formal-field binding.
+
+An entry ``t`` matches a template ``t̄`` iff (Section 2.3):
+
+1. they have the same type (same arity and compatible field types), and
+2. every *defined* field of the template equals the corresponding field of
+   the entry.
+
+Wildcard fields accept any value; formal fields accept any value of their
+declared type and *bind* it to the formal name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import MatchTypeError
+from repro.tuples.fields import Formal, Wildcard
+from repro.tuples.tuple import Entry, Template
+
+__all__ = ["matches", "bind"]
+
+
+def _coerce_entry(candidate: Any) -> Entry:
+    if isinstance(candidate, Entry):
+        return candidate
+    if isinstance(candidate, Template):
+        raise MatchTypeError("left operand of matches() must be an Entry, got a Template")
+    raise MatchTypeError(f"left operand of matches() must be an Entry, got {type(candidate).__name__}")
+
+
+def _coerce_template(candidate: Any) -> Template:
+    if isinstance(candidate, Template):
+        return candidate
+    if isinstance(candidate, Entry):
+        # An entry used as a template means "match exactly this tuple";
+        # this mirrors LINDA implementations that accept entries in read
+        # positions, and is used by the policies of Figs. 4, 5 and 8 which
+        # look up concrete tuples in the space state.
+        return candidate.to_template()
+    raise MatchTypeError(
+        f"right operand of matches() must be a Template, got {type(candidate).__name__}"
+    )
+
+
+def _field_matches(entry_field: Any, template_field: Any) -> bool:
+    if isinstance(template_field, Wildcard):
+        return True
+    if isinstance(template_field, Formal):
+        return template_field.accepts(entry_field)
+    if isinstance(template_field, bool) != isinstance(entry_field, bool):
+        # Keep booleans distinct from 0/1 integers so that binary-consensus
+        # proposals of 0/1 do not accidentally match policies written for
+        # booleans (and vice versa).
+        return False
+    return entry_field == template_field
+
+
+def matches(candidate: Any, pattern: Any) -> bool:
+    """Return ``True`` iff entry ``candidate`` matches template ``pattern``."""
+    candidate_entry = _coerce_entry(candidate)
+    pattern_template = _coerce_template(pattern)
+    if candidate_entry.arity != pattern_template.arity:
+        return False
+    return all(
+        _field_matches(ef, tf)
+        for ef, tf in zip(candidate_entry.fields, pattern_template.fields)
+    )
+
+
+def bind(candidate: Any, pattern: Any) -> Mapping[str, Any] | None:
+    """Return the formal-field bindings of a match, or ``None`` on mismatch.
+
+    If ``candidate`` matches ``pattern``, the result maps each formal-field
+    name of the template to the value found at the corresponding position
+    of the entry (the "variable in a formal field is set to the value in the
+    corresponding field" semantics of the paper).
+    """
+    candidate_entry = _coerce_entry(candidate)
+    pattern_template = _coerce_template(pattern)
+    if not matches(candidate_entry, pattern_template):
+        return None
+    bindings: dict[str, Any] = {}
+    for entry_field, template_field in zip(
+        candidate_entry.fields, pattern_template.fields
+    ):
+        if isinstance(template_field, Formal):
+            bindings[template_field.name] = entry_field
+    return bindings

@@ -1,0 +1,175 @@
+"""Entries and templates.
+
+An *entry* is a tuple in which every field is defined; a *template* may
+additionally contain wildcard (``ANY``) and formal (``Formal``) fields.
+Both are immutable and hashable (templates hash on structure, with formal
+fields contributing their name and type).
+
+The constructors :func:`entry` and :func:`template` are the idiomatic way
+to build them::
+
+    from repro.tuples import entry, template, ANY, Formal
+
+    e = entry("PROPOSE", 3, 1)
+    t = template("PROPOSE", ANY, Formal("v"))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.errors import MalformedTupleError
+from repro.tuples.fields import Formal, Wildcard, is_defined
+from repro.tuples.typing import bits_of, tuple_type
+
+__all__ = ["Entry", "Template", "entry", "template"]
+
+_HASHABLE_TEST_SENTINEL = object()
+
+
+def _validate_fields(fields: Sequence[Any]) -> tuple:
+    if len(fields) == 0:
+        raise MalformedTupleError("a tuple must have at least one field")
+    return tuple(fields)
+
+
+class _BaseTuple:
+    """Shared behaviour of :class:`Entry` and :class:`Template`."""
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, fields: Sequence[Any]):
+        self._fields = _validate_fields(fields)
+
+    @property
+    def fields(self) -> tuple:
+        """The fields of the tuple, as an immutable Python tuple."""
+        return self._fields
+
+    @property
+    def arity(self) -> int:
+        """Number of fields."""
+        return len(self._fields)
+
+    def type_signature(self) -> tuple:
+        """Sequence of field types (the *type* of the tuple, Section 2.3)."""
+        return tuple_type(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._fields)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._fields[index]
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other._fields == self._fields  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._fields))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(f) for f in self._fields)
+        return f"{type(self).__name__}({inner})"
+
+
+class Entry(_BaseTuple):
+    """A fully-defined tuple (the unit of storage of a tuple space).
+
+    Every field must be a defined value — wildcards and formal fields are
+    rejected with :class:`MalformedTupleError`.  Fields must be hashable so
+    entries can be stored in the space's indexes.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, fields: Sequence[Any]):
+        super().__init__(fields)
+        for position, field in enumerate(self._fields):
+            if not is_defined(field):
+                raise MalformedTupleError(
+                    f"entry field {position} is not defined: {field!r}"
+                )
+            try:
+                hash(field)
+            except TypeError as exc:
+                raise MalformedTupleError(
+                    f"entry field {position} is not hashable: {field!r}"
+                ) from exc
+
+    def size_bits(self, *, domain_sizes: Sequence[int | None] | None = None) -> int:
+        """Memory footprint of the entry in bits.
+
+        ``domain_sizes`` optionally gives, per field, the size of the domain
+        the field is drawn from; fields with a domain are charged
+        ``ceil(log2 |domain|)`` bits (the accounting of Section 5.2).
+        """
+        if domain_sizes is None:
+            return sum(bits_of(f) for f in self._fields)
+        if len(domain_sizes) != len(self._fields):
+            raise ValueError("domain_sizes must have one element per field")
+        return sum(
+            bits_of(f, domain_size=d) for f, d in zip(self._fields, domain_sizes)
+        )
+
+    def to_template(self) -> "Template":
+        """Return a template with exactly the same (defined) fields."""
+        return Template(self._fields)
+
+
+class Template(_BaseTuple):
+    """A pattern tuple that may contain wildcard and formal fields."""
+
+    __slots__ = ()
+
+    def __init__(self, fields: Sequence[Any]):
+        super().__init__(fields)
+        seen_formals: set[str] = set()
+        for position, field in enumerate(self._fields):
+            if isinstance(field, Formal):
+                if field.name in seen_formals:
+                    raise MalformedTupleError(
+                        f"duplicate formal field name {field.name!r} in template"
+                    )
+                seen_formals.add(field.name)
+            elif not isinstance(field, Wildcard):
+                try:
+                    hash(field)
+                except TypeError as exc:
+                    raise MalformedTupleError(
+                        f"template field {position} is not hashable: {field!r}"
+                    ) from exc
+
+    @property
+    def formal_names(self) -> tuple[str, ...]:
+        """Names of the formal fields, in field order."""
+        return tuple(f.name for f in self._fields if isinstance(f, Formal))
+
+    @property
+    def is_fully_defined(self) -> bool:
+        """``True`` if the template has no wildcard or formal field."""
+        return all(is_defined(f) for f in self._fields)
+
+    def defined_positions(self) -> tuple[int, ...]:
+        """Indexes of the defined fields (used by the space's index)."""
+        return tuple(i for i, f in enumerate(self._fields) if is_defined(f))
+
+    def to_entry(self) -> Entry:
+        """Convert to an :class:`Entry`; fails if not fully defined."""
+        if not self.is_fully_defined:
+            raise MalformedTupleError(
+                "cannot convert a template with undefined fields to an entry"
+            )
+        return Entry(self._fields)
+
+
+def entry(*fields: Any) -> Entry:
+    """Build an :class:`Entry` from positional field values."""
+    return Entry(fields)
+
+
+def template(*fields: Any) -> Template:
+    """Build a :class:`Template` from positional field values."""
+    return Template(fields)

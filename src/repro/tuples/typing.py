@@ -1,0 +1,121 @@
+"""Type signatures and memory accounting for tuples.
+
+The paper defines the *type* of a tuple as the sequence of types of its
+fields, and requires an entry and a template to have the same type in order
+to match.  For wildcard fields we use the special marker type
+:class:`AnyType`, which is compatible with every concrete field type.
+
+This module also provides :func:`bits_of`, the memory-accounting function
+used by experiment E1 (bits used by the consensus algorithms).  The paper
+counts a process identifier or a value from a domain ``V`` as
+``ceil(log2 |domain|)`` bits; we follow the same convention and account for
+Python values conservatively.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sequence
+
+from repro.tuples.fields import ANY, Formal, Wildcard, is_defined
+
+__all__ = [
+    "AnyType",
+    "field_type",
+    "tuple_type",
+    "types_compatible",
+    "bits_of",
+    "bits_for_domain",
+]
+
+
+class AnyType:
+    """Marker type for wildcard fields in a tuple-type signature."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "AnyType"
+
+
+_ANY_TYPE = AnyType()
+
+
+def field_type(field: Any) -> type | AnyType:
+    """Return the type contribution of ``field`` to a tuple-type signature.
+
+    Defined fields contribute their concrete Python type.  Formal fields
+    contribute their declared type (or :class:`AnyType` when unconstrained)
+    and wildcards contribute :class:`AnyType`.
+    """
+    if isinstance(field, Wildcard):
+        return _ANY_TYPE
+    if isinstance(field, Formal):
+        return field.type_ if field.type_ is not None else _ANY_TYPE
+    return type(field)
+
+
+def tuple_type(fields: Sequence[Any]) -> tuple:
+    """Return the type signature of a tuple (entry or template)."""
+    return tuple(field_type(f) for f in fields)
+
+
+def types_compatible(entry_t: type | AnyType, template_t: type | AnyType) -> bool:
+    """Return ``True`` if a field of type ``entry_t`` fits type ``template_t``.
+
+    ``AnyType`` on the template side is compatible with everything.  On the
+    entry side it never occurs (entries have only defined fields).  Booleans
+    are kept distinct from integers, mirroring :meth:`Formal.accepts`.
+    """
+    if isinstance(template_t, AnyType):
+        return True
+    if isinstance(entry_t, AnyType):
+        return False
+    if template_t is int and entry_t is bool:
+        return False
+    return issubclass(entry_t, template_t)
+
+
+def bits_for_domain(size: int) -> int:
+    """Bits needed to encode one value from a domain of ``size`` elements."""
+    if size < 1:
+        raise ValueError("domain size must be positive")
+    if size == 1:
+        return 1
+    return math.ceil(math.log2(size))
+
+
+def bits_of(value: Any, *, domain_size: int | None = None) -> int:
+    """Approximate the number of bits needed to store ``value``.
+
+    When ``domain_size`` is given the value is charged
+    ``ceil(log2 domain_size)`` bits regardless of its Python representation,
+    matching the accounting used in Section 5.2 of the paper (process
+    identifiers cost ``ceil(log n)`` bits, binary values cost one bit).
+
+    Without a domain, common Python types are charged their natural binary
+    size: booleans one bit, integers their bit length, strings and bytes
+    eight bits per character/byte, ``None`` one bit, and containers the sum
+    of their elements.
+    """
+    if domain_size is not None:
+        return bits_for_domain(domain_size)
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, value.bit_length())
+    if isinstance(value, float):
+        return 64
+    if isinstance(value, str):
+        return 8 * max(1, len(value))
+    if isinstance(value, (bytes, bytearray)):
+        return 8 * max(1, len(value))
+    if isinstance(value, (Formal, Wildcard)):
+        return 1
+    if isinstance(value, (frozenset, set, tuple, list)):
+        return sum(bits_of(v) for v in value) if value else 1
+    if isinstance(value, dict):
+        return sum(bits_of(k) + bits_of(v) for k, v in value.items()) if value else 1
+    # Fallback: charge the repr, which overestimates but never underestimates
+    # structured objects.
+    return 8 * max(1, len(repr(value)))

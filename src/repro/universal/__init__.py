@@ -1,0 +1,36 @@
+"""Universal constructions over a PEATS (Section 6 of the paper).
+
+A *universal construction* emulates an arbitrary deterministic shared
+object — given as an :class:`ObjectType` ``⟨STATE, S0, INVOKE, REPLY,
+apply⟩`` — on top of the PEATS, by agreeing on a totally ordered list of
+invocations (``SEQ`` tuples) that every process replays locally.
+
+``LockFreeUniversalConstruction``
+    Algorithm 3 — uniform and lock-free: the winner of each ``cas`` threads
+    its invocation; losers adopt the threaded one and retry at the next
+    position.
+
+``WaitFreeUniversalConstruction``
+    Algorithm 4 — wait-free thanks to a helping mechanism: invocations are
+    announced with ``ANN`` tuples and position ``pos`` is reserved for the
+    announced invocation of the *preferred* process ``pos mod n`` (enforced
+    by the Fig. 8 access policy), so a correct process's operation is
+    eventually threaded even against ``n - 1`` faulty processes.
+
+The :mod:`repro.universal.emulated` package provides ready-made object
+types (register, counter, queue, stack, key-value store) used by the
+examples, tests and benchmarks.
+"""
+
+from repro.universal.lockfree import LockFreeHandle, LockFreeUniversalConstruction
+from repro.universal.object_type import ObjectInvocation, ObjectType
+from repro.universal.waitfree import WaitFreeHandle, WaitFreeUniversalConstruction
+
+__all__ = [
+    "ObjectType",
+    "ObjectInvocation",
+    "LockFreeUniversalConstruction",
+    "LockFreeHandle",
+    "WaitFreeUniversalConstruction",
+    "WaitFreeHandle",
+]

@@ -1,0 +1,33 @@
+"""Ready-made object types for the universal constructions.
+
+Each factory returns an :class:`~repro.universal.object_type.ObjectType`
+whose ``apply`` function is pure and whose states are immutable values, so
+any number of processes can replay the shared invocation list and converge
+to the same state.
+
+Available types:
+
+* :func:`atomic_register_type` — read/write register;
+* :func:`counter_type` — fetch&increment / read counter;
+* :func:`fifo_queue_type` — enqueue/dequeue/peek FIFO queue;
+* :func:`stack_type` — push/pop/top stack;
+* :func:`kv_store_type` — get/put/delete/keys key-value store;
+* :func:`sticky_bit_type` — a write-once sticky bit (the baseline object of
+  Plotkin [13] / Malkhi et al. [11]), included to emphasise that the PEATS
+  emulates the very object earlier work built consensus from.
+"""
+
+from repro.universal.emulated.counter import counter_type
+from repro.universal.emulated.kvstore import kv_store_type
+from repro.universal.emulated.queue import fifo_queue_type
+from repro.universal.emulated.register import atomic_register_type, sticky_bit_type
+from repro.universal.emulated.stack import stack_type
+
+__all__ = [
+    "atomic_register_type",
+    "sticky_bit_type",
+    "counter_type",
+    "fifo_queue_type",
+    "stack_type",
+    "kv_store_type",
+]

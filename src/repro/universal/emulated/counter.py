@@ -1,0 +1,38 @@
+"""Emulated fetch-and-increment counter."""
+
+from __future__ import annotations
+
+from repro.universal.object_type import ObjectInvocation, ObjectType
+
+__all__ = ["counter_type"]
+
+
+def counter_type(initial: int = 0) -> ObjectType:
+    """A shared counter.
+
+    Operations:
+
+    * ``read()`` → current value;
+    * ``increment(delta=1)`` → the value *before* the increment
+      (fetch&add semantics, so concurrent increments get distinct tickets);
+    * ``reset()`` → previous value, state returns to the initial value.
+    """
+
+    def apply(state: int, invocation: ObjectInvocation) -> tuple[int, int]:
+        if invocation.operation == "read":
+            return state, state
+        if invocation.operation == "increment":
+            delta = invocation.args[0] if invocation.args else 1
+            if not isinstance(delta, int):
+                raise ValueError("increment delta must be an integer")
+            return state + delta, state
+        if invocation.operation == "reset":
+            return initial, state
+        raise ValueError(f"counter has no operation {invocation.operation!r}")
+
+    return ObjectType(
+        name="counter",
+        initial_state=initial,
+        apply=apply,
+        operations=("read", "increment", "reset"),
+    )

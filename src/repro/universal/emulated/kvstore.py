@@ -1,0 +1,64 @@
+"""Emulated key-value store.
+
+The state is a *frozen* mapping represented as a frozenset of ``(key,
+value)`` pairs with unique keys, so it stays hashable and immutable — the
+invariant every emulated state must satisfy.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.universal.object_type import ObjectInvocation, ObjectType
+
+__all__ = ["kv_store_type"]
+
+#: Reply returned by ``get``/``delete`` for a missing key.
+MISSING = "KV-MISSING"
+
+
+def _as_dict(state: frozenset) -> dict:
+    return dict(state)
+
+
+def _as_state(mapping: dict) -> frozenset:
+    return frozenset(mapping.items())
+
+
+def kv_store_type() -> ObjectType:
+    """A key-value store.
+
+    Operations:
+
+    * ``put(key, value)`` → previous value or :data:`MISSING`;
+    * ``get(key)`` → value or :data:`MISSING`;
+    * ``delete(key)`` → removed value or :data:`MISSING`;
+    * ``keys()`` → sorted tuple of keys;
+    * ``size()`` → number of keys.
+    """
+
+    def apply(state: frozenset, invocation: ObjectInvocation) -> tuple[frozenset, Any]:
+        mapping = _as_dict(state)
+        if invocation.operation == "put":
+            key, value = invocation.args
+            previous = mapping.get(key, MISSING)
+            mapping[key] = value
+            return _as_state(mapping), previous
+        if invocation.operation == "get":
+            return state, mapping.get(invocation.args[0], MISSING)
+        if invocation.operation == "delete":
+            key = invocation.args[0]
+            previous = mapping.pop(key, MISSING)
+            return _as_state(mapping), previous
+        if invocation.operation == "keys":
+            return state, tuple(sorted(mapping, key=repr))
+        if invocation.operation == "size":
+            return state, len(mapping)
+        raise ValueError(f"key-value store has no operation {invocation.operation!r}")
+
+    return ObjectType(
+        name="kv-store",
+        initial_state=frozenset(),
+        apply=apply,
+        operations=("put", "get", "delete", "keys", "size"),
+    )

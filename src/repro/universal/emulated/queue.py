@@ -1,0 +1,44 @@
+"""Emulated FIFO queue."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.universal.object_type import ObjectInvocation, ObjectType
+
+__all__ = ["fifo_queue_type"]
+
+#: Reply returned by ``dequeue``/``peek`` on an empty queue.
+EMPTY = "QUEUE-EMPTY"
+
+
+def fifo_queue_type() -> ObjectType:
+    """A FIFO queue whose state is an immutable tuple of items.
+
+    Operations:
+
+    * ``enqueue(item)`` → ``True``;
+    * ``dequeue()`` → the oldest item, or :data:`EMPTY`;
+    * ``peek()`` → the oldest item without removing it, or :data:`EMPTY`;
+    * ``size()`` → number of queued items.
+    """
+
+    def apply(state: tuple, invocation: ObjectInvocation) -> tuple[tuple, Any]:
+        if invocation.operation == "enqueue":
+            return state + (invocation.args[0],), True
+        if invocation.operation == "dequeue":
+            if not state:
+                return state, EMPTY
+            return state[1:], state[0]
+        if invocation.operation == "peek":
+            return state, state[0] if state else EMPTY
+        if invocation.operation == "size":
+            return state, len(state)
+        raise ValueError(f"FIFO queue has no operation {invocation.operation!r}")
+
+    return ObjectType(
+        name="fifo-queue",
+        initial_state=(),
+        apply=apply,
+        operations=("enqueue", "dequeue", "peek", "size"),
+    )

@@ -1,0 +1,63 @@
+"""Emulated registers: multi-writer atomic register and sticky bit."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.universal.object_type import ObjectInvocation, ObjectType
+
+__all__ = ["atomic_register_type", "sticky_bit_type"]
+
+
+def atomic_register_type(initial: Any = None) -> ObjectType:
+    """A multi-reader multi-writer atomic register.
+
+    Operations:
+
+    * ``read()`` → current value;
+    * ``write(v)`` → ``True`` (the new state holds ``v``).
+    """
+
+    def apply(state: Any, invocation: ObjectInvocation) -> tuple[Any, Any]:
+        if invocation.operation == "read":
+            return state, state
+        if invocation.operation == "write":
+            return invocation.args[0], True
+        raise ValueError(f"atomic register has no operation {invocation.operation!r}")
+
+    return ObjectType(
+        name="atomic-register",
+        initial_state=initial,
+        apply=apply,
+        operations=("read", "write"),
+    )
+
+
+def sticky_bit_type() -> ObjectType:
+    """A sticky bit (Plotkin [13]): write-once, then permanently stuck.
+
+    Operations:
+
+    * ``read()`` → ``None`` while unset, else the stuck value;
+    * ``set(v)`` with ``v ∈ {0, 1}`` → ``True`` if this call stuck the bit,
+      ``False`` if it was already stuck (to a possibly different value).
+    """
+
+    def apply(state: Any, invocation: ObjectInvocation) -> tuple[Any, Any]:
+        if invocation.operation == "read":
+            return state, state
+        if invocation.operation == "set":
+            value = invocation.args[0]
+            if value not in (0, 1):
+                raise ValueError("a sticky bit only holds 0 or 1")
+            if state is None:
+                return value, True
+            return state, False
+        raise ValueError(f"sticky bit has no operation {invocation.operation!r}")
+
+    return ObjectType(
+        name="sticky-bit",
+        initial_state=None,
+        apply=apply,
+        operations=("read", "set"),
+    )

@@ -1,0 +1,44 @@
+"""Emulated LIFO stack."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.universal.object_type import ObjectInvocation, ObjectType
+
+__all__ = ["stack_type"]
+
+#: Reply returned by ``pop``/``top`` on an empty stack.
+EMPTY = "STACK-EMPTY"
+
+
+def stack_type() -> ObjectType:
+    """A LIFO stack whose state is an immutable tuple (top last).
+
+    Operations:
+
+    * ``push(item)`` → ``True``;
+    * ``pop()`` → the most recently pushed item, or :data:`EMPTY`;
+    * ``top()`` → the most recently pushed item without removal, or :data:`EMPTY`;
+    * ``size()`` → number of stacked items.
+    """
+
+    def apply(state: tuple, invocation: ObjectInvocation) -> tuple[tuple, Any]:
+        if invocation.operation == "push":
+            return state + (invocation.args[0],), True
+        if invocation.operation == "pop":
+            if not state:
+                return state, EMPTY
+            return state[:-1], state[-1]
+        if invocation.operation == "top":
+            return state, state[-1] if state else EMPTY
+        if invocation.operation == "size":
+            return state, len(state)
+        raise ValueError(f"stack has no operation {invocation.operation!r}")
+
+    return ObjectType(
+        name="stack",
+        initial_state=(),
+        apply=apply,
+        operations=("push", "pop", "top", "size"),
+    )

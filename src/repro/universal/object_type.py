@@ -1,0 +1,111 @@
+"""Deterministic object types ``T = ⟨STATE, S0, INVOKE, REPLY, apply⟩``.
+
+The universal constructions emulate any object whose sequential behaviour
+is captured by a deterministic transition function
+
+    apply(state, invocation) -> (new_state, reply)
+
+States must be treated as immutable values: ``apply`` returns a *new* state
+and never mutates its argument, so that every process replaying the same
+invocation list reaches the same state.  Invocation objects must be
+hashable (they are stored inside tuples in the PEATS) and unique per call
+(Algorithm 4 assumes no two identical invocations; we guarantee it with an
+invoker + sequence-number pair).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+from typing import Any, Callable, Hashable
+
+__all__ = ["ObjectInvocation", "ObjectType", "InvocationFactory"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjectInvocation:
+    """An invocation on an emulated object.
+
+    Attributes
+    ----------
+    operation:
+        Operation name understood by the object type's ``apply`` function.
+    args:
+        Positional arguments (must be hashable).
+    invoker:
+        Identifier of the invoking process.
+    sequence:
+        Per-invoker sequence number; together with ``invoker`` it makes the
+        invocation unique (the "unique timestamp" of Algorithm 4).
+    """
+
+    operation: str
+    args: tuple = ()
+    invoker: Hashable = None
+    sequence: int = 0
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"{self.operation}({rendered})@{self.invoker!r}#{self.sequence}"
+
+
+class InvocationFactory:
+    """Creates unique :class:`ObjectInvocation` objects for one process."""
+
+    def __init__(self, invoker: Hashable) -> None:
+        self._invoker = invoker
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def __call__(self, operation: str, *args: Any) -> ObjectInvocation:
+        with self._lock:
+            sequence = next(self._counter)
+        return ObjectInvocation(
+            operation=operation, args=tuple(args), invoker=self._invoker, sequence=sequence
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjectType:
+    """A deterministic sequential object specification.
+
+    Attributes
+    ----------
+    name:
+        Human-readable type name (``"counter"``, ``"fifo-queue"``, ...).
+    initial_state:
+        The initial state ``S_T``.
+    apply:
+        The transition function ``apply_T``; must be pure and deterministic.
+    operations:
+        Optional tuple of the operation names the type understands, used
+        for validation and documentation.
+    """
+
+    name: str
+    initial_state: Any
+    apply: Callable[[Any, ObjectInvocation], tuple[Any, Any]]
+    operations: tuple[str, ...] = ()
+
+    def validate_invocation(self, invocation: ObjectInvocation) -> None:
+        """Raise ``ValueError`` for operations the type does not declare."""
+        if self.operations and invocation.operation not in self.operations:
+            raise ValueError(
+                f"object type {self.name!r} has no operation {invocation.operation!r} "
+                f"(known: {', '.join(self.operations)})"
+            )
+
+    def run_sequentially(self, invocations: list[ObjectInvocation]) -> tuple[Any, list[Any]]:
+        """Apply a list of invocations from the initial state.
+
+        Returns the final state and the list of replies — the sequential
+        specification the linearizability tests compare against.
+        """
+        state = self.initial_state
+        replies: list[Any] = []
+        for invocation in invocations:
+            self.validate_invocation(invocation)
+            state, reply = self.apply(state, invocation)
+            replies.append(reply)
+        return state, replies

@@ -1,0 +1,94 @@
+"""Tests for metrics, resilience sweeps and report formatting."""
+
+from repro.analysis import (
+    consensus_operation_counts,
+    format_table,
+    peats_stored_bits,
+    space_tuple_census,
+    sweep_strong_consensus_resilience,
+)
+from repro.analysis.resilience import worst_case_proposals
+from repro.consensus import StrongConsensus, WeakConsensus, run_consensus
+from repro.peo import PEATS
+from repro.policy import strong_consensus_policy, weak_consensus_policy
+from repro.tspace.history import HistoryRecorder
+from repro.tuples import entry
+
+
+class TestMetrics:
+    def test_space_tuple_census(self):
+        consensus = StrongConsensus(range(4), 1)
+        run_consensus(consensus, {p: 1 for p in range(4)})
+        census = space_tuple_census(consensus.space)
+        assert census == {"PROPOSE": 4, "DECISION": 1}
+
+    def test_peats_stored_bits_with_and_without_domain(self):
+        space = PEATS(strong_consensus_policy(range(4), 1))
+        space.out(entry("PROPOSE", 0, 1), process=0)
+        natural = peats_stored_bits(space)
+        with_domain = peats_stored_bits(space, process_count=4)
+        assert natural > 0
+        assert with_domain > 0
+        # With domain accounting, the process-id field costs ceil(log2 4) = 2
+        # bits and the value field (1 < 4, also looks like an id) 2 bits.
+        assert with_domain == 8 * len("PROPOSE") + 2 + 2
+
+    def test_operation_counts(self):
+        history = HistoryRecorder()
+        space = PEATS(weak_consensus_policy(), history=history)
+        consensus = WeakConsensus(space)
+        for pid in range(3):
+            consensus.propose(pid, pid)
+        summary = consensus_operation_counts(history)
+        assert summary["total_operations"] == 3
+        assert summary["by_kind"] == {"cas": 3}
+        assert summary["mean_per_process"] == 1.0
+        assert summary["denied"] == 0
+
+
+class TestResilienceSweep:
+    def test_termination_follows_the_theorem_4_bound(self):
+        results = sweep_strong_consensus_resilience(
+            [(4, 1, 2), (3, 1, 2), (7, 2, 2), (6, 2, 2), (7, 2, 3), (10, 3, 2)],
+            max_rounds=150,
+        )
+        for result in results:
+            assert result.terminated == result.meets_bound
+            assert result.agreement
+            assert result.strong_validity
+
+    def test_worst_case_proposals_never_exceed_t_per_value_below_bound(self):
+        processes = tuple(range(6))
+        proposals = worst_case_proposals(processes, 2, (0, 1))
+        counts = {}
+        for value in proposals.values():
+            counts[value] = counts.get(value, 0) + 1
+        assert all(count <= 2 for count in counts.values())
+        assert len(proposals) == 4  # the last t processes stay silent
+
+    def test_worst_case_proposals_above_bound_reach_quorum(self):
+        processes = tuple(range(7))
+        proposals = worst_case_proposals(processes, 2, (0, 1))
+        counts = {}
+        for value in proposals.values():
+            counts[value] = counts.get(value, 0) + 1
+        assert max(counts.values()) >= 3  # t + 1
+
+
+class TestReporting:
+    def test_format_table_renders_columns(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "a" in text.splitlines()[1]
+        assert "2.500" in text
+        assert "10" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], title="demo")
+
+    def test_format_table_respects_column_order(self):
+        rows = [{"x": 1, "y": 2}]
+        text = format_table(rows, columns=["y", "x"])
+        header = text.splitlines()[0]
+        assert header.index("y") < header.index("x")

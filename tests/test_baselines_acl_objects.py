@@ -1,0 +1,88 @@
+"""Tests for ACLs, sticky bits and registers (the prior model's objects)."""
+
+import pytest
+
+from repro.baselines import ACL, SharedRegister, StickyBit
+from repro.peo.base import DeniedResult
+from repro.tspace.history import HistoryRecorder
+
+
+class TestACL:
+    def test_allows_membership_and_open_operations(self):
+        acl = ACL({"read": None, "set": {"p1", "p2"}})
+        assert acl.allows("read", "anyone")
+        assert acl.allows("set", "p1")
+        assert not acl.allows("set", "p9")
+
+    def test_unlisted_operation_denied(self):
+        acl = ACL({"read": None})
+        assert not acl.allows("write", "p1")
+
+    def test_allowed_processes_accessor(self):
+        acl = ACL({"set": {"p1"}})
+        assert acl.allowed_processes("set") == frozenset({"p1"})
+        assert acl.allowed_processes("read") is None
+        assert acl.operations() == ("set",)
+
+    def test_compiles_to_equivalent_policy(self):
+        acl = ACL({"read": None, "set": {"p1"}})
+        policy = acl.to_policy(name="bit")
+        from repro.policy.invocation import Invocation
+
+        assert policy.evaluate(Invocation("x", "read"), None)[0]
+        assert policy.evaluate(Invocation("p1", "set", (1,)), None)[0]
+        assert not policy.evaluate(Invocation("x", "set", (1,)), None)[0]
+        assert not policy.evaluate(Invocation("p1", "delete"), None)[0]
+
+
+class TestStickyBit:
+    def test_write_once_semantics(self):
+        bit = StickyBit(writers={"p1", "p2"})
+        assert bit.read(process="anyone") is None
+        assert bit.set(1, process="p1") is True
+        assert bit.set(0, process="p2") is False
+        assert bit.read(process="anyone") == 1
+        assert bit.is_set
+
+    def test_acl_enforced_on_set(self):
+        bit = StickyBit(writers={"p1"})
+        result = bit.set(1, process="intruder")
+        assert isinstance(result, DeniedResult)
+        assert bit.value is None
+
+    def test_open_writers_when_unrestricted(self):
+        bit = StickyBit()
+        assert bit.set(0, process="anyone") is True
+
+    def test_rejects_non_binary_values(self):
+        bit = StickyBit()
+        with pytest.raises(ValueError):
+            bit.set(7, process="p1")
+
+    def test_history(self):
+        history = HistoryRecorder()
+        bit = StickyBit(writers={"p1"}, history=history)
+        bit.set(1, process="p1")
+        bit.set(0, process="bad")
+        assert history.denied_count() == 1
+
+
+class TestSharedRegister:
+    def test_read_write(self):
+        register = SharedRegister(initial=0, writers={"p1"})
+        assert register.read(process="x") == 0
+        assert register.write(9, process="p1") is True
+        assert register.read(process="x") == 9
+
+    def test_register_is_resettable_unlike_sticky_bit(self):
+        # This is the property that makes registers useless for Byzantine
+        # consensus (Attie [10]) and sticky bits/PEATS necessary.
+        register = SharedRegister(initial=0, writers=None)
+        register.write(5, process="a")
+        register.write(0, process="b")
+        assert register.read(process="c") == 0
+
+    def test_acl_on_writes(self):
+        register = SharedRegister(initial=0, writers={"p1"})
+        assert not register.write(1, process="intruder")
+        assert register.value == 0

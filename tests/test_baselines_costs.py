@@ -1,0 +1,90 @@
+"""Tests for the closed-form cost models (experiment E1 inputs)."""
+
+import math
+
+import pytest
+
+from repro.baselines import costs
+
+
+class TestLogCeil:
+    def test_values(self):
+        assert costs.log_ceil(1) == 1
+        assert costs.log_ceil(2) == 1
+        assert costs.log_ceil(13) == 4
+        assert costs.log_ceil(1024) == 10
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            costs.log_ceil(0)
+
+
+class TestPaperFormulas:
+    def test_strong_consensus_formula_matches_section_5_2(self):
+        n, t = 13, 4
+        id_bits = math.ceil(math.log2(n))
+        expected = n * (id_bits + 1) + (1 + (t + 1) * id_bits)
+        assert costs.peats_strong_consensus_bits(n, t) == expected
+
+    def test_alon_footnote_value_1764_sticky_bits(self):
+        # Footnote 4: t = 4, n = 13 → 1,764 sticky bits.
+        assert costs.alon_sticky_bits(13, 4) == 1764
+
+    def test_peats_orders_of_magnitude_below_alon(self):
+        # The headline comparison: the PEATS cost is tens of bits where the
+        # sticky-bit algorithm needs thousands, and the gap explodes with t.
+        # (At t = 1 the two are comparable — 17 bits vs 15 sticky bits — the
+        # exponential separation kicks in from t = 2 onwards.)
+        for t in range(2, 8):
+            n = 3 * t + 1
+            assert costs.peats_strong_consensus_bits(n, t) < costs.alon_sticky_bits(n, t)
+        assert costs.alon_sticky_bits(31, 10) / costs.peats_strong_consensus_bits(31, 10) > 1000
+
+    def test_weak_consensus_bits(self):
+        assert costs.peats_weak_consensus_bits(2) == 1
+        assert costs.peats_weak_consensus_bits(16) == 4
+        with pytest.raises(ValueError):
+            costs.peats_weak_consensus_bits(1)
+
+    def test_multivalued_bits_scale_with_log_of_domain(self):
+        small = costs.peats_multivalued_consensus_bits(10, 3, 2)
+        large = costs.peats_multivalued_consensus_bits(10, 3, 1024)
+        assert large > small
+        # O(n (log n + log |V|)): growth is additive in log |V|, not multiplicative.
+        assert large - small == (10 + 1) * (10 - 1)
+
+    def test_malkhi_profile(self):
+        assert costs.malkhi_sticky_bits(4) == 9
+        assert costs.malkhi_min_processes(4) == 45
+        assert costs.malkhi_min_processes(1) == 6
+
+    def test_resilience_bounds(self):
+        assert costs.peats_min_processes(4) == 13
+        assert costs.alon_min_processes(4) == 13
+        assert costs.min_processes_k_valued(2, 3) == 9
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            costs.peats_strong_consensus_bits(0, 1)
+        with pytest.raises(ValueError):
+            costs.alon_sticky_bits(4, -1)
+        with pytest.raises(ValueError):
+            costs.malkhi_sticky_bits(-1)
+
+
+class TestComparisonTable:
+    def test_rows_cover_requested_t_values(self):
+        rows = costs.comparison_table([1, 2, 4])
+        assert [row["t"] for row in rows] == [1, 2, 4]
+        assert [row["n"] for row in rows] == [4, 7, 13]
+
+    def test_t4_row_matches_footnotes(self):
+        (row,) = costs.comparison_table([4])
+        assert row["alon_sticky_bits"] == 1764
+        assert row["malkhi_sticky_bits"] == 9
+        assert row["malkhi_required_n"] == 45
+        assert row["peats_bits"] == costs.peats_strong_consensus_bits(13, 4)
+
+    def test_peats_cheapest_in_bits_at_optimal_resilience_for_t_at_least_2(self):
+        for row in costs.comparison_table(range(2, 10)):
+            assert row["peats_bits"] < row["alon_sticky_bits"]

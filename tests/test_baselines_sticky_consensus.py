@@ -1,0 +1,87 @@
+"""Tests for the sticky-bit strong consensus baseline."""
+
+import pytest
+
+from repro.baselines import StickyBitStrongConsensus
+from repro.consensus import run_consensus
+from repro.consensus.base import check_agreement, check_strong_validity
+from repro.errors import ResilienceError
+from repro.model.scheduler import random_schedule
+
+
+class TestConstruction:
+    def test_requires_t_plus_1_times_2t_plus_1_processes(self):
+        with pytest.raises(ResilienceError):
+            StickyBitStrongConsensus(range(5), 1)  # needs (2)(3) = 6
+        StickyBitStrongConsensus(range(6), 1)
+
+    def test_resource_profile(self):
+        consensus = StickyBitStrongConsensus(range(15), 2)
+        assert consensus.bit_count == 5
+        assert consensus.memory_bits() == 5
+        assert consensus.required_processes() == 15
+        assert len(consensus.bits) == 5
+
+    def test_groups_partition_processes(self):
+        consensus = StickyBitStrongConsensus(range(6), 1)
+        groups = {consensus.group_of(p) for p in range(6)}
+        assert groups == {0, 1, 2}
+
+    def test_binary_only(self):
+        consensus = StickyBitStrongConsensus(range(6), 1)
+        with pytest.raises(ValueError):
+            consensus.propose(0, "blue", max_iterations=5)
+
+
+class TestDecisions:
+    def test_unanimous(self):
+        consensus = StickyBitStrongConsensus(range(6), 1)
+        run = run_consensus(consensus, {p: 1 for p in range(6)})
+        assert run.terminated and run.decision() == 1
+
+    def test_mixed_inputs_satisfy_strong_validity(self):
+        consensus = StickyBitStrongConsensus(range(6), 1)
+        proposals = {p: p % 2 for p in range(6)}
+        run = run_consensus(consensus, proposals)
+        assert run.terminated
+        assert check_agreement(run.outcomes.values())
+        assert check_strong_validity(run.outcomes.values(), proposals.values())
+
+    def test_byzantine_group_member_cannot_flip_unanimous_decision(self):
+        # The Byzantine process (5) races to stick its group's bit with 0
+        # while every correct process proposes 1.  At most t = 1 bits can be
+        # polluted, so the majority over 2t + 1 = 3 bits is still 1.
+        consensus = StickyBitStrongConsensus(range(6), 1)
+
+        def byzantine(consensus_object, process):
+            consensus_object.bits[consensus_object.group_of(process)].set(0, process=process)
+            return
+            yield  # pragma: no cover
+
+        proposals = {p: 1 for p in range(5)}
+        run = run_consensus(consensus, proposals, byzantine={5: byzantine})
+        assert run.terminated
+        assert run.decision() == 1
+
+    def test_silent_byzantine_processes_do_not_block(self):
+        # Every group has at least one correct member, so all bits get set.
+        consensus = StickyBitStrongConsensus(range(6), 1)
+        proposals = {p: 1 for p in range(5)}  # process 5 silent
+        run = run_consensus(consensus, proposals, max_rounds=500)
+        assert run.terminated
+
+    def test_decision_view(self):
+        consensus = StickyBitStrongConsensus(range(6), 1)
+        assert consensus.decision() is None
+        run_consensus(consensus, {p: 0 for p in range(6)})
+        assert consensus.decision() == 0
+
+    def test_reproducible_under_random_schedules(self):
+        for seed in (1, 2, 3):
+            consensus = StickyBitStrongConsensus(range(15), 2)
+            proposals = {p: p % 2 for p in range(13)}
+            run = run_consensus(
+                consensus, proposals, schedule=random_schedule(seed), max_rounds=2000
+            )
+            assert run.terminated
+            assert check_agreement(run.outcomes.values())

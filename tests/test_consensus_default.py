@@ -1,0 +1,111 @@
+"""Tests for the default multivalued consensus (Section 5.4)."""
+
+import pytest
+
+from repro.consensus import DefaultConsensus, run_consensus
+from repro.consensus.base import check_agreement, check_default_strong_validity
+from repro.errors import ResilienceError
+from repro.model.faults import bottom_forcing_byzantine, silent_byzantine
+from repro.policy.library import BOTTOM
+
+
+class TestConstruction:
+    def test_resilience_is_3t_plus_1(self):
+        with pytest.raises(ResilienceError):
+            DefaultConsensus(range(3), 1)
+        DefaultConsensus(range(4), 1)
+
+    def test_bottom_cannot_be_proposed(self):
+        consensus = DefaultConsensus(range(4), 1)
+        with pytest.raises(ValueError):
+            consensus.propose(0, BOTTOM, max_iterations=5)
+
+    def test_bottom_property_exposed(self):
+        assert DefaultConsensus(range(4), 1).bottom is BOTTOM
+
+
+class TestDecisions:
+    def test_unanimous_value_is_decided(self):
+        consensus = DefaultConsensus(range(4), 1)
+        proposals = {p: "v" for p in range(4)}
+        run = run_consensus(consensus, proposals)
+        assert run.terminated
+        assert run.decision() == "v"
+
+    def test_majority_value_is_decided_when_supported_by_t_plus_1(self):
+        consensus = DefaultConsensus(range(4), 1)
+        proposals = {0: "a", 1: "a", 2: "b", 3: "c"}
+        run = run_consensus(consensus, proposals)
+        assert run.terminated
+        assert run.decision() == "a"
+
+    def test_split_values_decide_bottom(self):
+        # Multivalued with every process proposing something different: no
+        # value reaches t + 1, so the decision is ⊥ — and that is legal
+        # because resilience stays at 3t + 1 regardless of |V|.
+        consensus = DefaultConsensus(range(4), 1)
+        proposals = {0: "a", 1: "b", 2: "c", 3: "d"}
+        run = run_consensus(consensus, proposals)
+        assert run.terminated
+        assert run.decision() == BOTTOM
+
+    def test_agreement_and_default_validity_properties(self):
+        consensus = DefaultConsensus(range(7), 2)
+        proposals = {p: f"v{p % 3}" for p in range(7)}
+        run = run_consensus(consensus, proposals)
+        assert run.terminated
+        outcomes = list(run.outcomes.values())
+        assert check_agreement(outcomes)
+        assert check_default_strong_validity(outcomes, proposals, BOTTOM)
+
+    def test_decision_view(self):
+        consensus = DefaultConsensus(range(4), 1)
+        assert consensus.decision() is None
+        run_consensus(consensus, {p: "x" for p in range(4)})
+        assert consensus.decision() == "x"
+
+
+class TestByzantineResistance:
+    def test_byzantine_cannot_force_bottom_when_correct_agree(self):
+        # Default Strong Validity condition 1: if all correct processes
+        # propose v, the decision is v — a Byzantine ⊥-forcer must fail.
+        consensus = DefaultConsensus(range(4), 1)
+        proposals = {0: "v", 1: "v", 2: "v"}
+        run = run_consensus(
+            consensus, proposals, byzantine={3: bottom_forcing_byzantine()}
+        )
+        assert run.terminated
+        assert run.decision() == "v"
+
+    def test_silent_byzantine_still_terminates(self):
+        consensus = DefaultConsensus(range(4), 1)
+        proposals = {0: "v", 1: "v", 2: "w"}
+        run = run_consensus(consensus, proposals, byzantine={3: silent_byzantine})
+        assert run.terminated
+        assert run.decision() in ("v", BOTTOM)
+        # "v" has t + 1 = 2 supporters, so ⊥ is only reachable if the
+        # decider read the proposals before both v's landed — both results
+        # satisfy Default Strong Validity; Agreement is what matters.
+        assert check_agreement(run.outcomes.values())
+
+    def test_below_bound_does_not_terminate(self):
+        consensus = DefaultConsensus(range(4), 1)
+        # Only two correct proposers (n - t requires 3 participants).
+        run = run_consensus(consensus, {0: "a", 1: "b"}, max_rounds=50)
+        assert not run.terminated
+
+
+class TestSpaceShape:
+    def test_bottom_decision_carries_proof(self):
+        consensus = DefaultConsensus(range(4), 1)
+        run_consensus(consensus, {0: "a", 1: "b", 2: "c", 3: "d"})
+        decision_tuples = [
+            stored for stored in consensus.space.snapshot() if stored.fields[0] == "DECISION"
+        ]
+        assert len(decision_tuples) == 1
+        value, proof = decision_tuples[0].fields[1], decision_tuples[0].fields[2]
+        assert value == BOTTOM
+        covered = set()
+        for _, group in proof:
+            covered |= set(group)
+        assert len(covered) >= len(consensus.processes) - consensus.t

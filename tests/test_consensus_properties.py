@@ -1,0 +1,136 @@
+"""Property-based tests for the consensus objects (hypothesis).
+
+The properties come straight from the paper's definitions: Agreement,
+(Strong / Default Strong) Validity and termination at or above the
+resilience bound, under randomly drawn proposal vectors, schedules and
+Byzantine strategies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus import DefaultConsensus, StrongConsensus, WeakConsensus, run_consensus
+from repro.consensus.base import (
+    check_agreement,
+    check_default_strong_validity,
+    check_strong_validity,
+    check_validity,
+)
+from repro.model.faults import (
+    bottom_forcing_byzantine,
+    conflicting_value_byzantine,
+    double_proposing_byzantine,
+    impersonating_byzantine,
+    silent_byzantine,
+    spamming_byzantine,
+    unjustified_deciding_byzantine,
+)
+from repro.model.scheduler import random_schedule
+from repro.policy.library import BOTTOM
+
+#: The Byzantine strategies drawn for the strong/default consensus runs.
+byzantine_strategies = st.sampled_from(
+    [
+        silent_byzantine,
+        double_proposing_byzantine(0, 1),
+        conflicting_value_byzantine(0),
+        impersonating_byzantine(victim=0, value=0),
+        unjustified_deciding_byzantine(value=0, fake_supporters=(3,)),
+        spamming_byzantine(rounds=3),
+    ]
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    proposals=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_weak_consensus_agreement_and_validity(proposals, seed):
+    consensus = WeakConsensus.create()
+    mapping = {f"p{i}": value for i, value in enumerate(proposals)}
+    run = run_consensus(consensus, mapping, schedule=random_schedule(seed))
+    assert run.terminated
+    outcomes = list(run.outcomes.values())
+    assert check_agreement(outcomes)
+    assert check_validity(outcomes, mapping.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    correct_values=st.lists(st.integers(min_value=0, max_value=1), min_size=3, max_size=3),
+    strategy=byzantine_strategies,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_strong_binary_consensus_with_one_byzantine(correct_values, strategy, seed):
+    """n = 4, t = 1: three correct proposers plus one adversarial process."""
+    consensus = StrongConsensus(range(4), 1)
+    proposals = {i: value for i, value in enumerate(correct_values)}
+    run = run_consensus(
+        consensus,
+        proposals,
+        byzantine={3: strategy},
+        schedule=random_schedule(seed),
+        max_rounds=2000,
+    )
+    assert run.terminated
+    outcomes = list(run.outcomes.values())
+    assert check_agreement(outcomes)
+    assert check_strong_validity(outcomes, proposals.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_and_t=st.sampled_from([(4, 1), (7, 2), (10, 3)]),
+    seed=st.integers(min_value=0, max_value=2**16),
+    data=st.data(),
+)
+def test_strong_binary_consensus_scales_with_population(n_and_t, seed, data):
+    n, t = n_and_t
+    values = data.draw(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=n - t, max_size=n - t)
+    )
+    consensus = StrongConsensus(range(n), t)
+    proposals = {i: v for i, v in enumerate(values)}
+    run = run_consensus(
+        consensus, proposals, schedule=random_schedule(seed), max_rounds=5000
+    )
+    assert run.terminated
+    outcomes = list(run.outcomes.values())
+    assert check_agreement(outcomes)
+    assert check_strong_validity(outcomes, proposals.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    correct_values=st.lists(
+        st.sampled_from(["a", "b", "c", "d"]), min_size=3, max_size=3
+    ),
+    use_bottom_forcer=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_default_consensus_properties(correct_values, use_bottom_forcer, seed):
+    consensus = DefaultConsensus(range(4), 1)
+    proposals = {i: value for i, value in enumerate(correct_values)}
+    byzantine = {3: bottom_forcing_byzantine()} if use_bottom_forcer else {3: silent_byzantine}
+    run = run_consensus(
+        consensus,
+        proposals,
+        byzantine=byzantine,
+        schedule=random_schedule(seed),
+        max_rounds=2000,
+    )
+    assert run.terminated
+    outcomes = list(run.outcomes.values())
+    assert check_agreement(outcomes)
+    assert check_default_strong_validity(outcomes, proposals, BOTTOM)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_weak_consensus_single_stored_tuple_invariant(seed):
+    """Whatever the schedule, the Fig. 3 policy admits exactly one tuple."""
+    consensus = WeakConsensus.create()
+    mapping = {f"p{i}": i for i in range(6)}
+    run_consensus(consensus, mapping, schedule=random_schedule(seed))
+    assert len(consensus.space.snapshot()) == 1

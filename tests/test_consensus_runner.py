@@ -1,0 +1,143 @@
+"""Tests for the consensus execution harnesses."""
+
+import pytest
+
+from repro.consensus import StrongConsensus, WeakConsensus, run_consensus, run_consensus_threaded
+from repro.consensus.base import ConsensusOutcome, TerminationCondition, require_resilience
+from repro.consensus.runner import ConsensusRun
+from repro.errors import ResilienceError
+from repro.model.faults import silent_byzantine
+from repro.model.scheduler import adversarial_schedule, random_schedule
+
+
+class TestConsensusRun:
+    def test_decided_values_and_agreement(self):
+        run = ConsensusRun(
+            outcomes={
+                "a": ConsensusOutcome("a", 1, 5),
+                "b": ConsensusOutcome("b", 2, 5),
+            },
+            rounds=3,
+            terminated=True,
+        )
+        assert run.decided_values == {5}
+        assert run.agreement
+        assert run.decision() == 5
+
+    def test_decision_raises_on_disagreement(self):
+        run = ConsensusRun(
+            outcomes={
+                "a": ConsensusOutcome("a", 1, 5),
+                "b": ConsensusOutcome("b", 2, 6),
+            },
+            rounds=1,
+            terminated=True,
+        )
+        assert not run.agreement
+        with pytest.raises(AssertionError):
+            run.decision()
+
+    def test_non_terminated_outcomes_ignored_in_decided_values(self):
+        run = ConsensusRun(
+            outcomes={"a": ConsensusOutcome("a", 1, None, terminated=False)},
+            rounds=1,
+            terminated=False,
+        )
+        assert run.decided_values == set()
+        assert run.decision() is None
+
+
+class TestDeterministicRunner:
+    def test_is_reproducible_with_a_seeded_schedule(self):
+        decisions = []
+        for _ in range(3):
+            consensus = StrongConsensus(range(4), 1)
+            run = run_consensus(
+                consensus, {0: 0, 1: 1, 2: 0, 3: 1}, schedule=random_schedule(1234)
+            )
+            decisions.append(run.decision())
+        assert len(set(decisions)) == 1
+
+    def test_reports_errors_from_misbehaving_generators(self):
+        def exploding(consensus, process):
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        consensus = WeakConsensus.create()
+        run = run_consensus(consensus, {"p1": 1}, byzantine={"bad": exploding})
+        assert run.terminated  # the correct process still decided
+        assert "bad" in run.errors
+
+    def test_errors_from_correct_processes_mark_non_termination(self):
+        class Broken(WeakConsensus):
+            def propose_steps(self, process, value):
+                raise RuntimeError("broken algorithm")
+                yield  # pragma: no cover
+
+        run = run_consensus(Broken(), {"p1": 1})
+        assert not run.terminated
+        assert "p1" in run.errors
+
+    def test_max_rounds_marks_victims_as_non_terminated(self):
+        consensus = StrongConsensus(range(4), 1)
+        run = run_consensus(consensus, {0: 0}, max_rounds=10)
+        assert not run.terminated
+        assert not run.outcomes[0].terminated
+        assert run.rounds == 10
+
+    def test_iteration_counts_are_recorded(self):
+        consensus = StrongConsensus(range(4), 1)
+        run = run_consensus(consensus, {p: 1 for p in range(4)})
+        assert all(outcome.iterations >= 0 for outcome in run.outcomes.values())
+
+    def test_adversarial_schedule_starving_a_victim_still_terminates(self):
+        # The victim is scheduled rarely, but t-threshold liveness only needs
+        # n - t participants overall, and the victim eventually reads the
+        # DECISION tuple.
+        consensus = StrongConsensus(range(4), 1)
+        run = run_consensus(
+            consensus,
+            {p: 1 for p in range(4)},
+            schedule=adversarial_schedule([0], starve_rounds=10),
+            max_rounds=2000,
+        )
+        assert run.terminated
+
+
+class TestThreadedRunner:
+    def test_byzantine_callable_runs_in_thread(self):
+        seen = []
+
+        def behaviour(consensus, process):
+            seen.append(process)
+
+        consensus = WeakConsensus.create()
+        run = run_consensus_threaded(consensus, {"p1": 1}, byzantine={"byz": behaviour})
+        assert run.terminated
+        assert seen == ["byz"]
+
+    def test_byzantine_exception_is_collected(self):
+        def behaviour(consensus, process):
+            raise RuntimeError("byzantine crash")
+
+        consensus = WeakConsensus.create()
+        run = run_consensus_threaded(consensus, {"p1": 1}, byzantine={"byz": behaviour})
+        assert run.terminated
+        assert "byz" in run.errors
+
+
+class TestResilienceHelper:
+    def test_require_resilience(self):
+        require_resilience(4, 1)
+        require_resilience(9, 2, k=3)
+        with pytest.raises(ResilienceError):
+            require_resilience(3, 1)
+        with pytest.raises(ResilienceError):
+            require_resilience(8, 2, k=3)
+        with pytest.raises(ResilienceError):
+            require_resilience(4, -1)
+
+    def test_termination_condition_labels(self):
+        assert TerminationCondition.WAIT_FREE.value == "wait-free"
+        assert WeakConsensus.termination is TerminationCondition.WAIT_FREE
+        assert StrongConsensus.termination is TerminationCondition.T_THRESHOLD

@@ -1,0 +1,172 @@
+"""Tests for Algorithm 2 — strong binary and k-valued consensus."""
+
+import pytest
+
+from repro.consensus import StrongConsensus, run_consensus, run_consensus_threaded
+from repro.consensus.base import check_agreement, check_strong_validity
+from repro.errors import ResilienceError, TerminationError
+from repro.model.faults import (
+    double_proposing_byzantine,
+    impersonating_byzantine,
+    silent_byzantine,
+    spamming_byzantine,
+    unjustified_deciding_byzantine,
+)
+from repro.model.scheduler import random_schedule, reversed_schedule
+
+
+class TestConstruction:
+    def test_resilience_enforced_by_default(self):
+        with pytest.raises(ResilienceError):
+            StrongConsensus(range(3), 1)
+
+    def test_resilience_bound_is_k_plus_one_t_plus_one(self):
+        with pytest.raises(ResilienceError):
+            StrongConsensus(range(7), 2, values=(0, 1, 2))  # needs (3+1)*2+1 = 9
+        with pytest.raises(ResilienceError):
+            StrongConsensus(range(10), 2, values=(0, 1, 2, 4))  # needs 11
+        StrongConsensus(range(10), 3)  # binary: 3t + 1 = 10 is enough
+        StrongConsensus(range(9), 2, values=(0, 1, 2))  # k-valued bound met exactly
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            StrongConsensus(range(4), 1, values=(0, 0))
+
+    def test_enforcement_can_be_disabled(self):
+        consensus = StrongConsensus(range(3), 1, enforce_resilience=False)
+        assert consensus.t == 1
+
+
+class TestAllCorrect:
+    def test_unanimous_binary(self):
+        consensus = StrongConsensus(range(4), 1)
+        run = run_consensus(consensus, {p: 1 for p in range(4)})
+        assert run.terminated and run.decision() == 1
+
+    def test_mixed_binary_decides_a_correctly_proposed_value(self):
+        consensus = StrongConsensus(range(4), 1)
+        proposals = {0: 0, 1: 1, 2: 1, 3: 0}
+        run = run_consensus(consensus, proposals)
+        assert run.terminated
+        assert check_agreement(run.outcomes.values())
+        assert check_strong_validity(run.outcomes.values(), proposals.values())
+
+    def test_larger_population(self):
+        consensus = StrongConsensus(range(10), 3)
+        proposals = {p: p % 2 for p in range(10)}
+        run = run_consensus(consensus, proposals)
+        assert run.terminated
+        assert check_agreement(run.outcomes.values())
+
+    def test_k_valued(self):
+        values = (0, 1, 2)
+        consensus = StrongConsensus(range(8), 2, values=values, enforce_resilience=False)
+        # 8 >= (3+1)*2+1 is false (9); use t=1 instead for a clean run.
+        consensus = StrongConsensus(range(8), 1, values=values)
+        proposals = {p: p % 3 for p in range(8)}
+        run = run_consensus(consensus, proposals)
+        assert run.terminated
+        assert check_agreement(run.outcomes.values())
+        assert check_strong_validity(run.outcomes.values(), proposals.values())
+
+    def test_decision_view(self):
+        consensus = StrongConsensus(range(4), 1)
+        assert consensus.decision() is None
+        run_consensus(consensus, {p: 1 for p in range(4)})
+        assert consensus.decision() == 1
+
+
+class TestWithByzantineProcesses:
+    def test_silent_byzantine_process(self):
+        consensus = StrongConsensus(range(4), 1)
+        proposals = {0: 1, 1: 1, 2: 1}
+        run = run_consensus(consensus, proposals, byzantine={3: silent_byzantine})
+        assert run.terminated
+        assert run.decision() == 1
+
+    def test_strong_validity_with_adversarial_minority(self):
+        # All correct processes propose 1; the Byzantine process proposes 0
+        # and also tries to decide 0 with a fake justification — it must not
+        # be able to make 0 the decision.
+        consensus = StrongConsensus(range(4), 1)
+        proposals = {0: 1, 1: 1, 2: 1}
+        run = run_consensus(
+            consensus,
+            proposals,
+            byzantine={3: unjustified_deciding_byzantine(value=0, fake_supporters=(3, 2))},
+        )
+        assert run.terminated
+        assert run.decision() == 1
+
+    def test_double_proposal_is_neutralised(self):
+        consensus = StrongConsensus(range(4), 1)
+        proposals = {0: 0, 1: 0, 2: 0}
+        run = run_consensus(
+            consensus, proposals, byzantine={3: double_proposing_byzantine(1, 0)}
+        )
+        assert run.terminated
+        assert run.decision() == 0
+
+    def test_impersonation_is_rejected(self):
+        consensus = StrongConsensus(range(4), 1)
+        proposals = {0: 1, 1: 1, 2: 1}
+        run = run_consensus(
+            consensus, proposals, byzantine={3: impersonating_byzantine(victim=0, value=0)}
+        )
+        assert run.terminated and run.decision() == 1
+
+    def test_spammer_does_not_break_safety(self):
+        consensus = StrongConsensus(range(7), 2)
+        proposals = {p: 1 for p in range(5)}
+        run = run_consensus(
+            consensus, proposals, byzantine={5: spamming_byzantine(), 6: silent_byzantine}
+        )
+        assert run.terminated and run.decision() == 1
+
+
+class TestSchedulesAndLiveness:
+    def test_agreement_under_adversarial_and_random_schedules(self):
+        for schedule in (reversed_schedule, random_schedule(7), random_schedule(99)):
+            consensus = StrongConsensus(range(4), 1)
+            proposals = {0: 0, 1: 1, 2: 0, 3: 1}
+            run = run_consensus(consensus, proposals, schedule=schedule)
+            assert run.terminated
+            assert check_agreement(run.outcomes.values())
+
+    def test_non_termination_below_quorum_of_proposers(self):
+        # Only t proposers per value and silent others: no value reaches
+        # t + 1, so the algorithm must not terminate (t-threshold liveness
+        # requires n - t participants).
+        consensus = StrongConsensus(range(4), 1)
+        run = run_consensus(consensus, {0: 0, 1: 1}, max_rounds=50)
+        assert not run.terminated
+
+    def test_propose_raises_termination_error_when_starved(self):
+        consensus = StrongConsensus(range(4), 1)
+        with pytest.raises(TerminationError):
+            consensus.propose(0, 1, max_iterations=20)
+
+    def test_threaded_runner(self):
+        consensus = StrongConsensus(range(4), 1)
+        run = run_consensus_threaded(consensus, {p: p % 2 for p in range(4)})
+        assert run.terminated
+        assert check_agreement(run.outcomes.values())
+
+
+class TestMemoryShape:
+    def test_space_holds_n_proposals_and_one_decision(self):
+        consensus = StrongConsensus(range(4), 1)
+        run_consensus(consensus, {p: 1 for p in range(4)})
+        census = {}
+        for stored in consensus.space.snapshot():
+            census[stored.fields[0]] = census.get(stored.fields[0], 0) + 1
+        assert census == {"PROPOSE": 4, "DECISION": 1}
+
+    def test_decision_justification_has_t_plus_one_members(self):
+        consensus = StrongConsensus(range(4), 1)
+        run_consensus(consensus, {p: 1 for p in range(4)})
+        decision_tuples = [
+            stored for stored in consensus.space.snapshot() if stored.fields[0] == "DECISION"
+        ]
+        assert len(decision_tuples) == 1
+        assert len(decision_tuples[0].fields[2]) >= consensus.t + 1

@@ -1,0 +1,109 @@
+"""Tests for Algorithm 1 — weak consensus."""
+
+import threading
+
+import pytest
+
+from repro.consensus import WeakConsensus, run_consensus
+from repro.consensus.base import check_agreement, check_validity
+from repro.peo import PEATS
+from repro.policy import weak_consensus_policy
+from repro.tspace.history import HistoryRecorder
+from repro.tuples import entry
+
+
+class TestSequentialBehaviour:
+    def test_first_proposer_wins(self):
+        consensus = WeakConsensus.create()
+        assert consensus.propose("p1", "blue") == "blue"
+        assert consensus.propose("p2", "red") == "blue"
+        assert consensus.propose("p3", "green") == "blue"
+
+    def test_is_multivalued(self):
+        consensus = WeakConsensus.create()
+        assert consensus.propose("p1", ("arbitrary", 42)) == ("arbitrary", 42)
+
+    def test_is_uniform_unknown_processes_may_join(self):
+        consensus = WeakConsensus.create()
+        consensus.propose("p1", 1)
+        assert consensus.propose("a-process-nobody-declared", 2) == 1
+
+    def test_decision_view(self):
+        consensus = WeakConsensus.create()
+        assert consensus.decision() is None
+        consensus.propose("p1", 9)
+        assert consensus.decision() == 9
+
+    def test_propose_steps_terminates_in_one_step(self):
+        consensus = WeakConsensus.create()
+        steps = consensus.propose_steps("p1", "v")
+        next(steps)
+        with pytest.raises(StopIteration) as stop:
+            next(steps)
+        assert stop.value.value == "v"
+
+    def test_value_of_faulty_process_may_win(self):
+        # Weak validity explicitly allows a faulty proposer's value to win.
+        consensus = WeakConsensus.create()
+        assert consensus.propose("byzantine", "evil") == "evil"
+        assert consensus.propose("honest", "good") == "evil"
+
+
+class TestRunnerIntegration:
+    def test_agreement_and_validity_under_runner(self):
+        consensus = WeakConsensus.create()
+        proposals = {f"p{i}": f"value-{i}" for i in range(5)}
+        run = run_consensus(consensus, proposals)
+        assert run.terminated
+        outcomes = list(run.outcomes.values())
+        assert check_agreement(outcomes)
+        assert check_validity(outcomes, proposals.values())
+
+    def test_wait_freedom_single_proposer(self):
+        # Wait-freedom: terminates even if every other process is silent.
+        consensus = WeakConsensus.create()
+        run = run_consensus(consensus, {"lonely": 3})
+        assert run.terminated and run.decision() == 3
+
+
+class TestConcurrentBehaviour:
+    def test_threaded_agreement(self):
+        consensus = WeakConsensus.create()
+        decisions = []
+        lock = threading.Lock()
+
+        def worker(pid):
+            decided = consensus.propose(pid, pid)
+            with lock:
+                decisions.append(decided)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(10)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(decisions)) == 1
+        assert decisions[0] in range(10)
+
+
+class TestMemoryAndOperations:
+    def test_exactly_one_tuple_stored(self):
+        consensus = WeakConsensus.create()
+        for pid in range(6):
+            consensus.propose(pid, pid)
+        assert len(consensus.space.snapshot()) == 1
+
+    def test_one_operation_per_process(self):
+        history = HistoryRecorder()
+        space = PEATS(weak_consensus_policy(), history=history)
+        consensus = WeakConsensus(space)
+        for pid in range(4):
+            consensus.propose(pid, pid)
+        counts = history.operations_by_process()
+        assert all(count == 1 for count in counts.values())
+
+    def test_byzantine_cannot_preload_decision_with_out(self):
+        space = PEATS(weak_consensus_policy())
+        assert not space.out(entry("DECISION", "evil"), process="byz")
+        consensus = WeakConsensus(space)
+        assert consensus.propose("honest", "good") == "good"

@@ -1,0 +1,172 @@
+"""Tests for the coordination primitives (election, lock, barrier)."""
+
+import pytest
+
+from repro.coordination import Barrier, DistributedLock, LeaderElection, barrier_policy
+from repro.coordination.lock import ticket_lock_type
+from repro.errors import TerminationError
+from repro.model.faults import bottom_forcing_byzantine, silent_byzantine
+from repro.peo import PEATS
+from repro.policy.library import BOTTOM
+from repro.universal.object_type import ObjectInvocation
+
+
+class TestLeaderElection:
+    def test_justified_leader_is_elected(self):
+        election = LeaderElection(range(4), 1)
+        leader, run = election.run({0: "node-1", 1: "node-1", 2: "node-2"})
+        assert run.terminated
+        assert leader == "node-1"
+
+    def test_scattered_nominations_use_fallback(self):
+        election = LeaderElection(range(4), 1)
+        leader, run = election.run({0: "c", 1: "a", 2: "b", 3: "d"})
+        assert run.terminated
+        assert run.decision() == BOTTOM
+        assert leader == "a"  # smallest nominated candidate
+
+    def test_custom_fallback(self):
+        election = LeaderElection(range(4), 1, fallback=lambda noms: max(noms.values()))
+        leader, _ = election.run({0: "c", 1: "a", 2: "b", 3: "d"})
+        assert leader == "d"
+
+    def test_byzantine_cannot_force_fallback_when_quorum_nominates(self):
+        election = LeaderElection(range(4), 1)
+        leader, run = election.run(
+            {0: "node-1", 1: "node-1", 2: "node-1"},
+            byzantine={3: bottom_forcing_byzantine()},
+        )
+        assert leader == "node-1"
+        assert run.agreement
+
+    def test_incomplete_participation_returns_none(self):
+        election = LeaderElection(range(4), 1)
+        leader, run = election.run({0: "node-1"}, max_rounds=30)
+        assert leader is None and not run.terminated
+
+    def test_blocking_nominate_path(self):
+        election = LeaderElection(range(4), 0)  # t = 0: a single nomination decides
+        leader = election.nominate(0, "node-9")
+        assert leader == "node-9"
+
+
+class TestTicketLockType:
+    def test_sequential_specification(self):
+        lock_type = ticket_lock_type()
+        invocations = [
+            ObjectInvocation("acquire", ("a",), "a", 0),
+            ObjectInvocation("acquire", ("b",), "b", 0),
+            ObjectInvocation("holder", (), "a", 1),
+            ObjectInvocation("release", ("b",), "b", 1),   # not the holder
+            ObjectInvocation("release", ("a",), "a", 2),
+            ObjectInvocation("holder", (), "b", 2),
+        ]
+        _, replies = lock_type.run_sequentially(invocations)
+        assert replies == [0, 1, "a", False, True, "b"]
+
+    def test_steal_evicts_holder(self):
+        lock_type = ticket_lock_type()
+        _, replies = lock_type.run_sequentially(
+            [
+                ObjectInvocation("acquire", ("a",), "a", 0),
+                ObjectInvocation("steal", (), "b", 0),
+                ObjectInvocation("holder", (), "b", 1),
+            ]
+        )
+        assert replies == [0, True, None]
+
+    def test_reacquire_returns_same_ticket(self):
+        lock_type = ticket_lock_type()
+        _, replies = lock_type.run_sequentially(
+            [
+                ObjectInvocation("acquire", ("a",), "a", 0),
+                ObjectInvocation("acquire", ("a",), "a", 1),
+            ]
+        )
+        assert replies == [0, 0]
+
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError):
+            ticket_lock_type().apply((0, 0, frozenset()), ObjectInvocation("smash"))
+
+
+class TestDistributedLock:
+    def test_mutual_exclusion_and_fifo_handover(self):
+        processes = ["a", "b", "c"]
+        lock = DistributedLock(processes)
+        assert lock.acquire("a") == 0
+        assert lock.acquire("b") == 1
+        assert lock.holds("a")
+        assert not lock.holds("b")
+        assert lock.release("b") is False  # only the holder may release
+        assert lock.release("a") is True
+        assert lock.holds("b")
+        assert lock.current_holder("c") == "b"
+
+    def test_steal_models_lease_expiry(self):
+        processes = ["a", "b"]
+        lock = DistributedLock(processes)
+        lock.acquire("a")
+        lock.acquire("b")
+        assert lock.holds("a")
+        assert lock.steal("b") is True  # a's lease expired
+        assert lock.holds("b")
+
+    def test_lock_free_variant(self):
+        lock = DistributedLock(["a", "b"], wait_free=False)
+        assert lock.acquire("a") == 0
+        assert lock.holds("a")
+
+    def test_at_most_one_holder_invariant(self):
+        processes = ["a", "b", "c", "d"]
+        lock = DistributedLock(processes)
+        for process in processes:
+            lock.acquire(process)
+        holders = [process for process in processes if lock.holds(process)]
+        assert len(holders) == 1
+
+
+class TestBarrier:
+    def test_policy_allows_single_arrival_per_phase(self):
+        space = PEATS(barrier_policy(["a", "b"]))
+        from repro.tuples import entry
+
+        assert space.out(entry("ARRIVE", "a", 0), process="a")
+        assert not space.out(entry("ARRIVE", "a", 0), process="a")   # duplicate
+        assert not space.out(entry("ARRIVE", "b", 0), process="a")   # impersonation
+        assert not space.out(entry("ARRIVE", "a", -1), process="a")  # bad phase
+        assert space.out(entry("ARRIVE", "a", 1), process="a")       # next phase ok
+
+    def test_barrier_opens_at_n_minus_t(self):
+        barrier = Barrier(["a", "b", "c", "d"], t=1)
+        assert barrier.quorum == 3
+        barrier.arrive("a")
+        barrier.arrive("b")
+        assert not barrier.ready("a")
+        barrier.arrive("c")
+        assert barrier.ready("a")
+        assert barrier.await_("a") >= 3
+
+    def test_byzantine_silence_cannot_block_the_barrier(self):
+        barrier = Barrier(["a", "b", "c", "d"], t=1)
+        for process in ("a", "b", "c"):  # "d" is Byzantine and stays silent
+            barrier.arrive(process)
+        for process in ("a", "b", "c"):
+            assert barrier.ready(process)
+
+    def test_await_times_out_without_quorum(self):
+        barrier = Barrier(["a", "b", "c", "d"], t=1)
+        barrier.arrive("a")
+        with pytest.raises(TerminationError):
+            barrier.await_("a", max_iterations=10)
+
+    def test_phases_are_independent(self):
+        barrier = Barrier(["a", "b", "c"], t=0)
+        for process in ("a", "b", "c"):
+            barrier.arrive(process, phase=0)
+        assert barrier.ready("a", phase=0)
+        assert not barrier.ready("a", phase=1)
+
+    def test_requires_more_processes_than_faults(self):
+        with pytest.raises(ValueError):
+            Barrier(["a"], t=1)

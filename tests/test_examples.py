@@ -1,0 +1,51 @@
+"""Integration tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+def test_there_are_at_least_three_examples():
+    assert len(EXAMPLES) >= 3
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_without_errors(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples should print something"
+    assert "Traceback" not in result.stderr
+
+
+def test_quickstart_reports_expected_results():
+    result = run_example("quickstart.py")
+    assert "decides 'blue'" in result.stdout
+    assert "decision: 1" in result.stdout
+    assert "ticket 0" in result.stdout
+
+
+def test_leader_election_elects_justified_leader():
+    result = run_example("leader_election.py")
+    assert "elected leader: node-1" in result.stdout
+    assert "fallback" in result.stdout
+
+
+def test_byzantine_attack_demo_denies_everything():
+    result = run_example("byzantine_attack_demo.py")
+    assert "still possible" not in result.stdout

@@ -1,0 +1,76 @@
+"""Tests for the PEO machinery and the Fig. 1 monotonic register."""
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.peo import PolicyEnforcedRegister
+from repro.peo.base import DeniedResult
+from repro.tspace.history import HistoryRecorder
+
+
+class TestPolicyEnforcedRegister:
+    def test_anyone_reads(self):
+        register = PolicyEnforcedRegister({"p1"}, initial=10)
+        assert register.read(process="p9") == 10
+
+    def test_writer_can_increase(self):
+        register = PolicyEnforcedRegister({"p1", "p2"}, initial=0)
+        assert register.write(5, process="p1") is True
+        assert register.value == 5
+
+    def test_writer_cannot_decrease(self):
+        register = PolicyEnforcedRegister({"p1"}, initial=10)
+        result = register.write(3, process="p1")
+        assert not result
+        assert register.value == 10
+
+    def test_non_writer_denied(self):
+        register = PolicyEnforcedRegister({"p1"}, initial=0)
+        result = register.write(5, process="intruder")
+        assert isinstance(result, DeniedResult)
+        assert not result
+        assert register.value == 0
+
+    def test_denied_result_compares_to_false(self):
+        register = PolicyEnforcedRegister({"p1"}, initial=0)
+        assert register.write(5, process="intruder") == False  # noqa: E712
+
+    def test_raise_on_deny(self):
+        register = PolicyEnforcedRegister({"p1"}, initial=0, raise_on_deny=True)
+        with pytest.raises(AccessDeniedError) as excinfo:
+            register.write(5, process="intruder")
+        assert excinfo.value.operation == "write"
+        assert excinfo.value.process == "intruder"
+
+    def test_monotone_sequence_of_writes(self):
+        register = PolicyEnforcedRegister({"p1", "p2", "p3"}, initial=0)
+        register.write(1, process="p1")
+        register.write(5, process="p2")
+        assert not register.write(2, process="p3")
+        register.write(7, process="p3")
+        assert register.read(process="anyone") == 7
+
+    def test_history_records_denials(self):
+        history = HistoryRecorder()
+        register = PolicyEnforcedRegister({"p1"}, initial=0, history=history)
+        register.write(1, process="p1")
+        register.write(9, process="intruder")
+        register.read(process="p2")
+        assert history.denied_count() == 1
+        assert history.operations_by_kind() == {"write": 2, "read": 1}
+
+    def test_monitor_statistics_exposed(self):
+        register = PolicyEnforcedRegister({"p1"}, initial=0)
+        register.write(1, process="p1")
+        register.write(2, process="bad")
+        assert register.monitor.granted_count == 1
+        assert register.monitor.denied_count == 1
+        assert register.policy.name == "monotonic-register"
+
+    def test_policy_checks_and_execution_are_atomic(self):
+        # A denied write must not change the value even though the policy
+        # consults the value while deciding.
+        register = PolicyEnforcedRegister({"p1"}, initial=5)
+        for attempt in (4, 5, 3, 0, -1):
+            register.write(attempt, process="p1")
+        assert register.value == 5

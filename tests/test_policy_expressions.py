@@ -1,0 +1,116 @@
+"""Unit tests for the condition combinator DSL."""
+
+import pytest
+
+from repro.errors import PolicyEvaluationError
+from repro.policy import (
+    all_of,
+    any_of,
+    arg,
+    arg_count_is,
+    invoker,
+    invoker_in,
+    lift,
+    negate,
+    state,
+)
+from repro.policy.expressions import always, never
+from repro.policy.invocation import Invocation
+from repro.tuples import ANY, Formal, entry, template
+from repro.policy.expressions import is_entry, is_formal, is_template
+
+
+def invocation(process="p1", operation="write", arguments=()):
+    return Invocation(process=process, operation=operation, arguments=tuple(arguments))
+
+
+class TestLeafConditions:
+    def test_always_and_never(self):
+        assert always(invocation(), None)
+        assert not never(invocation(), None)
+
+    def test_invoker(self):
+        assert invoker("p1")(invocation("p1"), None)
+        assert not invoker("p1")(invocation("p2"), None)
+
+    def test_invoker_in(self):
+        condition = invoker_in({"p1", "p2"})
+        assert condition(invocation("p2"), None)
+        assert not condition(invocation("p3"), None)
+
+    def test_arg_predicate(self):
+        condition = arg(0, lambda v: v > 10)
+        assert condition(invocation(arguments=(11,)), None)
+        assert not condition(invocation(arguments=(9,)), None)
+        assert not condition(invocation(arguments=()), None)
+
+    def test_arg_count(self):
+        assert arg_count_is(2)(invocation(arguments=(1, 2)), None)
+        assert not arg_count_is(2)(invocation(arguments=(1,)), None)
+
+    def test_state_predicate(self):
+        condition = state(lambda s: s >= 5)
+        assert condition(invocation(), 7)
+        assert not condition(invocation(), 3)
+
+    def test_lift_names_the_condition(self):
+        condition = lift("custom", lambda inv, st: True)
+        assert condition.description == "custom"
+        assert condition(invocation(), None)
+
+
+class TestCombinators:
+    def test_and(self):
+        condition = invoker("p1") & arg_count_is(1)
+        assert condition(invocation("p1", arguments=(1,)), None)
+        assert not condition(invocation("p1"), None)
+        assert not condition(invocation("p2", arguments=(1,)), None)
+
+    def test_or(self):
+        condition = invoker("p1") | invoker("p2")
+        assert condition(invocation("p2"), None)
+        assert not condition(invocation("p3"), None)
+
+    def test_not(self):
+        condition = ~invoker("p1")
+        assert condition(invocation("p2"), None)
+        assert not condition(invocation("p1"), None)
+        assert negate(invoker("p1"))(invocation("p2"), None)
+
+    def test_all_of_and_any_of(self):
+        assert all_of([])(invocation(), None)
+        assert not any_of([])(invocation(), None)
+        assert all_of([invoker("p1"), arg_count_is(0)])(invocation("p1"), None)
+        assert any_of([invoker("p9"), arg_count_is(0)])(invocation("p1"), None)
+
+    def test_description_composition(self):
+        condition = invoker("p1") & ~arg_count_is(0)
+        assert "AND" in condition.description
+        assert "NOT" in condition.description
+
+
+class TestErrorHandling:
+    def test_exceptions_become_policy_evaluation_errors(self):
+        condition = lift("boom", lambda inv, st: 1 / 0)
+        with pytest.raises(PolicyEvaluationError):
+            condition(invocation(), None)
+
+    def test_policy_evaluation_error_propagates_unwrapped(self):
+        def raiser(inv, st):
+            raise PolicyEvaluationError("inner")
+
+        with pytest.raises(PolicyEvaluationError, match="inner"):
+            lift("x", raiser)(invocation(), None)
+
+
+class TestTupleHelpers:
+    def test_is_formal(self):
+        assert is_formal(Formal("v"))
+        assert not is_formal(ANY)
+        assert not is_formal(3)
+
+    def test_is_entry_and_is_template(self):
+        assert is_entry(entry("A", 1))
+        assert not is_entry(template("A", ANY))
+        assert is_template(template("A", ANY))
+        assert not is_template(entry("A", 1))

@@ -1,0 +1,277 @@
+"""Tests for the canonical policies of Figs. 1, 3, 4 and 5.
+
+The policies are exercised directly through the policy evaluator with a raw
+augmented tuple space as the object state, mirroring how the reference
+monitor inside a PEATS (or a replica) uses them.
+"""
+
+import pytest
+
+from repro.policy import (
+    default_consensus_policy,
+    monotonic_register_policy,
+    strong_consensus_policy,
+    weak_consensus_policy,
+)
+from repro.policy.invocation import Invocation
+from repro.policy.library import BOTTOM
+from repro.tspace import AugmentedTupleSpace
+from repro.tuples import ANY, Formal, entry, template
+
+
+def evaluate(policy, space, process, operation, *arguments):
+    allowed, _, _ = policy.evaluate(
+        Invocation(process=process, operation=operation, arguments=tuple(arguments)), space
+    )
+    return allowed
+
+
+class TestMonotonicRegisterPolicy:
+    """Fig. 1: anyone reads, listed writers may only increase the value."""
+
+    policy = monotonic_register_policy({"p1", "p2", "p3"})
+
+    def test_anyone_may_read(self):
+        assert evaluate(self.policy, 5, "p9", "read")
+
+    def test_writer_may_increase(self):
+        assert evaluate(self.policy, 5, "p1", "write", 6)
+
+    def test_writer_may_not_decrease_or_repeat(self):
+        assert not evaluate(self.policy, 5, "p1", "write", 5)
+        assert not evaluate(self.policy, 5, "p1", "write", 4)
+
+    def test_non_writer_denied(self):
+        assert not evaluate(self.policy, 5, "p9", "write", 100)
+
+    def test_unknown_operation_denied(self):
+        assert not evaluate(self.policy, 5, "p1", "reset")
+
+
+class TestWeakConsensusPolicy:
+    """Fig. 3: only the DECISION cas with a formal template field is allowed."""
+
+    policy = weak_consensus_policy()
+
+    def test_valid_cas_allowed(self):
+        space = AugmentedTupleSpace()
+        assert evaluate(
+            self.policy, space, "p1", "cas",
+            template("DECISION", Formal("d")), entry("DECISION", 1),
+        )
+
+    def test_reads_and_removals_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(self.policy, space, "p1", "rdp", template("DECISION", ANY))
+        assert not evaluate(self.policy, space, "p1", "inp", template("DECISION", ANY))
+        assert not evaluate(self.policy, space, "p1", "out", entry("DECISION", 1))
+
+    def test_cas_without_formal_field_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(
+            self.policy, space, "p1", "cas",
+            template("DECISION", 1), entry("DECISION", 1),
+        )
+
+    def test_cas_with_wrong_name_or_arity_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(
+            self.policy, space, "p1", "cas",
+            template("OTHER", Formal("d")), entry("OTHER", 1),
+        )
+        assert not evaluate(
+            self.policy, space, "p1", "cas",
+            template("DECISION", Formal("d"), ANY), entry("DECISION", 1, 2),
+        )
+
+
+class TestStrongConsensusPolicy:
+    """Fig. 4: single proposal per process, decision justified by t+1 proposals."""
+
+    processes = (0, 1, 2, 3)
+    t = 1
+    policy = strong_consensus_policy(processes, t)
+
+    def space_with_proposals(self, proposals):
+        space = AugmentedTupleSpace()
+        for process, value in proposals.items():
+            space.out(entry("PROPOSE", process, value))
+        return space
+
+    def test_reads_allowed_for_everyone(self):
+        space = self.space_with_proposals({0: 1})
+        assert evaluate(self.policy, space, 3, "rdp", template("PROPOSE", 0, Formal("v")))
+        assert evaluate(self.policy, space, 3, "rd", template("PROPOSE", ANY, Formal("v")))
+
+    def test_first_proposal_allowed(self):
+        space = AugmentedTupleSpace()
+        assert evaluate(self.policy, space, 0, "out", entry("PROPOSE", 0, 1))
+
+    def test_second_proposal_by_same_process_denied(self):
+        space = self.space_with_proposals({0: 1})
+        assert not evaluate(self.policy, space, 0, "out", entry("PROPOSE", 0, 0))
+
+    def test_impersonated_proposal_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(self.policy, space, 0, "out", entry("PROPOSE", 1, 1))
+
+    def test_unknown_process_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(self.policy, space, 9, "out", entry("PROPOSE", 9, 1))
+
+    def test_out_of_domain_value_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(self.policy, space, 0, "out", entry("PROPOSE", 0, 7))
+
+    def test_removals_denied(self):
+        space = self.space_with_proposals({0: 1})
+        assert not evaluate(self.policy, space, 0, "inp", template("PROPOSE", 0, ANY))
+
+    def test_justified_decision_allowed(self):
+        space = self.space_with_proposals({0: 1, 1: 1, 2: 0})
+        assert evaluate(
+            self.policy, space, 2, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", 1, frozenset({0, 1})),
+        )
+
+    def test_decision_with_too_small_justification_denied(self):
+        space = self.space_with_proposals({0: 1})
+        assert not evaluate(
+            self.policy, space, 0, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", 1, frozenset({0})),
+        )
+
+    def test_decision_whose_supporters_did_not_propose_value_denied(self):
+        space = self.space_with_proposals({0: 1, 1: 0, 2: 0})
+        assert not evaluate(
+            self.policy, space, 0, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", 1, frozenset({0, 1})),
+        )
+
+    def test_decision_with_unknown_supporters_denied(self):
+        space = self.space_with_proposals({0: 1, 1: 1})
+        assert not evaluate(
+            self.policy, space, 0, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", 1, frozenset({0, "ghost"})),
+        )
+
+    def test_decision_without_formal_template_field_denied(self):
+        space = self.space_with_proposals({0: 1, 1: 1})
+        assert not evaluate(
+            self.policy, space, 0, "cas",
+            template("DECISION", 1, ANY),
+            entry("DECISION", 1, frozenset({0, 1})),
+        )
+
+    def test_justification_must_be_a_frozenset(self):
+        space = self.space_with_proposals({0: 1, 1: 1})
+        assert not evaluate(
+            self.policy, space, 0, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", 1, (0, 1)),
+        )
+
+    def test_k_valued_variant_accepts_larger_domain(self):
+        policy = strong_consensus_policy(range(7), 2, values=(0, 1, 2))
+        space = AugmentedTupleSpace()
+        assert evaluate(policy, space, 4, "out", entry("PROPOSE", 4, 2))
+        assert not evaluate(policy, space, 4, "out", entry("PROPOSE", 4, 5))
+
+    def test_unrestricted_domain(self):
+        policy = strong_consensus_policy(self.processes, self.t, values=None)
+        space = AugmentedTupleSpace()
+        assert evaluate(policy, space, 0, "out", entry("PROPOSE", 0, "anything"))
+
+
+class TestDefaultConsensusPolicy:
+    """Fig. 5: proposals may not be ⊥; ⊥ decisions need an n - t proof."""
+
+    processes = (0, 1, 2, 3)
+    t = 1
+    policy = default_consensus_policy(processes, t)
+
+    def space_with_proposals(self, proposals):
+        space = AugmentedTupleSpace()
+        for process, value in proposals.items():
+            space.out(entry("PROPOSE", process, value))
+        return space
+
+    def test_bottom_proposal_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(self.policy, space, 0, "out", entry("PROPOSE", 0, BOTTOM))
+
+    def test_normal_proposal_allowed(self):
+        space = AugmentedTupleSpace()
+        assert evaluate(self.policy, space, 0, "out", entry("PROPOSE", 0, "v"))
+
+    def test_value_decision_needs_t_plus_1_support(self):
+        space = self.space_with_proposals({0: "a", 1: "a", 2: "b"})
+        assert evaluate(
+            self.policy, space, 0, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", "a", frozenset({0, 1})),
+        )
+        assert not evaluate(
+            self.policy, space, 0, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", "b", frozenset({2})),
+        )
+
+    def test_valid_bottom_decision(self):
+        # Four processes, t = 1: proposals split a/b/c cover n - t = 3
+        # processes with no value reaching t + 1 = 2.
+        space = self.space_with_proposals({0: "a", 1: "b", 2: "c"})
+        proof = frozenset(
+            {("a", frozenset({0})), ("b", frozenset({1})), ("c", frozenset({2}))}
+        )
+        assert evaluate(
+            self.policy, space, 3, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", BOTTOM, proof),
+        )
+
+    def test_bottom_decision_with_insufficient_coverage_denied(self):
+        space = self.space_with_proposals({0: "a", 1: "b"})
+        proof = frozenset({("a", frozenset({0})), ("b", frozenset({1}))})
+        assert not evaluate(
+            self.policy, space, 3, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", BOTTOM, proof),
+        )
+
+    def test_bottom_decision_with_oversized_group_denied(self):
+        # A group with more than t members proves a value had t + 1 support,
+        # so using it to justify ⊥ is rejected.
+        space = self.space_with_proposals({0: "a", 1: "a", 2: "b"})
+        proof = frozenset({("a", frozenset({0, 1})), ("b", frozenset({2}))})
+        assert not evaluate(
+            self.policy, space, 3, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", BOTTOM, proof),
+        )
+
+    def test_bottom_decision_with_fabricated_members_denied(self):
+        space = self.space_with_proposals({0: "a"})
+        proof = frozenset(
+            {("a", frozenset({0})), ("b", frozenset({1})), ("c", frozenset({2}))}
+        )
+        assert not evaluate(
+            self.policy, space, 3, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", BOTTOM, proof),
+        )
+
+    def test_bottom_decision_with_duplicate_process_across_groups_denied(self):
+        space = self.space_with_proposals({0: "a", 1: "b", 2: "c"})
+        proof = frozenset(
+            {("a", frozenset({0})), ("b", frozenset({0, 1})), ("c", frozenset({2}))}
+        )
+        assert not evaluate(
+            self.policy, space, 3, "cas",
+            template("DECISION", Formal("d"), ANY),
+            entry("DECISION", BOTTOM, proof),
+        )

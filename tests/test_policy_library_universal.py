@@ -1,0 +1,164 @@
+"""Tests for the universal-construction policies of Figs. 7 and 8."""
+
+import pytest
+
+from repro.policy import lock_free_universal_policy, wait_free_universal_policy
+from repro.policy.invocation import Invocation
+from repro.tspace import AugmentedTupleSpace
+from repro.tuples import ANY, Formal, entry, template
+
+
+def evaluate(policy, space, process, operation, *arguments):
+    allowed, _, _ = policy.evaluate(
+        Invocation(process=process, operation=operation, arguments=tuple(arguments)), space
+    )
+    return allowed
+
+
+class TestLockFreePolicy:
+    """Fig. 7: SEQ tuples must be appended contiguously."""
+
+    policy = lock_free_universal_policy()
+
+    def test_reads_allowed(self):
+        space = AugmentedTupleSpace()
+        assert evaluate(self.policy, space, "p", "rdp", template("SEQ", 1, Formal("inv")))
+
+    def test_first_position_allowed_on_empty_space(self):
+        space = AugmentedTupleSpace()
+        assert evaluate(
+            self.policy, space, "p", "cas",
+            template("SEQ", 1, Formal("x")), entry("SEQ", 1, "op-a"),
+        )
+
+    def test_gap_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(
+            self.policy, space, "p", "cas",
+            template("SEQ", 3, Formal("x")), entry("SEQ", 3, "op-a"),
+        )
+
+    def test_next_position_allowed_after_previous_exists(self):
+        space = AugmentedTupleSpace()
+        space.out(entry("SEQ", 1, "op-a"))
+        assert evaluate(
+            self.policy, space, "p", "cas",
+            template("SEQ", 2, Formal("x")), entry("SEQ", 2, "op-b"),
+        )
+
+    def test_template_and_entry_positions_must_agree(self):
+        space = AugmentedTupleSpace()
+        space.out(entry("SEQ", 1, "op-a"))
+        assert not evaluate(
+            self.policy, space, "p", "cas",
+            template("SEQ", 1, Formal("x")), entry("SEQ", 2, "op-b"),
+        )
+
+    def test_non_positive_or_non_integer_positions_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(
+            self.policy, space, "p", "cas",
+            template("SEQ", 0, Formal("x")), entry("SEQ", 0, "op"),
+        )
+        assert not evaluate(
+            self.policy, space, "p", "cas",
+            template("SEQ", "1", Formal("x")), entry("SEQ", "1", "op"),
+        )
+        assert not evaluate(
+            self.policy, space, "p", "cas",
+            template("SEQ", True, Formal("x")), entry("SEQ", True, "op"),
+        )
+
+    def test_formal_invocation_field_required(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(
+            self.policy, space, "p", "cas",
+            template("SEQ", 1, "op-a"), entry("SEQ", 1, "op-a"),
+        )
+
+    def test_out_and_inp_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(self.policy, space, "p", "out", entry("SEQ", 1, "op"))
+        assert not evaluate(self.policy, space, "p", "inp", template("SEQ", 1, ANY))
+
+
+class TestWaitFreePolicy:
+    """Fig. 8: announcements are per-process and helping is enforced."""
+
+    processes = ("a", "b", "c", "d")  # indices 0..3
+    policy = wait_free_universal_policy(processes)
+
+    def test_needs_at_least_one_process(self):
+        with pytest.raises(ValueError):
+            wait_free_universal_policy([])
+
+    def test_duplicate_processes_rejected(self):
+        with pytest.raises(ValueError):
+            wait_free_universal_policy(["a", "a"])
+
+    def test_announce_own_index_allowed(self):
+        space = AugmentedTupleSpace()
+        assert evaluate(self.policy, space, "b", "out", entry("ANN", 1, "inv-b"))
+
+    def test_announce_other_index_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(self.policy, space, "b", "out", entry("ANN", 0, "inv-x"))
+
+    def test_remove_own_announcement_allowed(self):
+        space = AugmentedTupleSpace()
+        space.out(entry("ANN", 1, "inv-b"))
+        assert evaluate(self.policy, space, "b", "inp", template("ANN", 1, "inv-b"))
+
+    def test_remove_other_announcement_denied(self):
+        space = AugmentedTupleSpace()
+        space.out(entry("ANN", 0, "inv-a"))
+        assert not evaluate(self.policy, space, "b", "inp", template("ANN", 0, ANY))
+
+    def test_remove_with_undefined_index_denied(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(self.policy, space, "b", "inp", template("ANN", ANY, ANY))
+
+    def test_contiguity_still_enforced(self):
+        space = AugmentedTupleSpace()
+        assert not evaluate(
+            self.policy, space, "a", "cas",
+            template("SEQ", 2, Formal("x")), entry("SEQ", 2, "inv"),
+        )
+
+    def test_thread_allowed_when_preferred_has_not_announced(self):
+        # Position 1: preferred index = 1 % 4 = 1 (process "b").
+        space = AugmentedTupleSpace()
+        assert evaluate(
+            self.policy, space, "a", "cas",
+            template("SEQ", 1, Formal("x")), entry("SEQ", 1, "inv-a"),
+        )
+
+    def test_thread_denied_when_preferred_announcement_pending(self):
+        space = AugmentedTupleSpace()
+        space.out(entry("ANN", 1, "inv-b"))
+        assert not evaluate(
+            self.policy, space, "a", "cas",
+            template("SEQ", 1, Formal("x")), entry("SEQ", 1, "inv-a"),
+        )
+
+    def test_thread_allowed_when_helping_preferred(self):
+        space = AugmentedTupleSpace()
+        space.out(entry("ANN", 1, "inv-b"))
+        assert evaluate(
+            self.policy, space, "a", "cas",
+            template("SEQ", 1, Formal("x")), entry("SEQ", 1, "inv-b"),
+        )
+
+    def test_thread_allowed_when_preferred_announcement_already_threaded(self):
+        space = AugmentedTupleSpace()
+        space.out(entry("ANN", 1, "inv-b"))
+        space.out(entry("SEQ", 1, "inv-b"))
+        # Position 5 also prefers index 1; its announcement is already
+        # threaded, so any invocation may take position 5... once positions
+        # 2-4 exist (contiguity).
+        for pos, inv in ((2, "x2"), (3, "x3"), (4, "x4")):
+            space.out(entry("SEQ", pos, inv))
+        assert evaluate(
+            self.policy, space, "a", "cas",
+            template("SEQ", 5, Formal("x")), entry("SEQ", 5, "inv-a2"),
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for the reference monitor."""
+
+from repro.policy import AccessPolicy, ReferenceMonitor, Rule, invoker_in
+from repro.policy.invocation import Invocation
+
+
+def make_monitor(**kwargs):
+    policy = AccessPolicy(
+        [Rule("Rread", "read"), Rule("Rwrite", "write", invoker_in({"p1"}))],
+        name="test-policy",
+    )
+    return ReferenceMonitor(policy, **kwargs)
+
+
+class TestAuthorize:
+    def test_grants_and_denies(self):
+        monitor = make_monitor()
+        granted = monitor.authorize(Invocation("p1", "write", (1,)))
+        denied = monitor.authorize(Invocation("p2", "write", (1,)))
+        assert granted.allowed and granted.rule.name == "Rwrite"
+        assert not denied.allowed and denied.rule is None
+
+    def test_decision_is_truthy_iff_allowed(self):
+        monitor = make_monitor()
+        assert monitor.authorize(Invocation("p1", "read"))
+        assert not monitor.authorize(Invocation("p1", "delete"))
+
+    def test_statistics(self):
+        monitor = make_monitor()
+        monitor.authorize(Invocation("p1", "read"))
+        monitor.authorize(Invocation("p2", "write"))
+        monitor.authorize(Invocation("p2", "write"))
+        assert monitor.granted_count == 1
+        assert monitor.denied_count == 2
+        assert monitor.denials_by_process() == {"p2": 2}
+
+    def test_reset_statistics(self):
+        monitor = make_monitor()
+        monitor.authorize(Invocation("p2", "write"))
+        monitor.reset_statistics()
+        assert monitor.denied_count == 0
+        assert monitor.denials_by_process() == {}
+
+    def test_audit_log(self):
+        monitor = make_monitor(audit=True)
+        monitor.authorize(Invocation("p1", "read"))
+        monitor.authorize(Invocation("p2", "write"))
+        log = monitor.audit_log()
+        assert len(log) == 2
+        assert log[0].allowed and not log[1].allowed
+
+    def test_audit_disabled_by_default(self):
+        monitor = make_monitor()
+        monitor.authorize(Invocation("p1", "read"))
+        assert monitor.audit_log() == ()
+
+    def test_state_provider_is_consulted(self):
+        policy = AccessPolicy(
+            [Rule("Rbig", "write", lambda inv, st: st > 10)], name="stateful"
+        )
+        current = {"value": 0}
+        monitor = ReferenceMonitor(policy, state_provider=lambda: current["value"])
+        assert not monitor.authorize(Invocation("p1", "write", (1,))).allowed
+        current["value"] = 50
+        assert monitor.authorize(Invocation("p1", "write", (1,))).allowed
+
+    def test_explicit_state_overrides_provider(self):
+        policy = AccessPolicy(
+            [Rule("Rbig", "write", lambda inv, st: st > 10)], name="stateful"
+        )
+        monitor = ReferenceMonitor(policy, state_provider=lambda: 0)
+        assert monitor.authorize(Invocation("p1", "write", (1,)), state=99).allowed
+
+    def test_determinism_same_inputs_same_decision(self):
+        # Determinism is what lets every replica evaluate policies locally.
+        monitor_a = make_monitor()
+        monitor_b = make_monitor()
+        for process in ("p1", "p2", "p3"):
+            for operation in ("read", "write", "delete"):
+                inv = Invocation(process, operation, (1,))
+                assert (
+                    monitor_a.authorize(inv).allowed == monitor_b.authorize(inv).allowed
+                )

@@ -1,0 +1,88 @@
+"""Unit tests for rules, policies and fail-safe defaults."""
+
+import pytest
+
+from repro.policy import AccessPolicy, Rule, invoker_in, lift
+from repro.policy.invocation import Invocation
+
+
+def invocation(process="p1", operation="write", arguments=()):
+    return Invocation(process=process, operation=operation, arguments=tuple(arguments))
+
+
+class TestRule:
+    def test_requires_names(self):
+        with pytest.raises(ValueError):
+            Rule("", "write")
+        with pytest.raises(ValueError):
+            Rule("R", "")
+
+    def test_default_condition_allows(self):
+        rule = Rule("Rread", "read")
+        assert rule.grants(invocation(operation="read"), None)
+
+    def test_rule_only_applies_to_its_operation(self):
+        rule = Rule("Rread", "read")
+        assert not rule.applies_to(invocation(operation="write"))
+        assert not rule.grants(invocation(operation="write"), None)
+
+    def test_arity_constraint(self):
+        rule = Rule("Rwrite", "write", arity=1)
+        assert rule.applies_to(invocation(arguments=(1,)))
+        assert not rule.applies_to(invocation(arguments=(1, 2)))
+
+    def test_plain_callable_condition_is_lifted(self):
+        rule = Rule("Rwrite", "write", lambda inv, st: inv.process == "p1")
+        assert rule.grants(invocation("p1"), None)
+        assert not rule.grants(invocation("p2"), None)
+
+
+class TestAccessPolicy:
+    def test_rejects_duplicate_rule_names(self):
+        with pytest.raises(ValueError):
+            AccessPolicy([Rule("R", "read"), Rule("R", "write")])
+
+    def test_fail_safe_default_denies_unknown_operations(self):
+        policy = AccessPolicy([Rule("Rread", "read")], name="test")
+        allowed, rule, reason = policy.evaluate(invocation(operation="write"), None)
+        assert not allowed
+        assert rule is None
+        assert "deny" in reason.lower()
+
+    def test_first_granting_rule_wins(self):
+        policy = AccessPolicy(
+            [
+                Rule("Ra", "write", invoker_in({"p9"})),
+                Rule("Rb", "write", invoker_in({"p1"})),
+            ]
+        )
+        allowed, rule, _ = policy.evaluate(invocation("p1"), None)
+        assert allowed and rule.name == "Rb"
+
+    def test_all_applicable_rules_false_denies(self):
+        policy = AccessPolicy([Rule("Ra", "write", invoker_in({"p9"}))])
+        allowed, rule, reason = policy.evaluate(invocation("p1"), None)
+        assert not allowed and rule is None
+        assert "Ra" in reason
+
+    def test_evaluation_error_denies(self):
+        policy = AccessPolicy([Rule("Rboom", "write", lift("boom", lambda inv, st: 1 / 0))])
+        allowed, _, reason = policy.evaluate(invocation(), None)
+        assert not allowed
+        assert "evaluation failed" in reason
+
+    def test_with_rule_returns_extended_copy(self):
+        policy = AccessPolicy([Rule("Rread", "read")], name="base")
+        extended = policy.with_rule(Rule("Rwrite", "write"))
+        assert len(policy) == 1
+        assert len(extended) == 2
+        assert extended.evaluate(invocation(operation="write"), None)[0]
+
+    def test_allowed_operations_and_rules_for(self):
+        policy = AccessPolicy([Rule("Rr", "read"), Rule("Rw", "write"), Rule("Rw2", "write")])
+        assert policy.allowed_operations() == {"read", "write"}
+        assert len(policy.rules_for("write")) == 2
+
+    def test_iteration(self):
+        policy = AccessPolicy([Rule("Rr", "read")])
+        assert [r.name for r in policy] == ["Rr"]

@@ -1,0 +1,148 @@
+"""Tests for the BFT ordering protocol and the replicated PEATS facade."""
+
+import pytest
+
+from repro.errors import QuorumError, ReplicationError
+from repro.policy import AccessPolicy, Rule, strong_consensus_policy, weak_consensus_policy
+from repro.replication import ReplicatedPEATS
+from repro.replication.pbft import ReplicaFaultMode
+from repro.tuples import ANY, Formal, entry, template
+
+
+def open_policy():
+    return AccessPolicy(
+        [Rule(name, name) for name in ("out", "rdp", "inp", "cas")], name="open"
+    )
+
+
+class TestHappyPath:
+    def test_basic_operations_round_trip(self):
+        service = ReplicatedPEATS(open_policy(), f=1)
+        view = service.client_view("c1")
+        assert view.out(entry("A", 1)) is True
+        assert view.rdp(template("A", ANY)) == entry("A", 1)
+        inserted, existing = view.cas(template("B", Formal("x")), entry("B", 2))
+        assert inserted is True and existing is None
+        assert view.inp(template("A", ANY)) == entry("A", 1)
+        assert view.rdp(template("A", ANY)) is None
+
+    def test_all_correct_replicas_reach_the_same_state(self):
+        service = ReplicatedPEATS(open_policy(), f=1)
+        view = service.client_view("c1")
+        for i in range(5):
+            view.out(entry("A", i))
+        digests = set(service.replica_state_digests().values())
+        assert len(digests) == 1
+        assert len(service.snapshot()) == 5
+
+    def test_multiple_clients_are_serialised(self):
+        service = ReplicatedPEATS(weak_consensus_policy(), f=1)
+        first = service.client_view("p1")
+        second = service.client_view("p2")
+        inserted1, _ = first.cas(template("DECISION", Formal("d")), entry("DECISION", "a"))
+        inserted2, existing = second.cas(template("DECISION", Formal("d")), entry("DECISION", "b"))
+        assert inserted1 is True
+        assert inserted2 is False and existing == entry("DECISION", "a")
+
+    def test_policy_is_enforced_at_the_replicas(self):
+        processes = list(range(4))
+        service = ReplicatedPEATS(strong_consensus_policy(processes, 1), f=1)
+        honest = service.client_view(0)
+        byzantine = service.client_view(3)
+        assert honest.out(entry("PROPOSE", 0, 1)) is True
+        assert not byzantine.out(entry("PROPOSE", 0, 0))  # impersonation denied
+        assert byzantine.rdp(template("PROPOSE", 0, Formal("v"))) == entry("PROPOSE", 0, 1)
+        assert byzantine.inp(template("PROPOSE", 0, Formal("v"))) is None  # removal denied
+
+    def test_blocking_reads_are_not_offered(self):
+        service = ReplicatedPEATS(open_policy(), f=1)
+        view = service.client_view("c1")
+        with pytest.raises(ReplicationError):
+            view.rd(template("A", ANY))
+        with pytest.raises(ReplicationError):
+            view.in_(template("A", ANY))
+
+    def test_f_zero_single_replica(self):
+        service = ReplicatedPEATS(open_policy(), f=0)
+        assert service.n_replicas == 1
+        view = service.client_view("c1")
+        assert view.out(entry("A", 1)) is True
+        assert view.rdp(template("A", ANY)) == entry("A", 1)
+
+    def test_invalid_f_rejected(self):
+        with pytest.raises(ReplicationError):
+            ReplicatedPEATS(open_policy(), f=-1)
+
+
+class TestByzantineReplicas:
+    def test_one_lying_replica_is_outvoted(self):
+        service = ReplicatedPEATS(
+            open_policy(), f=1, replica_faults={2: ReplicaFaultMode.LYING}
+        )
+        view = service.client_view("c1")
+        assert view.out(entry("A", 1)) is True
+        assert view.rdp(template("A", ANY)) == entry("A", 1)
+
+    def test_one_crashed_backup_does_not_affect_liveness(self):
+        service = ReplicatedPEATS(
+            open_policy(), f=1, replica_faults={2: ReplicaFaultMode.CRASHED}
+        )
+        view = service.client_view("c1")
+        for i in range(3):
+            assert view.out(entry("A", i)) is True
+
+    def test_crashed_primary_triggers_view_change(self):
+        service = ReplicatedPEATS(
+            open_policy(),
+            f=1,
+            replica_faults={0: ReplicaFaultMode.CRASHED},
+            view_change_timeout=10.0,
+        )
+        view = service.client_view("c1")
+        assert view.out(entry("A", 1)) is True
+        views = [node.view for node in service.correct_nodes()]
+        assert all(v >= 1 for v in views)
+        assert view.rdp(template("A", ANY)) == entry("A", 1)
+
+    def test_mute_replica_executes_but_stays_silent(self):
+        service = ReplicatedPEATS(
+            open_policy(), f=1, replica_faults={1: ReplicaFaultMode.MUTE}
+        )
+        view = service.client_view("c1")
+        assert view.out(entry("A", 1)) is True
+
+    def test_too_many_lying_replicas_yield_no_quorum(self):
+        service = ReplicatedPEATS(
+            open_policy(),
+            f=1,
+            replica_faults={
+                1: ReplicaFaultMode.LYING,
+                2: ReplicaFaultMode.LYING,
+                3: ReplicaFaultMode.LYING,
+            },
+        )
+        client = service.client("c1")
+        client._max_retransmissions = 2
+        with pytest.raises(QuorumError):
+            client.invoke("out", (entry("A", 1),))
+
+
+class TestSharedSpaceAdapter:
+    def test_adapter_routes_by_process(self):
+        processes = list(range(4))
+        service = ReplicatedPEATS(strong_consensus_policy(processes, 1), f=1)
+        shared = service.as_shared_space()
+        assert shared.out(entry("PROPOSE", 0, 1), process=0) is True
+        assert not shared.out(entry("PROPOSE", 1, 1), process=0)
+        assert shared.rdp(template("PROPOSE", 0, Formal("v")), process=2) == entry("PROPOSE", 0, 1)
+        assert len(shared.snapshot()) == 1
+        bound = shared.bind(1)
+        assert bound.out(entry("PROPOSE", 1, 1)) is True
+
+    def test_statistics_and_views(self):
+        service = ReplicatedPEATS(open_policy(), f=1)
+        view = service.client_view("c1")
+        view.out(entry("A", 1))
+        stats = service.client("c1").statistics
+        assert stats["requests"] >= 1
+        assert service.network.statistics["delivered"] > 0

@@ -1,0 +1,75 @@
+"""Unit tests for the augmented tuple space (the cas operation)."""
+
+import pytest
+
+from repro.errors import TupleSpaceError
+from repro.tspace import AugmentedTupleSpace
+from repro.tuples import ANY, Formal, entry, template
+
+
+@pytest.fixture
+def space():
+    return AugmentedTupleSpace()
+
+
+class TestCas:
+    def test_cas_inserts_when_no_match(self, space):
+        inserted, existing = space.cas(template("D", Formal("v")), entry("D", 1))
+        assert inserted is True
+        assert existing is None
+        assert entry("D", 1) in space
+
+    def test_cas_fails_when_match_exists(self, space):
+        space.out(entry("D", 1))
+        inserted, existing = space.cas(template("D", Formal("v")), entry("D", 2))
+        assert inserted is False
+        assert existing == entry("D", 1)
+        assert entry("D", 2) not in space
+
+    def test_cas_is_if_not_rdp_then_out(self, space):
+        # The semantics of the paper: "if the reading of t̄ fails, insert t".
+        pattern = template("D", Formal("v"))
+        first = space.cas(pattern, entry("D", "a"))
+        second = space.cas(pattern, entry("D", "b"))
+        assert first == (True, None)
+        assert second == (False, entry("D", "a"))
+        assert len(space) == 1
+
+    def test_cas_template_and_entry_may_differ_in_name(self, space):
+        # cas is generic: the read template and the inserted entry need not
+        # refer to the same tuple name.
+        inserted, _ = space.cas(template("MISSING", ANY), entry("OTHER", 1))
+        assert inserted
+        assert entry("OTHER", 1) in space
+
+    def test_cas_requires_entry(self, space):
+        with pytest.raises(TupleSpaceError):
+            space.cas(template("D", ANY), template("D", ANY))
+
+    def test_cas_statistics(self, space):
+        pattern = template("D", Formal("v"))
+        space.cas(pattern, entry("D", 1))
+        space.cas(pattern, entry("D", 2))
+        space.cas(pattern, entry("D", 3))
+        assert space.cas_statistics == {"successes": 1, "failures": 2}
+
+    def test_cas_returning_match_exposes_formal_binding_value(self, space):
+        # Algorithms read the decision through the formal field of a failed
+        # cas; the returned match carries that value.
+        space.cas(template("DECISION", Formal("d")), entry("DECISION", "blue"))
+        inserted, existing = space.cas(
+            template("DECISION", Formal("d")), entry("DECISION", "red")
+        )
+        assert not inserted
+        assert existing.fields[1] == "blue"
+
+    def test_consensus_number_two_processes_sequential(self, space):
+        # The textbook wait-free 2-process (actually n-process) consensus
+        # from cas, run sequentially: first proposer wins.
+        def propose(value):
+            inserted, existing = space.cas(template("C", Formal("v")), entry("C", value))
+            return value if inserted else existing.fields[1]
+
+        assert propose("x") == "x"
+        assert propose("y") == "x"
+        assert propose("z") == "x"

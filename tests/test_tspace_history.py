@@ -1,0 +1,97 @@
+"""Unit tests for history recording, replay and consistency checking."""
+
+from repro.tspace.history import (
+    HistoryRecorder,
+    OperationRecord,
+    check_sequential_consistency,
+    replay_history,
+)
+from repro.tuples import ANY, Formal, entry, template
+
+
+def record(sequence, operation, arguments, result, process="p", denied=False):
+    return OperationRecord(
+        sequence=sequence,
+        process=process,
+        operation=operation,
+        arguments=tuple(arguments),
+        result=result,
+        denied=denied,
+    )
+
+
+class TestRecorder:
+    def test_sequence_numbers_are_monotonic(self):
+        recorder = HistoryRecorder()
+        first = recorder.record(process="p", operation="out", arguments=(entry("A", 1),), result=True)
+        second = recorder.record(process="p", operation="out", arguments=(entry("A", 2),), result=True)
+        assert second.sequence == first.sequence + 1
+
+    def test_len_iter_and_clear(self):
+        recorder = HistoryRecorder()
+        recorder.record(process="p", operation="out", arguments=(entry("A", 1),), result=True)
+        assert len(recorder) == 1
+        assert list(recorder)[0].operation == "out"
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_denied_count(self):
+        recorder = HistoryRecorder()
+        recorder.record(process="p", operation="out", arguments=(), result=False, denied=True)
+        recorder.record(process="p", operation="out", arguments=(), result=True)
+        assert recorder.denied_count() == 1
+
+
+class TestReplay:
+    def test_consistent_history_has_no_violations(self):
+        history = [
+            record(0, "out", (entry("A", 1),), True),
+            record(1, "rdp", (template("A", ANY),), entry("A", 1)),
+            record(2, "cas", (template("D", Formal("v")), entry("D", 1)), (True, None)),
+            record(3, "cas", (template("D", Formal("v")), entry("D", 2)), (False, entry("D", 1))),
+            record(4, "inp", (template("A", ANY),), entry("A", 1)),
+            record(5, "inp", (template("A", ANY),), None),
+        ]
+        assert check_sequential_consistency(history) == []
+
+    def test_phantom_read_is_detected(self):
+        history = [
+            record(0, "rdp", (template("A", ANY),), entry("A", 1)),
+        ]
+        violations = check_sequential_consistency(history)
+        assert violations and "non-matching" not in violations[0]
+
+    def test_missed_read_is_detected(self):
+        history = [
+            record(0, "out", (entry("A", 1),), True),
+            record(1, "rdp", (template("A", ANY),), None),
+        ]
+        assert check_sequential_consistency(history)
+
+    def test_double_cas_success_is_detected(self):
+        history = [
+            record(0, "cas", (template("D", Formal("v")), entry("D", 1)), (True, None)),
+            record(1, "cas", (template("D", Formal("v")), entry("D", 2)), (True, None)),
+        ]
+        assert check_sequential_consistency(history)
+
+    def test_denied_operations_do_not_affect_state(self):
+        history = [
+            record(0, "out", (entry("A", 1),), False, denied=True),
+            record(1, "rdp", (template("A", ANY),), None),
+        ]
+        assert check_sequential_consistency(history) == []
+
+    def test_replay_returns_final_state(self):
+        history = [
+            record(0, "out", (entry("A", 1),), True),
+            record(1, "out", (entry("B", 2),), True),
+            record(2, "inp", (template("A", ANY),), entry("A", 1)),
+        ]
+        state, violations = replay_history(history)
+        assert violations == []
+        assert state == [entry("B", 2)]
+
+    def test_unknown_operations_are_ignored(self):
+        history = [record(0, "frobnicate", (), None)]
+        assert check_sequential_consistency(history) == []

@@ -1,0 +1,145 @@
+"""Unit tests for the plain tuple space (out / rdp / inp / rd / in)."""
+
+import threading
+
+import pytest
+
+from repro.errors import TupleSpaceError
+from repro.tspace import TupleSpace
+from repro.tuples import ANY, Formal, entry, template
+
+
+@pytest.fixture
+def space():
+    return TupleSpace()
+
+
+class TestOut:
+    def test_out_inserts(self, space):
+        assert space.out(entry("A", 1)) is True
+        assert len(space) == 1
+
+    def test_out_allows_duplicates(self, space):
+        space.out(entry("A", 1))
+        space.out(entry("A", 1))
+        assert len(space) == 2
+
+    def test_out_rejects_non_entries(self, space):
+        with pytest.raises(TupleSpaceError):
+            space.out(template("A", ANY))
+
+    def test_initial_population(self):
+        prefilled = TupleSpace([entry("A", 1), entry("B", 2)])
+        assert len(prefilled) == 2
+
+
+class TestRdp:
+    def test_rdp_returns_matching_entry(self, space):
+        space.out(entry("A", 1))
+        assert space.rdp(template("A", Formal("v"))) == entry("A", 1)
+
+    def test_rdp_returns_none_without_match(self, space):
+        space.out(entry("A", 1))
+        assert space.rdp(template("B", ANY)) is None
+
+    def test_rdp_does_not_remove(self, space):
+        space.out(entry("A", 1))
+        space.rdp(template("A", ANY))
+        assert len(space) == 1
+
+    def test_rdp_oldest_first_is_deterministic(self, space):
+        space.out(entry("A", 1))
+        space.out(entry("A", 2))
+        assert space.rdp(template("A", Formal("v"))) == entry("A", 1)
+
+    def test_rdp_with_wildcard_first_field(self, space):
+        space.out(entry("A", 1))
+        space.out(entry("B", 2))
+        assert space.rdp(template(ANY, 2)) == entry("B", 2)
+
+    def test_rdp_rejects_non_templates(self, space):
+        with pytest.raises(TupleSpaceError):
+            space.rdp("not a template")
+
+
+class TestInp:
+    def test_inp_removes_and_returns(self, space):
+        space.out(entry("A", 1))
+        assert space.inp(template("A", ANY)) == entry("A", 1)
+        assert len(space) == 0
+
+    def test_inp_returns_none_without_match(self, space):
+        assert space.inp(template("A", ANY)) is None
+
+    def test_inp_removes_only_one_duplicate(self, space):
+        space.out(entry("A", 1))
+        space.out(entry("A", 1))
+        space.inp(template("A", 1))
+        assert len(space) == 1
+
+    def test_index_is_cleaned_after_removal(self, space):
+        space.out(entry("A", 1))
+        space.inp(template("A", 1))
+        space.out(entry("A", 2))
+        assert space.rdp(template("A", Formal("v"))) == entry("A", 2)
+
+
+class TestBlockingReads:
+    def test_rd_returns_immediately_when_present(self, space):
+        space.out(entry("A", 1))
+        assert space.rd(template("A", ANY), timeout=0.1) == entry("A", 1)
+
+    def test_rd_times_out(self, space):
+        with pytest.raises(TimeoutError):
+            space.rd(template("A", ANY), timeout=0.05)
+
+    def test_in_removes(self, space):
+        space.out(entry("A", 1))
+        assert space.in_(template("A", ANY), timeout=0.1) == entry("A", 1)
+        assert len(space) == 0
+
+    def test_rd_wakes_up_on_insertion_from_another_thread(self, space):
+        result = {}
+
+        def writer():
+            space.out(entry("A", 99))
+
+        def reader():
+            result["value"] = space.rd(template("A", Formal("v")), timeout=2.0)
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        reader_thread.join(timeout=5)
+        writer_thread.join(timeout=5)
+        assert result["value"] == entry("A", 99)
+
+
+class TestIntrospection:
+    def test_snapshot_preserves_insertion_order(self, space):
+        space.out(entry("A", 1))
+        space.out(entry("B", 2))
+        assert space.snapshot() == (entry("A", 1), entry("B", 2))
+
+    def test_count(self, space):
+        space.out(entry("A", 1))
+        space.out(entry("A", 2))
+        space.out(entry("B", 3))
+        assert space.count(template("A", ANY)) == 2
+
+    def test_contains_entry_and_template(self, space):
+        space.out(entry("A", 1))
+        assert entry("A", 1) in space
+        assert template("A", ANY) in space
+        assert entry("B", 1) not in space
+        assert "garbage" not in space
+
+    def test_clear(self, space):
+        space.out(entry("A", 1))
+        space.clear()
+        assert len(space) == 0
+
+    def test_cas_not_available_on_plain_space(self, space):
+        with pytest.raises(TupleSpaceError):
+            space.cas(template("A", ANY), entry("A", 1))

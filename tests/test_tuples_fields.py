@@ -1,0 +1,81 @@
+"""Unit tests for wildcard and formal fields."""
+
+import pickle
+
+import pytest
+
+from repro.tuples import ANY, Formal, Wildcard, is_defined
+
+
+class TestWildcard:
+    def test_singleton_identity(self):
+        assert Wildcard() is ANY
+
+    def test_equality(self):
+        assert Wildcard() == ANY
+        assert ANY != "ANY"
+
+    def test_hashable_and_stable(self):
+        assert hash(ANY) == hash(Wildcard())
+
+    def test_repr(self):
+        assert repr(ANY) == "ANY"
+
+    def test_pickle_preserves_singleton(self):
+        assert pickle.loads(pickle.dumps(ANY)) is ANY
+
+    def test_is_not_defined(self):
+        assert not is_defined(ANY)
+
+
+class TestFormal:
+    def test_requires_nonempty_name(self):
+        with pytest.raises(ValueError):
+            Formal("")
+
+    def test_requires_string_name(self):
+        with pytest.raises(ValueError):
+            Formal(3)  # type: ignore[arg-type]
+
+    def test_equality_on_name_and_type(self):
+        assert Formal("v") == Formal("v")
+        assert Formal("v", int) == Formal("v", int)
+        assert Formal("v") != Formal("w")
+        assert Formal("v", int) != Formal("v", str)
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Formal("v", int)) == hash(Formal("v", int))
+
+    def test_accepts_any_value_without_type(self):
+        formal = Formal("v")
+        assert formal.accepts(1)
+        assert formal.accepts("x")
+        assert formal.accepts(None)
+
+    def test_accepts_respects_type(self):
+        formal = Formal("v", int)
+        assert formal.accepts(5)
+        assert not formal.accepts("5")
+
+    def test_int_formal_rejects_bool(self):
+        assert not Formal("v", int).accepts(True)
+
+    def test_bool_formal_accepts_bool(self):
+        assert Formal("v", bool).accepts(True)
+
+    def test_repr_with_and_without_type(self):
+        assert repr(Formal("v")) == "?v"
+        assert repr(Formal("v", int)) == "?v:int"
+
+    def test_is_not_defined(self):
+        assert not is_defined(Formal("v"))
+
+
+class TestIsDefined:
+    @pytest.mark.parametrize("value", [0, 1, "DECISION", None, 3.5, frozenset({1}), (1, 2)])
+    def test_concrete_values_are_defined(self, value):
+        assert is_defined(value)
+
+    @pytest.mark.parametrize("value", [ANY, Formal("x"), Formal("y", str)])
+    def test_pattern_fields_are_not_defined(self, value):
+        assert not is_defined(value)

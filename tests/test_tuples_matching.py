@@ -1,0 +1,77 @@
+"""Unit tests for the matching relation and formal-field binding."""
+
+import pytest
+
+from repro.errors import MatchTypeError
+from repro.tuples import ANY, Formal, bind, entry, matches, template
+
+
+class TestMatches:
+    def test_exact_match(self):
+        assert matches(entry("A", 1), template("A", 1))
+
+    def test_mismatch_on_value(self):
+        assert not matches(entry("A", 1), template("A", 2))
+
+    def test_mismatch_on_arity(self):
+        assert not matches(entry("A", 1), template("A", 1, 2))
+
+    def test_wildcard_matches_anything(self):
+        assert matches(entry("A", 1), template("A", ANY))
+        assert matches(entry("A", "x"), template("A", ANY))
+        assert matches(entry("A", frozenset({3})), template("A", ANY))
+
+    def test_formal_matches_and_respects_type(self):
+        assert matches(entry("A", 1), template("A", Formal("v")))
+        assert matches(entry("A", 1), template("A", Formal("v", int)))
+        assert not matches(entry("A", "1"), template("A", Formal("v", int)))
+
+    def test_bool_and_int_are_distinct(self):
+        assert not matches(entry("A", True), template("A", 1))
+        assert not matches(entry("A", 1), template("A", True))
+        assert matches(entry("A", True), template("A", True))
+
+    def test_entry_accepted_as_pattern(self):
+        assert matches(entry("A", 1), entry("A", 1))
+        assert not matches(entry("A", 1), entry("A", 2))
+
+    def test_template_not_accepted_as_candidate(self):
+        with pytest.raises(MatchTypeError):
+            matches(template("A", ANY), template("A", ANY))
+
+    def test_non_tuple_operands_rejected(self):
+        with pytest.raises(MatchTypeError):
+            matches("A", template("A"))
+        with pytest.raises(MatchTypeError):
+            matches(entry("A"), "A")
+
+    def test_multi_field_paper_example(self):
+        # The strong-consensus PROPOSE lookup: ⟨PROPOSE, p_j, ?v⟩.
+        proposal = entry("PROPOSE", 2, 1)
+        assert matches(proposal, template("PROPOSE", 2, Formal("v")))
+        assert not matches(proposal, template("PROPOSE", 3, Formal("v")))
+
+
+class TestBind:
+    def test_bind_returns_formal_values(self):
+        bindings = bind(entry("PROPOSE", 2, 1), template("PROPOSE", 2, Formal("v")))
+        assert bindings == {"v": 1}
+
+    def test_bind_multiple_formals(self):
+        bindings = bind(
+            entry("SEQ", 4, "op"), template("SEQ", Formal("pos"), Formal("inv"))
+        )
+        assert bindings == {"pos": 4, "inv": "op"}
+
+    def test_bind_returns_none_on_mismatch(self):
+        assert bind(entry("A", 1), template("B", Formal("v"))) is None
+
+    def test_bind_without_formals_is_empty(self):
+        assert bind(entry("A", 1), template("A", ANY)) == {}
+
+    def test_bind_is_the_formal_field_semantics_of_the_paper(self):
+        # "The variable in a formal field is set to the value in the
+        # corresponding field of the entry matched to the template."
+        decision = entry("DECISION", "blue")
+        bindings = bind(decision, template("DECISION", Formal("d")))
+        assert bindings["d"] == "blue"

@@ -1,0 +1,91 @@
+"""Property-based tests for the tuple/matching laws (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tuples import ANY, Entry, Formal, Template, bind, entry, matches, template
+
+# Field values that are always hashable and comparable.  Booleans are left
+# out on purpose: Python's ``1 == True`` would make "equal entries" and
+# "matching entries" diverge, and the bool/int distinction has dedicated
+# unit tests in test_tuples_matching.py.
+field_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(min_size=0, max_size=8),
+    st.none(),
+)
+
+entries = st.lists(field_values, min_size=1, max_size=5).map(lambda fields: Entry(fields))
+
+
+@st.composite
+def entry_with_matching_template(draw):
+    """An entry plus a template derived from it by masking random fields."""
+    fields = draw(st.lists(field_values, min_size=1, max_size=5))
+    masked = []
+    formal_counter = 0
+    for value in fields:
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            masked.append(value)
+        elif choice == 1:
+            masked.append(ANY)
+        else:
+            masked.append(Formal(f"f{formal_counter}"))
+            formal_counter += 1
+    return Entry(fields), Template(masked)
+
+
+@given(entries)
+def test_entry_matches_its_own_template(e):
+    assert matches(e, e.to_template())
+
+
+@given(entries)
+def test_entry_matches_all_wildcards_of_same_arity(e):
+    assert matches(e, Template([ANY] * e.arity))
+
+
+@given(entries)
+def test_entry_never_matches_different_arity(e):
+    assert not matches(e, Template([ANY] * (e.arity + 1)))
+
+
+@given(entry_with_matching_template())
+def test_masking_fields_preserves_matching(pair):
+    e, t = pair
+    assert matches(e, t)
+
+
+@given(entry_with_matching_template())
+def test_bind_returns_entry_values_at_formal_positions(pair):
+    e, t = pair
+    bindings = bind(e, t)
+    assert bindings is not None
+    for position, field in enumerate(t.fields):
+        if isinstance(field, Formal):
+            assert bindings[field.name] == e.fields[position]
+
+
+@given(entries, entries)
+def test_matching_requires_equal_defined_fields(e1, e2):
+    # If two entries differ, neither matches the other used as a pattern.
+    if e1 != e2:
+        assert not (matches(e1, e2) and matches(e2, e1))
+    else:
+        assert matches(e1, e2)
+
+
+@given(entries)
+def test_entries_are_hashable_and_equal_to_themselves(e):
+    assert hash(e) == hash(Entry(e.fields))
+    assert e == Entry(e.fields)
+
+
+@given(st.lists(field_values, min_size=1, max_size=5))
+def test_entry_type_signature_matches_field_types(fields):
+    e = Entry(fields)
+    signature = e.type_signature()
+    assert len(signature) == len(fields)
+    for value, type_ in zip(fields, signature):
+        assert isinstance(value, type_) or (value is None and type_ is type(None))

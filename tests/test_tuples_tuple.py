@@ -1,0 +1,105 @@
+"""Unit tests for Entry and Template construction and behaviour."""
+
+import pytest
+
+from repro.errors import MalformedTupleError
+from repro.tuples import ANY, Entry, Formal, Template, entry, template
+
+
+class TestEntry:
+    def test_basic_construction(self):
+        e = entry("PROPOSE", 1, 0)
+        assert e.arity == 3
+        assert e.fields == ("PROPOSE", 1, 0)
+        assert list(e) == ["PROPOSE", 1, 0]
+        assert e[0] == "PROPOSE"
+
+    def test_rejects_empty(self):
+        with pytest.raises(MalformedTupleError):
+            entry()
+
+    def test_rejects_wildcard_field(self):
+        with pytest.raises(MalformedTupleError):
+            entry("DECISION", ANY)
+
+    def test_rejects_formal_field(self):
+        with pytest.raises(MalformedTupleError):
+            entry("DECISION", Formal("v"))
+
+    def test_rejects_unhashable_field(self):
+        with pytest.raises(MalformedTupleError):
+            entry("DECISION", [1, 2])
+
+    def test_equality_and_hash(self):
+        assert entry("A", 1) == entry("A", 1)
+        assert entry("A", 1) != entry("A", 2)
+        assert hash(entry("A", 1)) == hash(entry("A", 1))
+
+    def test_entry_not_equal_to_template_with_same_fields(self):
+        assert entry("A", 1) != template("A", 1)
+
+    def test_size_bits_defaults(self):
+        e = entry("DECISION", 1)
+        assert e.size_bits() >= 8 * len("DECISION") + 1
+
+    def test_size_bits_with_domains(self):
+        e = entry("DECISION", 7)
+        bits = e.size_bits(domain_sizes=[None, 13])
+        assert bits == 8 * len("DECISION") + 4  # ceil(log2 13) = 4
+
+    def test_size_bits_domain_length_mismatch(self):
+        with pytest.raises(ValueError):
+            entry("A", 1).size_bits(domain_sizes=[None])
+
+    def test_to_template_round_trip(self):
+        e = entry("A", 1)
+        t = e.to_template()
+        assert isinstance(t, Template)
+        assert t.fields == e.fields
+
+    def test_frozenset_fields_allowed(self):
+        e = entry("DECISION", 1, frozenset({1, 2}))
+        assert e.fields[2] == frozenset({1, 2})
+
+
+class TestTemplate:
+    def test_basic_construction(self):
+        t = template("PROPOSE", ANY, Formal("v"))
+        assert t.arity == 3
+        assert t.formal_names == ("v",)
+        assert not t.is_fully_defined
+
+    def test_defined_positions(self):
+        t = template("PROPOSE", ANY, Formal("v"))
+        assert t.defined_positions() == (0,)
+
+    def test_rejects_duplicate_formal_names(self):
+        with pytest.raises(MalformedTupleError):
+            template("A", Formal("v"), Formal("v"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(MalformedTupleError):
+            template()
+
+    def test_rejects_unhashable_defined_field(self):
+        with pytest.raises(MalformedTupleError):
+            template("A", {"no": "dicts"})
+
+    def test_fully_defined_template_converts_to_entry(self):
+        t = template("A", 1)
+        assert t.is_fully_defined
+        assert t.to_entry() == entry("A", 1)
+
+    def test_partial_template_cannot_convert_to_entry(self):
+        with pytest.raises(MalformedTupleError):
+            template("A", ANY).to_entry()
+
+    def test_type_signature_marks_wildcards(self):
+        t = template("A", ANY, Formal("v", int))
+        signature = t.type_signature()
+        assert signature[0] is str
+        assert signature[2] is int
+
+    def test_repr_is_informative(self):
+        assert "Formal" not in repr(template("A", Formal("v")))
+        assert "?v" in repr(template("A", Formal("v")))

@@ -1,0 +1,75 @@
+"""Unit tests for type signatures and bit accounting."""
+
+import pytest
+
+from repro.tuples import ANY, Formal, bits_of, entry, field_type, template, tuple_type, types_compatible
+from repro.tuples.typing import AnyType, bits_for_domain
+
+
+class TestTypeSignatures:
+    def test_field_type_of_defined_values(self):
+        assert field_type(3) is int
+        assert field_type("x") is str
+
+    def test_field_type_of_wildcard_and_formal(self):
+        assert isinstance(field_type(ANY), AnyType)
+        assert isinstance(field_type(Formal("v")), AnyType)
+        assert field_type(Formal("v", str)) is str
+
+    def test_tuple_type(self):
+        signature = tuple_type(("A", 1, ANY))
+        assert signature[0] is str and signature[1] is int
+        assert isinstance(signature[2], AnyType)
+
+    def test_types_compatible_anytype_on_template_side(self):
+        assert types_compatible(int, AnyType())
+        assert not types_compatible(AnyType(), int)
+
+    def test_types_compatible_subclassing(self):
+        class MyInt(int):
+            pass
+
+        assert types_compatible(MyInt, int)
+        assert not types_compatible(int, MyInt)
+
+    def test_bool_not_compatible_with_int(self):
+        assert not types_compatible(bool, int)
+
+
+class TestBitsAccounting:
+    def test_domain_bits(self):
+        assert bits_for_domain(2) == 1
+        assert bits_for_domain(13) == 4
+        assert bits_for_domain(1) == 1
+        with pytest.raises(ValueError):
+            bits_for_domain(0)
+
+    def test_bits_of_primitives(self):
+        assert bits_of(True) == 1
+        assert bits_of(0) == 1
+        assert bits_of(7) == 3
+        assert bits_of(None) == 1
+        assert bits_of(1.5) == 64
+        assert bits_of("ab") == 16
+        assert bits_of(b"ab") == 16
+
+    def test_bits_of_domain_override(self):
+        assert bits_of(12, domain_size=13) == 4
+        assert bits_of("p1", domain_size=4) == 2
+
+    def test_bits_of_containers(self):
+        assert bits_of(frozenset({1, 2, 3})) == 5  # 1 + 2 + 2 bits
+        assert bits_of((7, 7)) == 6
+        assert bits_of({}) == 1
+        assert bits_of({"a": 1}) == 8 + 1
+
+    def test_bits_of_pattern_fields(self):
+        assert bits_of(ANY) == 1
+        assert bits_of(Formal("v")) == 1
+
+    def test_bits_of_fallback_object(self):
+        class Opaque:
+            def __repr__(self):
+                return "op"
+
+        assert bits_of(Opaque()) == 16

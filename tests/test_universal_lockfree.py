@@ -1,0 +1,153 @@
+"""Tests for Algorithm 3 — the lock-free universal construction."""
+
+import threading
+
+import pytest
+
+from repro.errors import UniversalConstructionError
+from repro.universal import LockFreeUniversalConstruction
+from repro.universal.emulated import counter_type, fifo_queue_type, kv_store_type
+
+
+class TestSequentialEmulation:
+    def test_counter_single_process(self):
+        construction = LockFreeUniversalConstruction(counter_type())
+        handle = construction.handle("p1")
+        assert handle.invoke("increment") == 0
+        assert handle.invoke("increment") == 1
+        assert handle.invoke("read") == 2
+        assert handle.state == 2
+
+    def test_two_processes_interleaved(self):
+        construction = LockFreeUniversalConstruction(counter_type())
+        h1, h2 = construction.handle("p1"), construction.handle("p2")
+        assert h1.invoke("increment") == 0
+        assert h2.invoke("increment") == 1  # h2 replays h1's op first
+        assert h1.invoke("read") == 2
+        assert h2.invoke("read") == 2
+
+    def test_fifo_queue_across_processes(self):
+        construction = LockFreeUniversalConstruction(fifo_queue_type())
+        producer, consumer = construction.handle("prod"), construction.handle("cons")
+        producer.invoke("enqueue", "job-1")
+        producer.invoke("enqueue", "job-2")
+        assert consumer.invoke("dequeue") == "job-1"
+        assert consumer.invoke("dequeue") == "job-2"
+        assert consumer.invoke("dequeue") == "QUEUE-EMPTY"
+
+    def test_replays_match_sequential_specification(self):
+        construction = LockFreeUniversalConstruction(kv_store_type())
+        writer, reader = construction.handle("w"), construction.handle("r")
+        writer.invoke("put", "x", 1)
+        writer.invoke("put", "y", 2)
+        assert reader.invoke("get", "x") == 1
+        threaded = construction.threaded_invocations()
+        _, replies = construction.object_type.run_sequentially(threaded)
+        assert replies[-1] == 1
+
+    def test_uniformity_new_processes_can_join_anytime(self):
+        construction = LockFreeUniversalConstruction(counter_type())
+        construction.handle("p1").invoke("increment")
+        late = construction.handle("a-late-process")
+        assert late.invoke("read") == 1
+
+    def test_refresh_catches_up_without_invoking(self):
+        construction = LockFreeUniversalConstruction(counter_type())
+        h1, h2 = construction.handle("p1"), construction.handle("p2")
+        for _ in range(3):
+            h1.invoke("increment")
+        assert h2.refresh() == 3
+        assert h2.position == 3
+
+    def test_statistics(self):
+        construction = LockFreeUniversalConstruction(counter_type())
+        handle = construction.handle("p1")
+        handle.invoke("increment")
+        stats = handle.statistics
+        assert stats["invocations"] == 1
+        assert stats["cas_wins"] == 1
+
+    def test_validates_operations(self):
+        construction = LockFreeUniversalConstruction(counter_type())
+        with pytest.raises(ValueError):
+            construction.handle("p1").invoke("no-such-op")
+
+    def test_max_attempts_guard(self):
+        construction = LockFreeUniversalConstruction(counter_type())
+        h1, h2 = construction.handle("p1"), construction.handle("p2")
+        # Give p2 a backlog to replay with a max_attempts that cannot cover it.
+        for _ in range(5):
+            h1.invoke("increment")
+        with pytest.raises(UniversalConstructionError):
+            h2.invoke("increment", max_attempts=2)
+
+
+class TestTotalOrderInvariants:
+    def test_lemma_1_contiguous_unique_positions(self):
+        construction = LockFreeUniversalConstruction(counter_type())
+        handles = [construction.handle(f"p{i}") for i in range(3)]
+        for round_number in range(5):
+            for handle in handles:
+                handle.invoke("increment")
+        positions = sorted(
+            stored.fields[1]
+            for stored in construction.space.snapshot()
+            if stored.fields[0] == "SEQ"
+        )
+        assert positions == list(range(1, len(positions) + 1))
+
+    def test_all_processes_converge_to_same_state(self):
+        construction = LockFreeUniversalConstruction(counter_type())
+        handles = [construction.handle(f"p{i}") for i in range(4)]
+        for handle in handles:
+            handle.invoke("increment", 10)
+        final_states = {handle.refresh() for handle in handles}
+        assert final_states == {40}
+
+
+class TestConcurrentExecution:
+    def test_threaded_counter_is_linearizable(self):
+        construction = LockFreeUniversalConstruction(counter_type())
+        tickets = []
+        lock = threading.Lock()
+
+        def worker(pid):
+            handle = construction.handle(pid)
+            for _ in range(5):
+                ticket = handle.invoke("increment")
+                with lock:
+                    tickets.append(ticket)
+
+        threads = [threading.Thread(target=worker, args=(f"p{i}",)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # fetch&increment tickets must be exactly 0..19 with no duplicates.
+        assert sorted(tickets) == list(range(20))
+
+    def test_threaded_queue_preserves_elements(self):
+        construction = LockFreeUniversalConstruction(fifo_queue_type())
+        produced = [f"item-{i}" for i in range(12)]
+
+        def producer(pid, items):
+            handle = construction.handle(pid)
+            for item in items:
+                handle.invoke("enqueue", item)
+
+        threads = [
+            threading.Thread(target=producer, args=(f"prod{i}", produced[i::3]))
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        consumer = construction.handle("consumer")
+        drained = []
+        while True:
+            item = consumer.invoke("dequeue")
+            if item == "QUEUE-EMPTY":
+                break
+            drained.append(item)
+        assert sorted(drained) == sorted(produced)

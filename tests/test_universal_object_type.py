@@ -1,0 +1,151 @@
+"""Tests for object types, invocations and the emulated-object library."""
+
+import pytest
+
+from repro.universal import ObjectInvocation, ObjectType
+from repro.universal.emulated import (
+    atomic_register_type,
+    counter_type,
+    fifo_queue_type,
+    kv_store_type,
+    stack_type,
+    sticky_bit_type,
+)
+from repro.universal.emulated.kvstore import MISSING
+from repro.universal.emulated.queue import EMPTY as QUEUE_EMPTY
+from repro.universal.emulated.stack import EMPTY as STACK_EMPTY
+from repro.universal.object_type import InvocationFactory
+
+
+class TestObjectInvocation:
+    def test_hashable_and_unique_by_sequence(self):
+        a = ObjectInvocation("inc", (), "p1", 0)
+        b = ObjectInvocation("inc", (), "p1", 1)
+        assert a != b
+        assert hash(a) != hash(b) or a != b
+
+    def test_factory_produces_unique_invocations(self):
+        factory = InvocationFactory("p1")
+        first = factory("write", 1)
+        second = factory("write", 1)
+        assert first != second
+        assert first.invoker == "p1"
+        assert first.operation == "write" and first.args == (1,)
+
+    def test_str_rendering(self):
+        invocation = ObjectInvocation("put", ("k", 1), "p2", 7)
+        assert "put" in str(invocation) and "p2" in str(invocation)
+
+
+class TestObjectType:
+    def test_validate_invocation(self):
+        counter = counter_type()
+        counter.validate_invocation(ObjectInvocation("read"))
+        with pytest.raises(ValueError):
+            counter.validate_invocation(ObjectInvocation("explode"))
+
+    def test_run_sequentially_returns_replies(self):
+        counter = counter_type()
+        invocations = [
+            ObjectInvocation("increment", (), "p", 0),
+            ObjectInvocation("increment", (5,), "p", 1),
+            ObjectInvocation("read", (), "p", 2),
+        ]
+        state, replies = counter.run_sequentially(invocations)
+        assert state == 6
+        assert replies == [0, 1, 6]
+
+
+class TestEmulatedTypes:
+    def test_register(self):
+        register = atomic_register_type(initial="empty")
+        state, replies = register.run_sequentially(
+            [
+                ObjectInvocation("read", (), "p", 0),
+                ObjectInvocation("write", ("x",), "p", 1),
+                ObjectInvocation("read", (), "p", 2),
+            ]
+        )
+        assert replies == ["empty", True, "x"]
+        with pytest.raises(ValueError):
+            register.apply("x", ObjectInvocation("bogus"))
+
+    def test_sticky_bit(self):
+        sticky = sticky_bit_type()
+        state, replies = sticky.run_sequentially(
+            [
+                ObjectInvocation("read", (), "p", 0),
+                ObjectInvocation("set", (1,), "p", 1),
+                ObjectInvocation("set", (0,), "p", 2),
+                ObjectInvocation("read", (), "p", 3),
+            ]
+        )
+        assert replies == [None, True, False, 1]
+        assert state == 1
+        with pytest.raises(ValueError):
+            sticky.apply(None, ObjectInvocation("set", (7,)))
+
+    def test_counter_fetch_and_add_and_reset(self):
+        counter = counter_type(initial=10)
+        state, replies = counter.run_sequentially(
+            [
+                ObjectInvocation("increment", (), "p", 0),
+                ObjectInvocation("reset", (), "p", 1),
+                ObjectInvocation("read", (), "p", 2),
+            ]
+        )
+        assert replies == [10, 11, 10]
+        with pytest.raises(ValueError):
+            counter.apply(0, ObjectInvocation("increment", ("x",)))
+
+    def test_queue_fifo_order(self):
+        queue = fifo_queue_type()
+        state, replies = queue.run_sequentially(
+            [
+                ObjectInvocation("dequeue", (), "p", 0),
+                ObjectInvocation("enqueue", ("a",), "p", 1),
+                ObjectInvocation("enqueue", ("b",), "p", 2),
+                ObjectInvocation("peek", (), "p", 3),
+                ObjectInvocation("dequeue", (), "p", 4),
+                ObjectInvocation("size", (), "p", 5),
+            ]
+        )
+        assert replies == [QUEUE_EMPTY, True, True, "a", "a", 1]
+        assert state == ("b",)
+
+    def test_stack_lifo_order(self):
+        stack = stack_type()
+        state, replies = stack.run_sequentially(
+            [
+                ObjectInvocation("pop", (), "p", 0),
+                ObjectInvocation("push", ("a",), "p", 1),
+                ObjectInvocation("push", ("b",), "p", 2),
+                ObjectInvocation("top", (), "p", 3),
+                ObjectInvocation("pop", (), "p", 4),
+                ObjectInvocation("size", (), "p", 5),
+            ]
+        )
+        assert replies == [STACK_EMPTY, True, True, "b", "b", 1]
+        assert state == ("a",)
+
+    def test_kv_store(self):
+        store = kv_store_type()
+        state, replies = store.run_sequentially(
+            [
+                ObjectInvocation("get", ("k",), "p", 0),
+                ObjectInvocation("put", ("k", 1), "p", 1),
+                ObjectInvocation("put", ("k", 2), "p", 2),
+                ObjectInvocation("get", ("k",), "p", 3),
+                ObjectInvocation("keys", (), "p", 4),
+                ObjectInvocation("delete", ("k",), "p", 5),
+                ObjectInvocation("size", (), "p", 6),
+            ]
+        )
+        assert replies == [MISSING, MISSING, 1, 2, ("k",), 2, 0]
+        assert state == frozenset()
+
+    def test_apply_functions_do_not_mutate_input_state(self):
+        queue = fifo_queue_type()
+        state = ("a",)
+        queue.apply(state, ObjectInvocation("enqueue", ("b",)))
+        assert state == ("a",)

@@ -1,0 +1,108 @@
+"""Property-based tests for the universal constructions (hypothesis).
+
+The key invariants come from Lemmas 1 and 3 (the SEQ list is contiguous and
+duplicate-free) and Theorems 6 and 7 (the emulation follows the sequential
+specification of the object type): for random interleavings of random
+operation batches, every handle's local state must equal the state obtained
+by replaying the threaded invocation list sequentially.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.universal import LockFreeUniversalConstruction, WaitFreeUniversalConstruction
+from repro.universal.emulated import counter_type, fifo_queue_type, kv_store_type
+
+# A batch is a list of (process_index, operation, args) triples.
+counter_ops = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.sampled_from(["increment", "read"]),
+)
+queue_ops = st.one_of(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.just("enqueue"),
+        st.integers(min_value=0, max_value=9),
+    ),
+    st.tuples(st.integers(min_value=0, max_value=2), st.just("dequeue")),
+)
+kv_ops = st.one_of(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.just("put"),
+        st.sampled_from(["x", "y"]),
+        st.integers(min_value=0, max_value=5),
+    ),
+    st.tuples(st.integers(min_value=0, max_value=2), st.just("get"), st.sampled_from(["x", "y"])),
+)
+
+
+def apply_batch(handles, batch):
+    for step in batch:
+        index, operation, *args = step
+        handles[index % len(handles)].invoke(operation, *args)
+
+
+def final_states(construction, handles):
+    replayed_state, _ = construction.object_type.run_sequentially(
+        construction.threaded_invocations()
+    )
+    handle_states = {handle.refresh() for handle in handles}
+    return replayed_state, handle_states
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=st.lists(counter_ops, min_size=1, max_size=20))
+def test_lockfree_counter_matches_sequential_replay(batch):
+    construction = LockFreeUniversalConstruction(counter_type())
+    handles = [construction.handle(f"p{i}") for i in range(3)]
+    apply_batch(handles, batch)
+    replayed, states = final_states(construction, handles)
+    assert states == {replayed}
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=st.lists(queue_ops, min_size=1, max_size=20))
+def test_lockfree_queue_matches_sequential_replay(batch):
+    construction = LockFreeUniversalConstruction(fifo_queue_type())
+    handles = [construction.handle(f"p{i}") for i in range(3)]
+    apply_batch(handles, batch)
+    replayed, states = final_states(construction, handles)
+    assert states == {replayed}
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=st.lists(kv_ops, min_size=1, max_size=20))
+def test_waitfree_kv_store_matches_sequential_replay(batch):
+    processes = ["a", "b", "c"]
+    construction = WaitFreeUniversalConstruction(kv_store_type(), processes)
+    handles = [construction.handle(p) for p in processes]
+    apply_batch(handles, batch)
+    replayed, states = final_states(construction, handles)
+    assert states == {replayed}
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=st.lists(counter_ops, min_size=1, max_size=20))
+def test_waitfree_positions_are_contiguous_and_unique(batch):
+    processes = ["a", "b", "c"]
+    construction = WaitFreeUniversalConstruction(counter_type(), processes)
+    handles = [construction.handle(p) for p in processes]
+    apply_batch(handles, batch)
+    positions = sorted(
+        stored.fields[1]
+        for stored in construction.space.snapshot()
+        if stored.fields[0] == "SEQ"
+    )
+    assert positions == list(range(1, len(positions) + 1))
+    assert len(positions) == len(batch)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=st.lists(counter_ops, min_size=1, max_size=15))
+def test_lockfree_threaded_invocations_are_unique(batch):
+    construction = LockFreeUniversalConstruction(counter_type())
+    handles = [construction.handle(f"p{i}") for i in range(3)]
+    apply_batch(handles, batch)
+    threaded = construction.threaded_invocations()
+    assert len(threaded) == len(set(threaded)) == len(batch)

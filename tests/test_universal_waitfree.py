@@ -1,0 +1,173 @@
+"""Tests for Algorithm 4 — the wait-free universal construction."""
+
+import threading
+
+import pytest
+
+from repro.universal import WaitFreeUniversalConstruction
+from repro.universal.emulated import counter_type, fifo_queue_type, kv_store_type
+from repro.tuples import ANY, Formal, template
+
+
+class TestConstruction:
+    def test_requires_known_unique_processes(self):
+        with pytest.raises(ValueError):
+            WaitFreeUniversalConstruction(counter_type(), [])
+        with pytest.raises(ValueError):
+            WaitFreeUniversalConstruction(counter_type(), ["a", "a"])
+        construction = WaitFreeUniversalConstruction(counter_type(), ["a", "b"])
+        with pytest.raises(ValueError):
+            construction.handle("stranger")
+
+    def test_index_assignment(self):
+        construction = WaitFreeUniversalConstruction(counter_type(), ["a", "b", "c"])
+        assert construction.index_of("b") == 1
+        assert construction.handle("c").index == 2
+
+
+class TestEmulation:
+    def test_counter_two_processes(self):
+        construction = WaitFreeUniversalConstruction(counter_type(), ["a", "b"])
+        ha, hb = construction.handle("a"), construction.handle("b")
+        assert ha.invoke("increment") == 0
+        assert hb.invoke("increment") == 1
+        assert ha.invoke("read") == 2
+
+    def test_announcements_are_cleaned_up(self):
+        construction = WaitFreeUniversalConstruction(counter_type(), ["a", "b", "c"])
+        handle = construction.handle("a")
+        handle.invoke("increment")
+        leftover = [
+            stored for stored in construction.space.snapshot() if stored.fields[0] == "ANN"
+        ]
+        assert leftover == []
+
+    def test_threaded_invocations_match_sequential_spec(self):
+        construction = WaitFreeUniversalConstruction(kv_store_type(), ["a", "b"])
+        wa, wb = construction.handle("a"), construction.handle("b")
+        wa.invoke("put", "k", 1)
+        wb.invoke("put", "k", 2)
+        assert wa.invoke("get", "k") == 2
+        threaded = construction.threaded_invocations()
+        state, _ = construction.object_type.run_sequentially(threaded)
+        assert dict(state) == {"k": 2}
+
+    def test_lemma_3_contiguous_unique_positions(self):
+        construction = WaitFreeUniversalConstruction(counter_type(), ["a", "b", "c"])
+        handles = [construction.handle(p) for p in ("a", "b", "c")]
+        for _ in range(4):
+            for handle in handles:
+                handle.invoke("increment")
+        positions = sorted(
+            stored.fields[1]
+            for stored in construction.space.snapshot()
+            if stored.fields[0] == "SEQ"
+        )
+        assert positions == list(range(1, len(positions) + 1))
+
+    def test_refresh(self):
+        construction = WaitFreeUniversalConstruction(counter_type(), ["a", "b"])
+        ha, hb = construction.handle("a"), construction.handle("b")
+        ha.invoke("increment")
+        ha.invoke("increment")
+        assert hb.refresh() == 2
+
+
+class TestHelpingMechanism:
+    def test_helper_threads_announced_invocation_of_preferred_process(self):
+        construction = WaitFreeUniversalConstruction(counter_type(), ["a", "b", "c"])
+        space = construction.space
+        hb = construction.handle("b")
+
+        # Process b announces but stalls before threading (we simulate the
+        # stall by publishing the announcement through the space directly,
+        # exactly what line 4 of the algorithm does).
+        from repro.universal.object_type import ObjectInvocation
+        from repro.tuples import entry
+
+        stalled = ObjectInvocation("increment", (), "b", 0)
+        assert space.out(entry("ANN", 1, stalled), process="b")
+
+        # Position 1 prefers index 1 % 3 = 1, i.e. process b.  When a runs,
+        # the policy forces it to help b before threading its own work.
+        ha = construction.handle("a")
+        ha.invoke("increment")
+
+        threaded = construction.threaded_invocations()
+        assert threaded[0] == stalled
+        assert ha.statistics["helps_given"] >= 1
+
+    def test_operation_completes_despite_stalled_peer(self):
+        # Wait-freedom in the simplest adversarial setting: the other
+        # process announces an invocation and then stops forever; ours must
+        # still complete (by helping it first).
+        construction = WaitFreeUniversalConstruction(counter_type(), ["a", "b"])
+        from repro.universal.object_type import ObjectInvocation
+        from repro.tuples import entry
+
+        stalled = ObjectInvocation("increment", (), "b", 0)
+        construction.space.out(entry("ANN", 1, stalled), process="b")
+
+        ha = construction.handle("a")
+        for _ in range(5):
+            ha.invoke("increment")
+        # a's five increments plus the helped one are all threaded.
+        assert len(construction.threaded_invocations()) == 6
+
+    def test_helped_invocation_is_not_threaded_twice(self):
+        construction = WaitFreeUniversalConstruction(counter_type(), ["a", "b", "c"])
+        handles = {p: construction.handle(p) for p in ("a", "b", "c")}
+        for _ in range(3):
+            for handle in handles.values():
+                handle.invoke("increment")
+        threaded = construction.threaded_invocations()
+        assert len(threaded) == len(set(threaded)) == 9
+
+
+class TestConcurrentExecution:
+    def test_threaded_fetch_and_increment_tickets_are_unique(self):
+        processes = [f"p{i}" for i in range(4)]
+        construction = WaitFreeUniversalConstruction(counter_type(), processes)
+        tickets = []
+        lock = threading.Lock()
+
+        def worker(pid):
+            handle = construction.handle(pid)
+            for _ in range(5):
+                ticket = handle.invoke("increment")
+                with lock:
+                    tickets.append(ticket)
+
+        threads = [threading.Thread(target=worker, args=(p,)) for p in processes]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(tickets) == list(range(20))
+
+    def test_threaded_queue_preserves_elements(self):
+        processes = ["prod0", "prod1", "consumer"]
+        construction = WaitFreeUniversalConstruction(fifo_queue_type(), processes)
+        produced = [f"item-{i}" for i in range(10)]
+
+        def producer(pid, items):
+            handle = construction.handle(pid)
+            for item in items:
+                handle.invoke("enqueue", item)
+
+        threads = [
+            threading.Thread(target=producer, args=(processes[i], produced[i::2]))
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        consumer = construction.handle("consumer")
+        drained = []
+        while True:
+            item = consumer.invoke("dequeue")
+            if item == "QUEUE-EMPTY":
+                break
+            drained.append(item)
+        assert sorted(drained) == sorted(produced)
