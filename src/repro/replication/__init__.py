@@ -27,9 +27,9 @@ fully-simulated substitute:
   library runs unchanged on top of it.
 """
 
-from repro.replication.client import PEATSClient
+from repro.replication.client import PEATSClient, PendingRequest
 from repro.replication.crypto import KeyStore, MessageAuthenticator
-from repro.replication.network import NetworkConfig, SimulatedNetwork
+from repro.replication.network import NetworkConfig, SimulatedNetwork, Timer
 from repro.replication.pbft import OrderingNode, ReplicaFaultMode
 from repro.replication.replica import PEATSReplica
 from repro.replication.service import ReplicatedPEATS
@@ -39,9 +39,11 @@ __all__ = [
     "MessageAuthenticator",
     "SimulatedNetwork",
     "NetworkConfig",
+    "Timer",
     "OrderingNode",
     "ReplicaFaultMode",
     "PEATSReplica",
     "PEATSClient",
+    "PendingRequest",
     "ReplicatedPEATS",
 ]

@@ -7,23 +7,111 @@ correct replica, and since correct replicas are deterministic and execute
 requests in the same order, the matched value is the correct result.  This
 is the "basic voting protocol" of Section 4.
 
-The client drives the simulated network itself (the simulation is
-single-threaded): :meth:`invoke` keeps pumping events until the vote
-succeeds, retransmitting and nudging the replicas' view-change timers when
-the network goes quiet without an answer — exactly what a real client's
-retransmission timer achieves.
+The request path is *continuation-style*: :meth:`PEATSClient.submit`
+broadcasts the request and returns a :class:`PendingRequest` immediately;
+the vote is checked as replies arrive and completion callbacks fire inside
+the network's event loop.  A retransmission timer (scheduled on the
+network's virtual clock) re-broadcasts the request and nudges the
+replicas' view-change timers whenever the reply vote has not succeeded in
+time — exactly what a real client's retransmission timer achieves.  Many
+requests from many clients can therefore be in flight concurrently, which
+is what the :mod:`repro.sim` scenario engine builds on.
+
+The synchronous :meth:`PEATSClient.invoke` is a thin wrapper: submit, then
+pump the network until the request completes.
 """
 
 from __future__ import annotations
 
 import collections
-from typing import Any, Hashable, Optional
+from typing import Any, Callable, Hashable, Optional
 
 from repro.errors import QuorumError, ReplicationError
 from repro.replication.messages import ClientReply, ClientRequest
-from repro.replication.network import SimulatedNetwork
+from repro.replication.network import SimulatedNetwork, Timer
 
-__all__ = ["PEATSClient"]
+__all__ = ["PendingRequest", "PEATSClient"]
+
+
+class PendingRequest:
+    """A request in flight: a future resolved by the ``f + 1`` reply vote.
+
+    Created by :meth:`PEATSClient.submit`.  Completion callbacks registered
+    with :meth:`add_done_callback` fire (synchronously, inside the network
+    event loop) when the vote succeeds or the request is abandoned after
+    too many retransmissions.
+    """
+
+    __slots__ = (
+        "request",
+        "submitted_at",
+        "completed_at",
+        "attempts",
+        "done",
+        "_result",
+        "_exception",
+        "_callbacks",
+        "_timer",
+    )
+
+    def __init__(self, request: ClientRequest, submitted_at: float) -> None:
+        self.request = request
+        self.submitted_at = submitted_at
+        self.completed_at: Optional[float] = None
+        self.attempts = 0
+        self.done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["PendingRequest"], None]] = []
+        self._timer: Optional[Timer] = None
+
+    @property
+    def key(self) -> tuple:
+        return self.request.key
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Virtual-time latency (ms), or ``None`` while in flight."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def result(self) -> Any:
+        """The voted result; raises if the request failed or is in flight."""
+        if not self.done:
+            raise ReplicationError(f"request {self.key} is still in flight")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def add_done_callback(self, callback: Callable[["PendingRequest"], None]) -> None:
+        """Call ``callback(self)`` on completion (immediately if already done)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _complete(self, now: float, result: Any = None, exception: BaseException | None = None) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.completed_at = now
+        self._result = result
+        self._exception = exception
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "in-flight"
+        return f"PendingRequest(key={self.key!r}, {state}, attempts={self.attempts})"
 
 
 class PEATSClient:
@@ -38,6 +126,7 @@ class PEATSClient:
         *,
         nudge_timeouts: Any = None,
         max_retransmissions: int = 20,
+        retransmit_interval: float = 100.0,
     ) -> None:
         self.client_id = client_id
         self.replica_ids = tuple(replica_ids)
@@ -45,8 +134,10 @@ class PEATSClient:
         self.network = network
         self._next_request_id = 0
         self._replies: dict[tuple, dict[Hashable, ClientReply]] = collections.defaultdict(dict)
+        self._pending: dict[tuple, PendingRequest] = {}
         self._nudge_timeouts = nudge_timeouts
         self._max_retransmissions = max_retransmissions
+        self._retransmit_interval = retransmit_interval
         self._statistics = {"requests": 0, "retransmissions": 0, "mismatched_replies": 0}
         network.register(self._address, self._on_message)
 
@@ -62,6 +153,10 @@ class PEATSClient:
     def statistics(self) -> dict[str, int]:
         return dict(self._statistics)
 
+    @property
+    def pending_requests(self) -> tuple[PendingRequest, ...]:
+        return tuple(self._pending.values())
+
     # ------------------------------------------------------------------
     # Network plumbing
     # ------------------------------------------------------------------
@@ -72,7 +167,14 @@ class PEATSClient:
         if payload.replica != sender:
             # A replica may only speak for itself on its authenticated link.
             return
+        pending = self._pending.get(payload.request_key)
+        if pending is None:
+            # Stale reply for a request already resolved (or never issued).
+            return
         self._replies[payload.request_key][sender] = payload
+        result = self._voted_result(payload.request_key)
+        if result is not None:
+            self._resolve(pending, result)
 
     def _voted_result(self, request_key: tuple) -> Optional[Any]:
         """Return the result vouched for by ``f + 1`` matching replies."""
@@ -87,16 +189,60 @@ class PEATSClient:
             self._statistics["mismatched_replies"] += 1
         return None
 
+    def _resolve(self, pending: PendingRequest, result: Any) -> None:
+        self._pending.pop(pending.key, None)
+        self._replies.pop(pending.key, None)
+        pending._complete(self.network.now, result=result)
+
+    def _fail(self, pending: PendingRequest, exception: BaseException) -> None:
+        self._pending.pop(pending.key, None)
+        self._replies.pop(pending.key, None)
+        pending._complete(self.network.now, exception=exception)
+
+    def _retransmit(self, request_key: tuple) -> None:
+        pending = self._pending.get(request_key)
+        if pending is None or pending.done:
+            return
+        pending.attempts += 1
+        if pending.attempts > self._max_retransmissions:
+            self._fail(
+                pending,
+                QuorumError(
+                    f"no f+1 matching replies for request {request_key} after "
+                    f"{pending.attempts} retransmissions"
+                ),
+            )
+            return
+        # The vote has not succeeded within the retransmission interval:
+        # nudge the replicas' view-change timers (virtual time has already
+        # advanced to this timer's firing point) and retransmit.
+        self._statistics["retransmissions"] += 1
+        if self._nudge_timeouts is not None:
+            self._nudge_timeouts()
+        self.network.broadcast(self._address, self.replica_ids, pending.request)
+        pending._timer = self.network.schedule_after(
+            self._retransmit_interval, lambda: self._retransmit(request_key)
+        )
+
     # ------------------------------------------------------------------
-    # Request execution
+    # Request submission (continuation style)
     # ------------------------------------------------------------------
 
-    def invoke(self, operation: str, arguments: tuple) -> Any:
-        """Execute ``operation(*arguments)`` on the replicated PEATS.
+    def submit(
+        self,
+        operation: str,
+        arguments: tuple,
+        *,
+        on_complete: Callable[[PendingRequest], None] | None = None,
+    ) -> PendingRequest:
+        """Broadcast a request and return its :class:`PendingRequest`.
 
-        Returns the deserialised result payload produced by
-        :class:`~repro.replication.replica.PEATSReplica` (an ``("OK", value)``
-        or ``(DENIED, reason)`` pair).
+        Does **not** pump the network: the caller (or the scenario engine)
+        drives delivery, and ``on_complete`` — if given — fires inside the
+        event loop once ``f + 1`` matching replies arrive.  A retransmission
+        timer keeps the request alive until then (or until
+        ``max_retransmissions`` is exhausted, which fails the request with
+        :class:`~repro.errors.QuorumError`).
         """
         request_id = self._next_request_id
         self._next_request_id += 1
@@ -106,29 +252,34 @@ class PEATSClient:
             operation=operation,
             arguments=arguments,
         )
+        pending = PendingRequest(request, self.network.now)
+        self._pending[request.key] = pending
         self._statistics["requests"] += 1
+        if on_complete is not None:
+            pending.add_done_callback(on_complete)
         self.network.broadcast(self._address, self.replica_ids, request)
+        pending._timer = self.network.schedule_after(
+            self._retransmit_interval, lambda: self._retransmit(request.key)
+        )
+        return pending
 
-        attempts = 0
-        while True:
-            self.network.run_until(lambda: self._voted_result(request.key) is not None)
-            result = self._voted_result(request.key)
-            if result is not None:
-                return result
-            attempts += 1
-            if attempts > self._max_retransmissions:
-                raise QuorumError(
-                    f"no f+1 matching replies for request {request.key} after "
-                    f"{attempts} retransmissions"
-                )
-            # The network went quiet without enough matching replies: nudge
-            # the replicas' view-change timers (simulating the passage of
-            # real time) and retransmit.
-            self._statistics["retransmissions"] += 1
-            self.network.advance_time(100.0)
-            if self._nudge_timeouts is not None:
-                self._nudge_timeouts()
-            self.network.broadcast(self._address, self.replica_ids, request)
+    # ------------------------------------------------------------------
+    # Synchronous request execution
+    # ------------------------------------------------------------------
+
+    def invoke(self, operation: str, arguments: tuple) -> Any:
+        """Execute ``operation(*arguments)`` on the replicated PEATS.
+
+        Submits the request and pumps the network until the reply vote
+        succeeds.  Returns the deserialised result payload produced by
+        :class:`~repro.replication.replica.PEATSReplica` (an ``("OK", value)``
+        or ``(DENIED, reason)`` pair).
+        """
+        pending = self.submit(operation, arguments)
+        self.network.run_until(lambda: pending.done)
+        if not pending.done:  # pragma: no cover - retransmit timer prevents this
+            self._fail(pending, QuorumError(f"network drained before {pending.key} resolved"))
+        return pending.result()
 
     # ------------------------------------------------------------------
     # Convenience wrappers used by ReplicatedPEATS views

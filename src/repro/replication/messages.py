@@ -19,7 +19,12 @@ __all__ = [
     "Commit",
     "ViewChange",
     "NewView",
+    "NULL_REQUEST_CLIENT",
+    "null_request",
 ]
+
+#: Pseudo-client of protocol-generated no-op requests (see :func:`null_request`).
+NULL_REQUEST_CLIENT = "__pbft-null__"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -40,6 +45,20 @@ class ClientRequest:
     @property
     def key(self) -> tuple:
         return (self.client, self.request_id)
+
+
+def null_request(sequence: int) -> ClientRequest:
+    """A no-op request a new primary proposes to fill a sequence gap.
+
+    PBFT's view change may leave sequence numbers that were assigned in an
+    earlier view but are neither executed nor re-proposed (no correct
+    quorum member prepared them).  Execution is strictly contiguous, so
+    such holes must be plugged; the null request executes as a no-op and
+    is never replied to (its pseudo-client is not on the network).
+    """
+    return ClientRequest(
+        client=NULL_REQUEST_CLIENT, request_id=sequence, operation="__noop__", arguments=()
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,12 +109,17 @@ class ViewChange:
 
     ``prepared`` carries, per sequence number, the request that this
     replica prepared in earlier views so the new primary can re-propose it.
+    ``highest_sequence`` is the highest sequence number the replica has
+    seen assigned (executed, committed or merely pre-prepared); the new
+    primary starts numbering above the quorum maximum so sequence numbers
+    are never reused across views for different requests.
     """
 
     new_view: int
     replica: Hashable
     last_executed: int
     prepared: Mapping[int, ClientRequest]
+    highest_sequence: int = 0
 
 
 @dataclasses.dataclass(frozen=True)

@@ -14,6 +14,13 @@ Fault injection hooks:
   — the network itself never forges MACs, mirroring the assumption that a
   faulty process cannot impersonate a correct one.
 
+Besides messages, the queue carries *timer events*
+(:meth:`SimulatedNetwork.schedule_after` / :meth:`~SimulatedNetwork.
+schedule_at`): callbacks that fire at a chosen virtual time, interleaved
+with deliveries in strict ``(time, sequence)`` order.  Timers are what the
+scenario engine (:mod:`repro.sim`) and the non-blocking client
+retransmission path are built on.
+
 Everything is driven by one thread; determinism comes from the seeded RNG
 and the strict ``(time, sequence)`` ordering of the event queue.
 """
@@ -29,7 +36,7 @@ from typing import Any, Callable, Hashable, Iterable, Optional
 from repro.errors import SimulationError
 from repro.replication.crypto import KeyStore, MessageAuthenticator
 
-__all__ = ["NetworkConfig", "Envelope", "SimulatedNetwork"]
+__all__ = ["NetworkConfig", "Envelope", "Timer", "SimulatedNetwork"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,6 +63,29 @@ class Envelope:
     mac: str
 
 
+class Timer:
+    """A cancellable virtual-time callback scheduled on the network.
+
+    Returned by :meth:`SimulatedNetwork.schedule_at` and
+    :meth:`SimulatedNetwork.schedule_after`.  Cancelled timers stay in the
+    event queue but are skipped (without advancing time) when popped.
+    """
+
+    __slots__ = ("when", "callback", "cancelled")
+
+    def __init__(self, when: float, callback: Callable[[], None]) -> None:
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "armed"
+        return f"Timer(when={self.when:.3f}, {state})"
+
+
 class SimulatedNetwork:
     """Discrete-event network with authenticated point-to-point channels."""
 
@@ -64,13 +94,14 @@ class SimulatedNetwork:
         self._rng = random.Random(self._config.seed)
         self._authenticator = MessageAuthenticator(keystore or KeyStore())
         self._handlers: dict[Hashable, Callable[[Hashable, Any], None]] = {}
-        self._queue: list[tuple[float, int, Envelope]] = []
+        self._queue: list[tuple[float, int, Envelope | Timer]] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._partitioned: set[frozenset[Hashable]] = set()
         self._delivered = 0
         self._dropped = 0
         self._rejected = 0
+        self._timers_fired = 0
         self._in_flight_tamper: dict[Hashable, Callable[[Any], Any]] = {}
 
     # ------------------------------------------------------------------
@@ -142,14 +173,46 @@ class SimulatedNetwork:
                 self.send(sender, receiver, payload)
 
     # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback()`` to fire at virtual time ``when``.
+
+        Times in the past are clamped to *now*.  Returns a cancellable
+        :class:`Timer`.
+        """
+        timer = Timer(max(when, self._now), callback)
+        heapq.heappush(self._queue, (timer.when, next(self._sequence), timer))
+        return timer
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback()`` to fire ``delay`` virtual ms from now."""
+        if delay < 0:
+            raise SimulationError("timer delay cannot be negative")
+        return self.schedule_at(self._now + delay, callback)
+
+    # ------------------------------------------------------------------
     # Event loop
     # ------------------------------------------------------------------
 
     def step(self) -> bool:
-        """Deliver the next scheduled message; returns False when idle."""
+        """Process the next scheduled event; returns False when idle.
+
+        An event is either a message delivery or a timer firing; cancelled
+        timers are consumed without advancing the clock.
+        """
         if not self._queue:
             return False
-        deliver_at, _, envelope = heapq.heappop(self._queue)
+        deliver_at, _, item = heapq.heappop(self._queue)
+        if isinstance(item, Timer):
+            if item.cancelled:
+                return True
+            self._now = max(self._now, deliver_at)
+            self._timers_fired += 1
+            item.callback()
+            return True
+        envelope = item
         self._now = max(self._now, deliver_at)
         handler = self._handlers.get(envelope.receiver)
         if handler is None:
@@ -190,6 +253,30 @@ class SimulatedNetwork:
                 )
         return True
 
+    def run_until_time(self, deadline: float, *, max_events: int = 1_000_000) -> int:
+        """Process every event scheduled up to ``deadline``, then advance to it.
+
+        The clock ends exactly at ``deadline`` (or stays put if it is in the
+        past); events scheduled later stay queued.  Returns the number of
+        events processed.
+        """
+        events = 0
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"more than {max_events} events before time {deadline} (livelock?)"
+                )
+        self._now = max(self._now, deadline)
+        return events
+
+    def run_for(self, duration: float, *, max_events: int = 1_000_000) -> int:
+        """Process events for ``duration`` virtual ms (see :meth:`run_until_time`)."""
+        if duration < 0:
+            raise SimulationError("duration cannot be negative")
+        return self.run_until_time(self._now + duration, max_events=max_events)
+
     def advance_time(self, delta: float) -> None:
         """Advance the simulated clock without delivering anything.
 
@@ -211,12 +298,18 @@ class SimulatedNetwork:
             "delivered": self._delivered,
             "dropped": self._dropped,
             "rejected": self._rejected,
+            "timers_fired": self._timers_fired,
             "pending": len(self._queue),
         }
 
     @property
     def pending_count(self) -> int:
         return len(self._queue)
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the next queued event, or ``None`` when idle."""
+        return self._queue[0][0] if self._queue else None
 
     def __repr__(self) -> str:
         return (

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, Hashable, Optional
 from repro.errors import QuorumError
 from repro.replication.crypto import digest
 from repro.replication.messages import (
+    NULL_REQUEST_CLIENT,
     ClientReply,
     ClientRequest,
     Commit,
@@ -45,6 +46,7 @@ from repro.replication.messages import (
     PrePrepare,
     Prepare,
     ViewChange,
+    null_request,
 )
 from repro.replication.network import SimulatedNetwork
 from repro.replication.replica import PEATSReplica
@@ -104,6 +106,8 @@ class OrderingNode:
         # View-change bookkeeping.
         self._view_change_votes: Dict[int, Dict[Hashable, ViewChange]] = {}
         self._view_changing = False
+        self._view_change_started_at = 0.0
+        self._highest_vote = 0
         # Ordering messages for views we have not entered yet (they can
         # overtake the NEW-VIEW announcement on the asynchronous network).
         self._future_messages: list[tuple[Hashable, Any]] = []
@@ -219,6 +223,9 @@ class OrderingNode:
         self._pre_prepares[key] = message
         self._ordered_keys.add(message.request.key)
         self._buffered.setdefault(message.request.key, message.request)
+        # Track the highest sequence number this replica has seen assigned:
+        # if it later becomes primary it must not reuse any of them.
+        self.next_sequence = max(self.next_sequence, message.sequence + 1)
         if not self.is_primary and key not in self._sent_prepare:
             self._sent_prepare.add(key)
             self._multicast(
@@ -308,6 +315,9 @@ class OrderingNode:
     def _reply(self, request: ClientRequest, result: Any) -> None:
         if self.is_silent:
             return
+        if request.client == NULL_REQUEST_CLIENT:
+            # Gap-filling no-ops have no real client to answer.
+            return
         if self.fault_mode is ReplicaFaultMode.LYING:
             # Each liar corrupts independently (the replica id is baked into
             # the lie), so colluding on an identical wrong answer — which
@@ -332,7 +342,7 @@ class OrderingNode:
         Called by the service after advancing simulated time; a real
         deployment would use wall-clock timers.
         """
-        if self.is_silent or self._view_changing:
+        if self.is_silent:
             return
         now = self.network.now
         overdue = [
@@ -340,22 +350,54 @@ class OrderingNode:
             for key, since in self._buffered_since.items()
             if key not in self._executed_keys and now - since > self.view_change_timeout
         ]
-        if overdue:
-            self._start_view_change(self.view + 1)
+        if not overdue:
+            return
+        if self._view_changing:
+            # The view change itself has stalled (e.g. the designated new
+            # primary is partitioned away and can never gather a quorum).
+            # PBFT's answer is to escalate: after another timeout, vote for
+            # the *next* view so the primary role rotates past the
+            # unreachable replica.
+            if now - self._view_change_started_at > self.view_change_timeout:
+                self._start_view_change(self._highest_vote + 1)
+            return
+        self._start_view_change(self.view + 1)
+
+    def force_view_change(self) -> None:
+        """Vote to leave the current view now, regardless of timers.
+
+        Used by fault schedules (:mod:`repro.sim.faults`) to model
+        suspicious replicas / view-change storms without waiting for a
+        request to go overdue.
+        """
+        if self.is_silent or self._view_changing:
+            return
+        self._start_view_change(self.view + 1)
 
     def _start_view_change(self, new_view: int) -> None:
+        new_view = max(new_view, self.view + 1)
         self._view_changing = True
+        self._view_change_started_at = self.network.now
+        self._highest_vote = max(self._highest_vote, new_view)
+        # Report every prepared certificate this replica holds — including
+        # sequences it already executed.  A new primary that missed part of
+        # the history (it was partitioned while the rest of the quorum
+        # executed) needs those certificates to re-propose the *real*
+        # requests at the old numbers; otherwise it would null-fill them
+        # and silently diverge from the other correct replicas.  Execution
+        # is idempotent per request key, so replicas that already ran them
+        # are unaffected.  Sorted iteration lets a later view's certificate
+        # for the same sequence win.
         prepared: dict[int, ClientRequest] = {}
-        for (view, sequence), message in self._pre_prepares.items():
-            if sequence > self.last_executed and self._prepared(
-                view, sequence, message.request_digest
-            ):
+        for (view, sequence), message in sorted(self._pre_prepares.items()):
+            if self._prepared(view, sequence, message.request_digest):
                 prepared[sequence] = message.request
         vote = ViewChange(
             new_view=new_view,
             replica=self.replica_id,
             last_executed=self.last_executed,
             prepared=prepared,
+            highest_sequence=self.next_sequence - 1,
         )
         self._view_change_votes.setdefault(new_view, {})[self.replica_id] = vote
         self._multicast(vote)
@@ -366,9 +408,14 @@ class OrderingNode:
             return
         self._view_change_votes.setdefault(message.new_view, {})[sender] = message
         # Join the view change once f + 1 replicas are asking for it (we
-        # cannot all be faulty), even if our own timer has not fired.
+        # cannot all be faulty), even if our own timer has not fired — and
+        # also when they ask for a *higher* view than the one we are
+        # currently voting for, otherwise concurrent change attempts can
+        # deadlock one vote short of every quorum.
         votes = self._view_change_votes[message.new_view]
-        if len(votes) >= self.f + 1 and not self._view_changing:
+        if len(votes) >= self.f + 1 and (
+            not self._view_changing or message.new_view > self._highest_vote
+        ):
             self._start_view_change(message.new_view)
         self._maybe_install_view(message.new_view)
 
@@ -383,24 +430,28 @@ class OrderingNode:
         # Collect every request reported prepared by some member of the quorum.
         reproposals: dict[int, ClientRequest] = {}
         max_executed = 0
+        max_sequence = 0
         for vote in votes.values():
             max_executed = max(max_executed, vote.last_executed)
+            max_sequence = max(max_sequence, vote.highest_sequence)
             for sequence, request in vote.prepared.items():
                 reproposals.setdefault(sequence, request)
         announcement = NewView(
             view=new_view, primary=self.replica_id, reproposals=reproposals
         )
         self._multicast(announcement)
-        self._enter_view(new_view, reproposals, max_executed)
+        self._enter_view(new_view, reproposals, max(max_executed, max_sequence))
 
     def _on_new_view(self, sender: Hashable, message: NewView) -> None:
         if message.view <= self.view:
             return
         if sender != self.primary_of(message.view):
             return
+        votes = self._view_change_votes.get(message.view, {}).values()
         max_executed = max(
-            (vote.last_executed for vote in self._view_change_votes.get(message.view, {}).values()),
-            default=self.last_executed,
+            [self.last_executed]
+            + [vote.last_executed for vote in votes]
+            + [vote.highest_sequence for vote in votes],
         )
         self._enter_view(message.view, dict(message.reproposals), max_executed)
 
@@ -416,13 +467,26 @@ class OrderingNode:
             + list(reproposals.keys())
         )
         self.next_sequence = highest + 1
+        # A request ordered in an earlier view but neither executed nor
+        # re-proposed by the quorum would otherwise be stuck forever: its
+        # key sits in _ordered_keys, so retransmissions are ignored and it
+        # is never assigned a new sequence number.  Rebuild the set from
+        # what actually survives into the new view; execution is idempotent
+        # per request key, so re-ordering a request that does eventually
+        # commit under its old number is harmless.
+        self._ordered_keys = set(self._executed_keys)
+        self._ordered_keys.update(request.key for request in reproposals.values())
         if self.is_primary:
-            # Re-propose prepared-but-unexecuted requests under the new view,
-            # keeping their sequence numbers, then order the still-buffered ones.
-            for sequence in sorted(reproposals):
-                request = reproposals[sequence]
-                if sequence <= self.last_executed:
-                    continue
+            # Re-propose every sequence number up to the highest one assigned
+            # anywhere, keeping the quorum's prepared requests under their
+            # old numbers.  Sequences nobody prepared would otherwise be
+            # permanent holes — execution is strictly contiguous — so they
+            # are plugged: with this replica's own committed request if it
+            # has one, else with a no-op null request (PBFT's rule).
+            for sequence in range(self.last_executed + 1, self.next_sequence):
+                request = reproposals.get(sequence) or self._committed.get(sequence)
+                if request is None:
+                    request = null_request(sequence)
                 message = PrePrepare(
                     view=self.view,
                     sequence=sequence,
@@ -434,6 +498,7 @@ class OrderingNode:
                 self._ordered_keys.add(request.key)
                 self._multicast(message)
                 self._maybe_send_commit(self.view, sequence, message.request_digest)
+            # Then assign fresh numbers to the still-buffered requests.
             for key, request in list(self._buffered.items()):
                 if key not in self._executed_keys and key not in self._ordered_keys:
                     self._order(request)

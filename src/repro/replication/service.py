@@ -18,15 +18,19 @@ Usage::
     space = service.client_view("p1")
     inserted, _ = space.cas(template("DECISION", Formal("d")), entry("DECISION", 7))
 
-The simulation is single-threaded: client calls drive the network until
-their reply vote succeeds.  Use one thread only.
+The simulation is single-threaded, but no longer one-request-at-a-time:
+synchronous view calls drive the network until their reply vote succeeds,
+while :meth:`~repro.replication.client.PEATSClient.submit` exposes the
+non-blocking path that lets the :mod:`repro.sim` scenario engine keep
+dozens of clients' requests in flight concurrently under one virtual
+clock.
 """
 
 from __future__ import annotations
 
 from typing import Any, Hashable, Iterable, Optional, Sequence
 
-from repro.errors import ReplicationError
+from repro.errors import AccessDeniedError, ReplicationError
 from repro.peo.base import DeniedResult
 from repro.policy.monitor import Decision
 from repro.policy.invocation import Invocation
@@ -202,17 +206,75 @@ class ReplicatedClientView(TupleSpaceInterface):
             return None
         return value
 
-    def rd(self, template: Template, *, timeout: float | None = None) -> Entry:
-        raise ReplicationError(
-            "blocking reads are not offered by the replicated PEATS client; "
-            "poll with rdp instead"
-        )
+    #: Default bound for blocking reads when no timeout is given, in
+    #: **simulated milliseconds** (virtual clock, *not* the wall-clock
+    #: seconds of the local spaces — there is no wall clock here).  A true
+    #: unbounded wait would hang the single-threaded simulation if no other
+    #: client ever produces the tuple.
+    default_blocking_timeout: float = 1_000.0
+    #: Virtual time between polls of a blocking read (simulated ms).
+    default_poll_interval: float = 10.0
 
-    def in_(self, template: Template, *, timeout: float | None = None) -> Entry:
-        raise ReplicationError(
-            "blocking reads are not offered by the replicated PEATS client; "
-            "poll with inp instead"
-        )
+    def rd(
+        self,
+        template: Template,
+        *,
+        timeout: float | None = None,
+        poll_interval: float | None = None,
+    ) -> Entry:
+        return self._poll_until_found("rdp", "rd", template, timeout, poll_interval)
+
+    def in_(
+        self,
+        template: Template,
+        *,
+        timeout: float | None = None,
+        poll_interval: float | None = None,
+    ) -> Entry:
+        return self._poll_until_found("inp", "in", template, timeout, poll_interval)
+
+    def _poll_until_found(
+        self,
+        probe_operation: str,
+        blocking_name: str,
+        template: Template,
+        timeout: float | None,
+        poll_interval: float | None,
+    ) -> Entry:
+        """Blocking ``rd``/``in`` emulated as a bounded rdp/inp retry loop.
+
+        The replicated service has no server-side blocking primitive, so the
+        recipe of Section 4 applies: poll the non-blocking variant, letting
+        virtual time advance between attempts so concurrent clients (and
+        view changes) can make progress.
+
+        Mirroring the local :class:`~repro.peo.peats.PEATS`, a policy denial
+        raises :class:`~repro.errors.AccessDeniedError` immediately (it is
+        checked on the first probe, not retried until the timeout).  When no
+        match appears within the budget, raises :class:`TimeoutError` like
+        the local :class:`~repro.tspace.space.TupleSpace` — but note the
+        unit: ``timeout``/``poll_interval`` are **simulated milliseconds**
+        on the deployment's virtual clock, whereas the local spaces wait in
+        wall-clock seconds.
+        """
+        interval = self.default_poll_interval if poll_interval is None else poll_interval
+        budget = self.default_blocking_timeout if timeout is None else timeout
+        network = self._service.network
+        deadline = network.now + budget
+        while True:
+            status, value = self._client.execute_tuple_operation(probe_operation, (template,))
+            if status == DENIED:
+                raise AccessDeniedError(
+                    str(value), process=self._process, operation=blocking_name
+                )
+            if value is not None:
+                return value
+            remaining = deadline - network.now
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"no tuple matching {template!r} appeared within {budget} simulated ms"
+                )
+            network.run_for(min(interval, remaining))
 
     def cas(self, template: Template, entry: Entry) -> tuple[Any, Optional[Entry]]:
         status, value = self._client.execute_tuple_operation("cas", (template, entry))

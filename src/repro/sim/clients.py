@@ -1,0 +1,197 @@
+"""Generator-based client state machines for the scenario engine.
+
+A *client program* is a plain Python generator: it ``yield``s the steps it
+wants to take and receives each step's outcome back as the value of the
+``yield`` expression.  Two step kinds exist:
+
+* :class:`Op` — submit one tuple-space operation through the client's
+  non-blocking request path.  The generator resumes — when the ``f + 1``
+  reply vote succeeds — with the unwrapped reply payload, an
+  ``("OK", value)`` or ``("DENIED", reason)`` pair.
+* :class:`Pause` — sleep for some virtual milliseconds (a network timer).
+
+Because the generator suspends at every ``yield`` and the engine resumes
+it from inside the network event loop, **dozens of programs interleave on
+one thread**, each with its own request in flight — the open-system,
+multi-client regime of Section 4 that the synchronous client could not
+express.
+
+Helpers :func:`op_out` / :func:`op_rdp` / :func:`op_inp` / :func:`op_cas`
+build the steps, and :func:`ok_value` unwraps replies::
+
+    def writer(process):
+        payload = yield op_out(entry("K", process, 0))
+        assert ok_value(payload) is True
+        yield Pause(5.0)
+        payload = yield op_rdp(template("K", process, ANY))
+        return ok_value(payload)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Generator, Hashable, Optional, Union
+
+from repro.errors import SimulationError
+from repro.replication.client import PendingRequest
+from repro.replication.replica import DENIED
+from repro.tuples import Entry, Template
+
+__all__ = [
+    "Op",
+    "Pause",
+    "op_out",
+    "op_rdp",
+    "op_inp",
+    "op_cas",
+    "ok_value",
+    "is_denied",
+    "ClientProgram",
+    "ClientRunner",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Op:
+    """One tuple-space operation to submit to the replicated service."""
+
+    operation: str
+    arguments: tuple
+
+    def __post_init__(self) -> None:
+        if self.operation not in ("out", "rdp", "inp", "cas"):
+            raise SimulationError(f"unsupported simulated operation {self.operation!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Pause:
+    """Suspend the program for ``duration`` virtual milliseconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError("pause duration cannot be negative")
+
+
+#: A client program: yields Op/Pause steps, may ``return`` a final value.
+ClientProgram = Generator[Union[Op, Pause], Any, Any]
+
+
+def op_out(entry: Entry) -> Op:
+    return Op("out", (entry,))
+
+
+def op_rdp(template: Template) -> Op:
+    return Op("rdp", (template,))
+
+
+def op_inp(template: Template) -> Op:
+    return Op("inp", (template,))
+
+
+def op_cas(template: Template, entry: Entry) -> Op:
+    return Op("cas", (template, entry))
+
+
+def ok_value(payload: Any) -> Any:
+    """The value of an ``("OK", value)`` reply; ``None`` when denied."""
+    if isinstance(payload, tuple) and len(payload) == 2 and payload[0] != DENIED:
+        return payload[1]
+    return None
+
+
+def is_denied(payload: Any) -> bool:
+    return isinstance(payload, tuple) and len(payload) == 2 and payload[0] == DENIED
+
+
+class ClientRunner:
+    """Drives one client program over one authenticated PEATS client.
+
+    The runner owns the generator: it submits each yielded :class:`Op`
+    through :meth:`PEATSClient.submit` and resumes the generator from the
+    request's completion callback, or schedules a network timer for a
+    :class:`Pause`.  Everything happens inside the network event loop, so
+    the engine never blocks on any individual client.
+    """
+
+    def __init__(self, engine: Any, process: Hashable, program: ClientProgram) -> None:
+        self.engine = engine
+        self.process = process
+        self.program = program
+        self.client = engine.service.client(process)
+        self.done = False
+        self.failed: Optional[BaseException] = None
+        self.result: Any = None
+        self.operations_issued = 0
+
+    # ------------------------------------------------------------------
+    # Generator driving
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._advance(None)
+
+    def _advance(self, send_value: Any) -> None:
+        if self.done:
+            return
+        try:
+            step = self.program.send(send_value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except Exception as error:  # program bug or deliberate abort
+            self._finish(error=error)
+            return
+        if isinstance(step, Pause):
+            self.engine.network.schedule_after(step.duration, lambda: self._advance(None))
+        elif isinstance(step, Op):
+            self._submit(step)
+        else:
+            self._finish(
+                error=SimulationError(
+                    f"client program for {self.process!r} yielded {step!r}; "
+                    "expected an Op or a Pause"
+                )
+            )
+
+    def _submit(self, step: Op) -> None:
+        self.operations_issued += 1
+        pending = self.client.submit(step.operation, step.arguments)
+        self.engine.metrics.record_submit(
+            self.engine.network.now, self.process, step.operation, pending.request.request_id
+        )
+        pending.add_done_callback(lambda done: self._on_complete(step, done))
+
+    def _on_complete(self, step: Op, pending: PendingRequest) -> None:
+        now = self.engine.network.now
+        request_id = pending.request.request_id
+        if pending.exception is not None:
+            self.engine.metrics.record_failure(
+                now, self.process, step.operation, request_id, type(pending.exception).__name__
+            )
+            self._finish(error=pending.exception)
+            return
+        payload = pending.result()
+        status = "DENIED" if is_denied(payload) else "OK"
+        self.engine.metrics.record_complete(
+            now,
+            self.process,
+            step.operation,
+            request_id,
+            latency=pending.latency or 0.0,
+            status=status,
+        )
+        self._advance(payload)
+
+    def _finish(self, *, result: Any = None, error: BaseException | None = None) -> None:
+        self.done = True
+        self.result = result
+        self.failed = error
+        detail = f"error={type(error).__name__}" if error is not None else f"result={result!r}"
+        self.engine.metrics.record_client_done(self.engine.network.now, self.process, detail)
+        self.engine._client_finished(self)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"ClientRunner(process={self.process!r}, {state}, ops={self.operations_issued})"

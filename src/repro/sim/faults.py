@@ -1,0 +1,203 @@
+"""Declarative timed fault schedules for scenario runs.
+
+A fault schedule is a sequence of small frozen dataclasses, each saying
+*what* happens to the deployment and *when* (in virtual milliseconds).
+The engine installs them as network timers before the run starts, so the
+same schedule against the same seed perturbs the exact same interleaving —
+fault timing is part of the deterministic trace.
+
+Available events:
+
+* :class:`PartitionWindow` — cut every link between two groups of nodes
+  for a window of virtual time, then heal;
+* :class:`CrashWindow` — crash a replica at ``start`` and (optionally)
+  recover it at ``end``.  A recovered replica has missed the traffic of
+  the window (there is no state-transfer protocol in the simulation), so
+  it may stay behind — which is exactly the degraded-but-safe behaviour
+  ``2f + 1`` quorums tolerate;
+* :class:`FaultModeWindow` — toggle any
+  :class:`~repro.replication.pbft.ReplicaFaultMode` (e.g. ``LYING``) on a
+  replica for a window;
+* :class:`ViewChangeStorm` — force the correct replicas to vote out the
+  primary ``rounds`` times, ``gap`` ms apart (the churn a flaky timeout
+  configuration produces).
+
+Replicas are named by index (into ``service.nodes``) or by replica id;
+partition endpoints may also name client processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Hashable, Sequence, Union
+
+from repro.errors import SimulationError
+from repro.replication.pbft import OrderingNode, ReplicaFaultMode
+
+__all__ = [
+    "FaultEvent",
+    "PartitionWindow",
+    "CrashWindow",
+    "FaultModeWindow",
+    "ViewChangeStorm",
+]
+
+
+class FaultEvent:
+    """Base class: every fault event installs itself onto an engine."""
+
+    def schedule(self, engine: Any) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def _resolve_node(engine: Any, replica: Union[int, Hashable]) -> OrderingNode:
+    nodes = engine.service.nodes
+    if isinstance(replica, int) and not isinstance(replica, bool):
+        if not 0 <= replica < len(nodes):
+            raise SimulationError(f"no replica with index {replica}")
+        return nodes[replica]
+    for node in nodes:
+        if node.replica_id == replica:
+            return node
+    raise SimulationError(f"no replica named {replica!r}")
+
+
+def _resolve_endpoint(engine: Any, endpoint: Union[int, Hashable]) -> Hashable:
+    """A partition endpoint: replica index / replica id / client process."""
+    if isinstance(endpoint, int) and not isinstance(endpoint, bool):
+        return _resolve_node(engine, endpoint).replica_id
+    return endpoint
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionWindow(FaultEvent):
+    """Cut all links between ``left`` and ``right`` during [start, end)."""
+
+    start: float
+    end: float
+    left: Sequence[Union[int, Hashable]]
+    right: Sequence[Union[int, Hashable]]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError("partition window must end after it starts")
+
+    def schedule(self, engine: Any) -> None:
+        network = engine.network
+
+        def pairs():
+            for a in self.left:
+                for b in self.right:
+                    yield _resolve_endpoint(engine, a), _resolve_endpoint(engine, b)
+
+        def open_window() -> None:
+            for a, b in pairs():
+                network.partition(a, b)
+            engine.metrics.record_event(
+                network.now, "fault", f"partition {list(self.left)}|{list(self.right)}"
+            )
+
+        def close_window() -> None:
+            for a, b in pairs():
+                network.heal(a, b)
+            engine.metrics.record_event(
+                network.now, "fault", f"heal {list(self.left)}|{list(self.right)}"
+            )
+
+        network.schedule_at(self.start, open_window)
+        network.schedule_at(self.end, close_window)
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashWindow(FaultEvent):
+    """Crash a replica at ``start``; recover it at ``end`` (None = never)."""
+
+    replica: Union[int, Hashable]
+    start: float
+    end: Union[float, None] = None
+
+    def __post_init__(self) -> None:
+        if self.end is not None and self.end <= self.start:
+            raise SimulationError("crash window must end after it starts")
+
+    def schedule(self, engine: Any) -> None:
+        network = engine.network
+        node = _resolve_node(engine, self.replica)
+        # Recovery restores whatever mode the replica had before the crash
+        # (e.g. a LYING replica configured via Scenario.replica_faults must
+        # resume lying, not silently turn correct).
+        before_crash: list[ReplicaFaultMode] = [ReplicaFaultMode.CORRECT]
+
+        def crash() -> None:
+            before_crash[0] = node.fault_mode
+            node.fault_mode = ReplicaFaultMode.CRASHED
+            engine.metrics.record_event(network.now, "fault", f"crash {node.replica_id}")
+
+        def recover() -> None:
+            node.fault_mode = before_crash[0]
+            engine.metrics.record_event(
+                network.now, "fault", f"recover {node.replica_id}={before_crash[0].value}"
+            )
+
+        network.schedule_at(self.start, crash)
+        if self.end is not None:
+            network.schedule_at(self.end, recover)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultModeWindow(FaultEvent):
+    """Put a replica in an arbitrary fault mode for [start, end)."""
+
+    replica: Union[int, Hashable]
+    mode: ReplicaFaultMode
+    start: float
+    end: Union[float, None] = None
+    restore: ReplicaFaultMode = ReplicaFaultMode.CORRECT
+
+    def schedule(self, engine: Any) -> None:
+        network = engine.network
+        node = _resolve_node(engine, self.replica)
+
+        def enable() -> None:
+            node.fault_mode = self.mode
+            engine.metrics.record_event(
+                network.now, "fault", f"mode {node.replica_id}={self.mode.value}"
+            )
+
+        def disable() -> None:
+            node.fault_mode = self.restore
+            engine.metrics.record_event(
+                network.now, "fault", f"mode {node.replica_id}={self.restore.value}"
+            )
+
+        network.schedule_at(self.start, enable)
+        if self.end is not None:
+            network.schedule_at(self.end, disable)
+
+
+@dataclasses.dataclass(frozen=True)
+class ViewChangeStorm(FaultEvent):
+    """Force ``rounds`` successive view changes, ``gap`` virtual ms apart."""
+
+    start: float
+    rounds: int = 1
+    gap: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise SimulationError("a storm needs at least one round")
+        if self.gap <= 0:
+            raise SimulationError("storm gap must be positive")
+
+    def schedule(self, engine: Any) -> None:
+        network = engine.network
+
+        def blow(round_index: int) -> None:
+            engine.metrics.record_event(
+                network.now, "fault", f"view-change-storm round {round_index}"
+            )
+            for node in engine.service.nodes:
+                node.force_view_change()
+
+        for index in range(self.rounds):
+            network.schedule_at(self.start + index * self.gap, lambda i=index: blow(i))

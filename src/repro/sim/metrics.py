@@ -1,0 +1,255 @@
+"""Metrics and trace recording for scenario runs.
+
+:class:`SimMetrics` is the flight recorder of a scenario: every submit,
+completion, fault and engine event is appended — in virtual-time order —
+to a trace, and per-operation latency samples feed histograms and a
+throughput-over-virtual-time series.
+
+Determinism is a first-class requirement: :meth:`SimMetrics.trace_text`
+renders the trace with fixed float formatting, so two runs of the same
+scenario with the same :class:`~repro.replication.network.NetworkConfig`
+seed produce **byte-identical** output (and therefore the same
+:meth:`~SimMetrics.trace_digest`).  This is what the determinism tests and
+the replay check of ``examples/open_system_storm.py`` assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Hashable, Iterable, Mapping, Optional
+
+__all__ = ["LatencyStats", "SimMetrics"]
+
+
+def _fmt(value: float) -> str:
+    """Fixed-width float rendering used everywhere in traces/reports."""
+    return f"{value:.3f}"
+
+
+class LatencyStats:
+    """Latency samples (virtual ms) with summary statistics.
+
+    Keeps every sample (scenario runs are thousands of operations, not
+    millions) so exact percentiles are available.
+    """
+
+    __slots__ = ("_samples", "_sorted")
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._sorted: Optional[list[float]] = None
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (nearest-rank), q in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = max(0, min(len(self._sorted) - 1, round(q / 100.0 * (len(self._sorted) - 1))))
+        return self._sorted[rank]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "p50": round(self.percentile(50), 3),
+            "p95": round(self.percentile(95), 3),
+            "max": round(self.maximum, 3),
+        }
+
+    def __repr__(self) -> str:
+        return f"LatencyStats(count={self.count}, mean={_fmt(self.mean)})"
+
+
+@dataclasses.dataclass(frozen=True)
+class _TraceEvent:
+    time: float
+    kind: str
+    process: str
+    detail: str
+
+    def render(self) -> str:
+        return f"{_fmt(self.time)} {self.kind} {self.process} {self.detail}"
+
+
+class SimMetrics:
+    """Flight recorder for one scenario run.
+
+    The engine and client runners call the ``record_*`` methods; tests and
+    benchmarks consume :meth:`summary`, :meth:`throughput_series`,
+    :meth:`trace_text` and :meth:`trace_digest`.
+    """
+
+    def __init__(self, *, throughput_bucket: float = 100.0) -> None:
+        if throughput_bucket <= 0:
+            raise ValueError("throughput_bucket must be positive")
+        self.throughput_bucket = throughput_bucket
+        self._trace: list[_TraceEvent] = []
+        self._latency_total = LatencyStats()
+        self._latency_by_op: dict[str, LatencyStats] = {}
+        self._completions: list[float] = []
+        self._failures = 0
+        self._denied = 0
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
+        self._network_stats: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (called by the engine / client runners)
+    # ------------------------------------------------------------------
+
+    def record_submit(self, now: float, process: Hashable, operation: str, request_id: int) -> None:
+        self._trace.append(_TraceEvent(now, "submit", str(process), f"{operation}#{request_id}"))
+
+    def record_complete(
+        self,
+        now: float,
+        process: Hashable,
+        operation: str,
+        request_id: int,
+        *,
+        latency: float,
+        status: str,
+    ) -> None:
+        self._trace.append(
+            _TraceEvent(
+                now, "complete", str(process), f"{operation}#{request_id} {status} {_fmt(latency)}"
+            )
+        )
+        self._latency_total.record(latency)
+        self._latency_by_op.setdefault(operation, LatencyStats()).record(latency)
+        self._completions.append(now)
+        if status == "DENIED":
+            self._denied += 1
+
+    def record_failure(self, now: float, process: Hashable, operation: str, request_id: int, error: str) -> None:
+        self._trace.append(
+            _TraceEvent(now, "failure", str(process), f"{operation}#{request_id} {error}")
+        )
+        self._failures += 1
+
+    def record_event(self, now: float, kind: str, detail: str, *, process: Hashable = "-") -> None:
+        """Free-form engine/fault events (partition windows, crashes, ...)."""
+        self._trace.append(_TraceEvent(now, kind, str(process), detail))
+
+    def record_client_done(self, now: float, process: Hashable, detail: str = "") -> None:
+        self._trace.append(_TraceEvent(now, "client-done", str(process), detail))
+
+    def start_run(self, now: float) -> None:
+        self._started_at = now
+        self._trace.append(_TraceEvent(now, "run-start", "-", ""))
+
+    def finish_run(self, now: float, network_statistics: Mapping[str, float]) -> None:
+        self._finished_at = now
+        self._network_stats = {key: float(value) for key, value in network_statistics.items()}
+        self._trace.append(_TraceEvent(now, "run-end", "-", ""))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def operations_completed(self) -> int:
+        return self._latency_total.count
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    @property
+    def denied(self) -> int:
+        return self._denied
+
+    @property
+    def duration(self) -> float:
+        """Virtual duration of the run (ms)."""
+        if self._started_at is None or self._finished_at is None:
+            return 0.0
+        return self._finished_at - self._started_at
+
+    @property
+    def latency(self) -> LatencyStats:
+        return self._latency_total
+
+    def latency_of(self, operation: str) -> LatencyStats:
+        return self._latency_by_op.setdefault(operation, LatencyStats())
+
+    def throughput_series(self) -> list[tuple[float, int]]:
+        """Completions per ``throughput_bucket`` of virtual time."""
+        if not self._completions:
+            return []
+        buckets: dict[int, int] = {}
+        for when in self._completions:
+            buckets[int(when // self.throughput_bucket)] = (
+                buckets.get(int(when // self.throughput_bucket), 0) + 1
+            )
+        return [
+            (index * self.throughput_bucket, buckets[index]) for index in sorted(buckets)
+        ]
+
+    def summary(self) -> dict[str, Any]:
+        """One row of headline numbers (used by the benchmark tables)."""
+        duration = self.duration
+        ops = self.operations_completed
+        throughput = ops / (duration / 1000.0) if duration > 0 else 0.0
+        row: dict[str, Any] = {
+            "ops": ops,
+            "failures": self._failures,
+            "denied": self._denied,
+            "virtual_ms": round(duration, 3),
+            "ops_per_vsec": round(throughput, 1),
+        }
+        row.update({f"latency_{k}": v for k, v in self._latency_total.summary().items() if k != "count"})
+        row["messages"] = int(self._network_stats.get("delivered", 0))
+        row["drops"] = int(self._network_stats.get("dropped", 0))
+        return row
+
+    def per_operation_rows(self) -> list[dict[str, Any]]:
+        rows = []
+        for operation in sorted(self._latency_by_op):
+            row: dict[str, Any] = {"operation": operation}
+            row.update(self._latency_by_op[operation].summary())
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Deterministic trace output
+    # ------------------------------------------------------------------
+
+    def trace_lines(self) -> Iterable[str]:
+        return (event.render() for event in self._trace)
+
+    def trace_text(self) -> str:
+        """The full trace as one canonical string (byte-stable per seed)."""
+        return "\n".join(self.trace_lines()) + "\n"
+
+    def trace_digest(self) -> str:
+        """SHA-256 over :meth:`trace_text` — the replay-equality check."""
+        return hashlib.sha256(self.trace_text().encode("utf-8")).hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"SimMetrics(ops={self.operations_completed}, failures={self._failures}, "
+            f"trace_events={len(self._trace)})"
+        )

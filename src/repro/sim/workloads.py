@@ -1,0 +1,237 @@
+"""Reusable workload generators for scenario runs.
+
+Each builder returns ``[(process, program_factory), ...]`` ready to drop
+into :attr:`repro.sim.engine.Scenario.clients`.  Program factories are
+zero-argument callables producing fresh generators, so the same workload
+object can be replayed (the determinism checks rely on this).
+
+All randomness inside a workload comes from per-client
+``random.Random`` instances seeded from the workload's own ``seed``
+argument — never from global state — so the *workload* is deterministic
+and the only interleaving nondeterminism left is the network's seeded
+latency jitter.
+
+Workloads included (the contention patterns BFT tuple-space papers
+evaluate):
+
+* :func:`consensus_storm` — every client races one ``cas`` on the same
+  ``DECISION`` tuple, then reads the winner back (Algorithm 1's conflict
+  pattern at full contention);
+* :func:`lock_contention` — clients loop acquiring/releasing one mutex
+  token with ``inp``/``out`` and bounded backoff;
+* :func:`barrier_rendezvous` — each client announces arrival and polls
+  until it has seen every other client's announcement;
+* :func:`kv_readwrite` — a keyspace read/write mix (the YCSB-style load);
+* :func:`queue_producer_consumer` — producers ``out`` jobs, consumers
+  ``inp`` them until a quota is met.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable
+
+from repro.sim.clients import (
+    ClientProgram,
+    Pause,
+    ok_value,
+    op_cas,
+    op_inp,
+    op_out,
+    op_rdp,
+)
+from repro.tuples import ANY, Formal, entry, template
+
+__all__ = [
+    "consensus_storm",
+    "lock_contention",
+    "barrier_rendezvous",
+    "kv_readwrite",
+    "queue_producer_consumer",
+]
+
+Workload = list[tuple[Hashable, Callable[[], ClientProgram]]]
+
+
+def consensus_storm(n_clients: int, *, decision_name: str = "DECISION") -> Workload:
+    """All clients race to decide one value; every client returns the winner."""
+
+    def factory(index: int) -> Callable[[], ClientProgram]:
+        def program() -> ClientProgram:
+            yield op_cas(
+                template(decision_name, Formal("d")), entry(decision_name, f"v{index}")
+            )
+            payload = yield op_rdp(template(decision_name, Formal("d")))
+            decided = ok_value(payload)
+            return decided.fields[1] if decided is not None else None
+
+        return program
+
+    return [(f"storm-{index:02d}", factory(index)) for index in range(n_clients)]
+
+
+def lock_contention(
+    n_clients: int,
+    *,
+    rounds: int = 2,
+    poll_interval: float = 7.0,
+    max_polls: int = 400,
+) -> Workload:
+    """One mutex token, ``n_clients`` workers each taking it ``rounds`` times.
+
+    The token is a ``("LOCK", "free")`` tuple seeded by an extra ``lock-init``
+    client; acquisition is an atomic ``inp`` (only one contender gets the
+    tuple), release puts it back.  Each successful critical section leaves a
+    ``("HELD", worker, round)`` marker, so a run is checkable: exactly
+    ``n_clients * rounds`` markers and one free token at the end.
+    """
+
+    def init_factory() -> ClientProgram:
+        yield op_out(entry("LOCK", "free"))
+        return "seeded"
+
+    def worker_factory(index: int) -> Callable[[], ClientProgram]:
+        def program() -> ClientProgram:
+            acquired = 0
+            polls = 0
+            while acquired < rounds:
+                payload = yield op_inp(template("LOCK", "free"))
+                if ok_value(payload) is None:
+                    polls += 1
+                    if polls > max_polls:
+                        return ("starved", acquired)
+                    # Deterministic per-worker backoff de-synchronises retries.
+                    yield Pause(poll_interval + (index % 5))
+                    continue
+                yield op_out(entry("HELD", f"worker-{index:02d}", acquired))
+                acquired += 1
+                yield op_out(entry("LOCK", "free"))
+            return ("done", acquired)
+
+        return program
+
+    workload: Workload = [("lock-init", init_factory)]
+    workload.extend(
+        (f"worker-{index:02d}", worker_factory(index)) for index in range(n_clients)
+    )
+    return workload
+
+
+def barrier_rendezvous(
+    n_clients: int,
+    *,
+    poll_interval: float = 9.0,
+    max_polls: int = 400,
+) -> Workload:
+    """Each client announces arrival, then waits to see every other arrival."""
+
+    names = [f"peer-{index:02d}" for index in range(n_clients)]
+
+    def factory(index: int) -> Callable[[], ClientProgram]:
+        def program() -> ClientProgram:
+            yield op_out(entry("ARRIVE", names[index]))
+            seen = 0
+            polls = 0
+            for other in names:
+                while True:
+                    payload = yield op_rdp(template("ARRIVE", other))
+                    if ok_value(payload) is not None:
+                        seen += 1
+                        break
+                    polls += 1
+                    if polls > max_polls:
+                        return ("gave-up", seen)
+                    yield Pause(poll_interval + (index % 3))
+            return ("through", seen)
+
+        return program
+
+    return [(names[index], factory(index)) for index in range(n_clients)]
+
+
+def kv_readwrite(
+    n_clients: int,
+    *,
+    keys: int = 8,
+    ops_per_client: int = 8,
+    write_ratio: float = 0.5,
+    seed: int = 0,
+) -> Workload:
+    """A read/write mix over a small keyspace of ``("KV", key, ...)`` tuples.
+
+    Writers ``out`` fresh versions; readers ``rdp`` any version of a key.
+    The operation mix is drawn from a per-client RNG seeded from ``seed``,
+    so the workload itself is fully deterministic.
+    """
+
+    def factory(index: int) -> Callable[[], ClientProgram]:
+        def program() -> ClientProgram:
+            rng = random.Random((seed << 16) ^ index)
+            reads = writes = 0
+            for step in range(ops_per_client):
+                key = rng.randrange(keys)
+                if rng.random() < write_ratio:
+                    yield op_out(entry("KV", key, f"kv-{index:02d}", step))
+                    writes += 1
+                else:
+                    yield op_rdp(template("KV", key, ANY, ANY))
+                    reads += 1
+            return ("mixed", reads, writes)
+
+        return program
+
+    return [(f"kv-{index:02d}", factory(index)) for index in range(n_clients)]
+
+
+def queue_producer_consumer(
+    producers: int,
+    consumers: int,
+    *,
+    items_per_producer: int = 4,
+    poll_interval: float = 5.0,
+    max_polls: int = 800,
+) -> Workload:
+    """Producers ``out`` jobs; consumers ``inp`` them until their quota is met.
+
+    Quotas partition the total job count exactly, so in a fault-free (or
+    ``f``-bounded) run the consumed total equals the produced total — the
+    conservation law the workload tests assert.
+    """
+
+    total = producers * items_per_producer
+    base, remainder = divmod(total, consumers)
+    quotas = [base + (1 if index < remainder else 0) for index in range(consumers)]
+
+    def producer_factory(index: int) -> Callable[[], ClientProgram]:
+        def program() -> ClientProgram:
+            for item in range(items_per_producer):
+                yield op_out(entry("JOB", f"prod-{index:02d}", item))
+            return ("produced", items_per_producer)
+
+        return program
+
+    def consumer_factory(index: int, quota: int) -> Callable[[], ClientProgram]:
+        def program() -> ClientProgram:
+            got = 0
+            polls = 0
+            while got < quota:
+                payload = yield op_inp(template("JOB", ANY, ANY))
+                if ok_value(payload) is None:
+                    polls += 1
+                    if polls > max_polls:
+                        return ("consumed", got)
+                    yield Pause(poll_interval + (index % 4))
+                    continue
+                got += 1
+            return ("consumed", got)
+
+        return program
+
+    workload: Workload = [
+        (f"prod-{index:02d}", producer_factory(index)) for index in range(producers)
+    ]
+    workload.extend(
+        (f"cons-{index:02d}", consumer_factory(index, quotas[index]))
+        for index in range(consumers)
+    )
+    return workload

@@ -68,6 +68,22 @@ class TupleSpace(TupleSpaceInterface):
     # Read path
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _as_template(pattern: Any) -> Template:
+        """Single normalization point for read patterns.
+
+        Accepts a :class:`Template` or an :class:`Entry` (which reads as
+        "match exactly this tuple", mirroring :func:`repro.tuples.matches`);
+        everything else is rejected.
+        """
+        if isinstance(pattern, Template):
+            return pattern
+        if isinstance(pattern, Entry):
+            return pattern.to_template()
+        raise TupleSpaceError(
+            f"read operations require a Template, got {type(pattern).__name__}"
+        )
+
     def _candidate_ids(self, template: Template) -> Iterable[int]:
         """Entry ids to consider for ``template``, cheapest index first."""
         first = template.fields[0]
@@ -81,13 +97,10 @@ class TupleSpace(TupleSpaceInterface):
         return list(self._entries.keys())
 
     def _find(self, template: Template) -> Optional[tuple[int, Entry]]:
-        if not isinstance(template, (Template, Entry)):
-            raise TupleSpaceError(
-                f"read operations require a Template, got {type(template).__name__}"
-            )
-        for entry_id in self._candidate_ids(template if isinstance(template, Template) else template.to_template()):
+        pattern = self._as_template(template)
+        for entry_id in self._candidate_ids(pattern):
             stored = self._entries.get(entry_id)
-            if stored is not None and matches(stored, template):
+            if stored is not None and matches(stored, pattern):
                 return entry_id, stored
         return None
 
@@ -158,6 +171,22 @@ class TupleSpace(TupleSpaceInterface):
 
     def __iter__(self) -> Iterator[Entry]:
         return iter(self.snapshot())
+
+    def __len__(self) -> int:
+        """Number of stored entries — O(1), unlike the interface default."""
+        return len(self._entries)
+
+    def __contains__(self, item: Any) -> bool:
+        """``entry in space`` / ``template in space`` membership tests.
+
+        An :class:`Entry` tests for that exact tuple; a :class:`Template`
+        tests whether *any* stored entry matches it.  Both go through the
+        name index rather than a full snapshot scan; anything else is
+        simply not contained.
+        """
+        if not isinstance(item, (Entry, Template)):
+            return False
+        return self._find(item) is not None
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(size={len(self._entries)})"

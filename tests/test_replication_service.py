@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.errors import QuorumError, ReplicationError
+from repro.errors import AccessDeniedError, QuorumError, ReplicationError
 from repro.policy import AccessPolicy, Rule, strong_consensus_policy, weak_consensus_policy
 from repro.replication import ReplicatedPEATS
 from repro.replication.pbft import ReplicaFaultMode
+from repro.replication.service import ReplicatedClientView
 from repro.tuples import ANY, Formal, entry, template
 
 
@@ -54,13 +55,33 @@ class TestHappyPath:
         assert byzantine.rdp(template("PROPOSE", 0, Formal("v"))) == entry("PROPOSE", 0, 1)
         assert byzantine.inp(template("PROPOSE", 0, Formal("v"))) is None  # removal denied
 
-    def test_blocking_reads_are_not_offered(self):
+    def test_blocking_reads_poll_until_found(self):
         service = ReplicatedPEATS(open_policy(), f=1)
         view = service.client_view("c1")
-        with pytest.raises(ReplicationError):
-            view.rd(template("A", ANY))
-        with pytest.raises(ReplicationError):
-            view.in_(template("A", ANY))
+        view.out(entry("A", 1))
+        assert view.rd(template("A", ANY)) == entry("A", 1)
+        assert view.in_(template("A", ANY)) == entry("A", 1)
+
+    def test_blocking_reads_time_out_when_no_match_appears(self):
+        service = ReplicatedPEATS(open_policy(), f=1)
+        view = service.client_view("c1")
+        before = service.network.now
+        with pytest.raises(TimeoutError):
+            view.rd(template("A", ANY), timeout=50.0, poll_interval=5.0)
+        assert service.network.now >= before + 50.0
+        with pytest.raises(TimeoutError):
+            view.in_(template("B", ANY), timeout=25.0)
+
+    def test_blocking_read_sees_tuple_produced_while_polling(self):
+        service = ReplicatedPEATS(open_policy(), f=1)
+        producer = service.client("p")
+        view = service.client_view("c1")
+        # Schedule another client's out() to land mid-poll: the polling rd
+        # must pick it up once the network delivers and executes it.
+        service.network.schedule_after(
+            30.0, lambda: producer.submit("out", (entry("LATE", 1),))
+        )
+        assert view.rd(template("LATE", ANY), timeout=500.0, poll_interval=5.0) == entry("LATE", 1)
 
     def test_f_zero_single_replica(self):
         service = ReplicatedPEATS(open_policy(), f=0)
@@ -125,6 +146,69 @@ class TestByzantineReplicas:
         client._max_retransmissions = 2
         with pytest.raises(QuorumError):
             client.invoke("out", (entry("A", 1),))
+
+
+class TestViewChangeSequenceHoles:
+    def test_orphaned_pre_prepare_does_not_brick_the_service(self):
+        """Regression: a pre-prepare that reached only one backup (never
+        prepared, so absent from every view-change vote's prepared map)
+        used to leave a permanent hole at its sequence number — execution
+        is strictly contiguous, so no later request ever executed.  The new
+        primary must plug such holes with null requests."""
+        service = ReplicatedPEATS(open_policy(), f=1, view_change_timeout=30.0)
+        network = service.network
+        network.partition("replica-0", "replica-2")
+        network.partition("replica-0", "replica-3")
+        view = service.client_view("c1")
+        assert view.out(entry("A", 1)) is True  # forces the view change
+        network.heal_all()
+        # The service must keep serving after the partition heals.
+        assert view.out(entry("A", 2)) is True
+        assert view.rdp(template("A", ANY)) == entry("A", 1)
+        assert all(node.view >= 1 for node in service.correct_nodes())
+        assert len(service.snapshot()) == 2
+
+    def test_isolated_replica_elected_primary_recovers_the_real_history(self):
+        """Regression: a replica partitioned away (from replicas AND the
+        client) while the quorum executed requests used to null-fill those
+        sequences when it later became primary, permanently diverging its
+        tuple-space state — and `snapshot()` could return the diverged
+        state.  View-change votes must carry certificates for *executed*
+        sequences too, so the new primary re-proposes the real requests."""
+        service = ReplicatedPEATS(open_policy(), f=1, view_change_timeout=30.0)
+        network = service.network
+        for peer in ("replica-0", "replica-2", "replica-3", "c1"):
+            network.partition("replica-1", peer)
+        view = service.client_view("c1")
+        assert view.out(entry("A", 1)) is True  # executed by replicas 0,2,3
+        assert view.out(entry("A", 2)) is True
+        network.heal_all()
+        service.nodes[0].fault_mode = ReplicaFaultMode.CRASHED
+        # The next request forces a view change electing replica-1, which
+        # missed the whole history.
+        assert view.out(entry("A", 3)) is True
+        up_to_date = max(n.last_executed for n in service.correct_nodes())
+        digests = {
+            node.application.state_digest()
+            for node in service.correct_nodes()
+            if node.last_executed == up_to_date
+        }
+        assert len(digests) == 1
+        assert set(service.snapshot()) == {entry("A", 1), entry("A", 2), entry("A", 3)}
+
+    def test_blocking_read_denied_by_policy_raises_immediately(self):
+        """A denial must surface as AccessDeniedError on the first probe —
+        mirroring the local PEATS — not poll until a TimeoutError."""
+        processes = list(range(4))
+        service = ReplicatedPEATS(strong_consensus_policy(processes, 1), f=1)
+        honest = service.client_view(0)
+        assert honest.out(entry("PROPOSE", 0, 1)) is True
+        intruder = service.client_view(3)
+        before = service.network.now
+        with pytest.raises(AccessDeniedError):
+            intruder.in_(template("PROPOSE", 0, Formal("v")))  # removal denied
+        # One round trip, not a full polling window.
+        assert service.network.now - before < ReplicatedClientView.default_blocking_timeout
 
 
 class TestSharedSpaceAdapter:

@@ -143,3 +143,40 @@ class TestIntrospection:
     def test_cas_not_available_on_plain_space(self, space):
         with pytest.raises(TupleSpaceError):
             space.cas(template("A", ANY), entry("A", 1))
+
+
+class TestEntryAsTemplateNormalization:
+    """Regression tests for the single `_as_template` normalization point."""
+
+    def test_rdp_accepts_an_entry_as_template(self, space):
+        space.out(entry("A", 1))
+        space.out(entry("A", 2))
+        assert space.rdp(entry("A", 2)) == entry("A", 2)
+        assert space.rdp(entry("A", 3)) is None
+
+    def test_inp_accepts_an_entry_as_template(self, space):
+        space.out(entry("A", 1))
+        assert space.inp(entry("A", 1)) == entry("A", 1)
+        assert space.inp(entry("A", 1)) is None
+
+    def test_entry_template_uses_the_name_index(self, space):
+        # An entry's first field is always defined, so the lookup must go
+        # through the name index; seed unrelated names to prove no cross-talk.
+        for i in range(5):
+            space.out(entry(f"N{i}", i))
+        space.out(entry("A", 7))
+        assert space.rdp(entry("A", 7)) == entry("A", 7)
+
+    def test_reads_reject_non_tuple_patterns(self, space):
+        with pytest.raises(TupleSpaceError):
+            space.rdp("A")
+        with pytest.raises(TupleSpaceError):
+            space.inp(("A", 1))
+
+    def test_len_is_live(self, space):
+        assert len(space) == 0
+        space.out(entry("A", 1))
+        space.out(entry("A", 1))
+        assert len(space) == 2
+        space.inp(template("A", ANY))
+        assert len(space) == 1
