@@ -113,6 +113,64 @@ def test_e8_workload_comparison_table(benchmark):
     assert faulty["failures"] == 0
 
 
+def batch_sweep_scenario(max_batch_size: int, n_clients: int = 32) -> Scenario:
+    """Consensus storm under a per-message processing cost.
+
+    ``processing_time`` models the CPU a node spends authenticating and
+    handling one message — the resource PBFT batching amortises.  With
+    ``max_batch_size=1`` every request is its own consensus instance (the
+    PR-1 protocol); larger batches share the instance's message cost across
+    all their requests.
+    """
+    return Scenario(
+        name=f"storm-batch-{max_batch_size}",
+        clients=consensus_storm(n_clients),
+        max_batch_size=max_batch_size,
+        checkpoint_interval=4,
+        processing_time=0.05,
+    )
+
+
+def test_e8_batch_size_sweep(benchmark):
+    """Throughput vs. batch size: the win batching + checkpointing buys."""
+
+    def measure():
+        rows = []
+        for max_batch_size in (1, 2, 4, 8, 16):
+            result = run_scenario(batch_sweep_scenario(max_batch_size))
+            assert result.completed, f"batch={max_batch_size}: unfinished clients"
+            summary = result.metrics.summary()
+            rows.append(
+                {
+                    "max_batch_size": max_batch_size,
+                    "ops": summary["ops"],
+                    "virtual_ms": summary["virtual_ms"],
+                    "ops_per_vsec": summary["ops_per_vsec"],
+                    "latency_p50": summary["latency_p50"],
+                    "latency_p95": summary["latency_p95"],
+                    "messages": summary["messages"],
+                    "instances": max(
+                        node.last_executed for node in result.service.nodes
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit_table(
+        rows,
+        title="E8 — batch-size sweep, consensus storm 32 clients "
+        "(f=1, 0.05 ms/msg processing)",
+    )
+    single = rows[0]
+    batched = [row for row in rows if row["max_batch_size"] > 1]
+    # Batching amortises the per-instance protocol cost: every batched
+    # configuration must beat the single-request baseline on throughput
+    # and message count.
+    assert all(row["ops_per_vsec"] > single["ops_per_vsec"] for row in batched)
+    assert all(row["messages"] < single["messages"] for row in batched)
+
+
 def test_e8_client_scaling_table(benchmark):
     """Throughput as the concurrent-client population grows (the open system)."""
 

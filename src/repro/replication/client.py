@@ -19,6 +19,13 @@ is what the :mod:`repro.sim` scenario engine builds on.
 
 The synchronous :meth:`PEATSClient.invoke` is a thin wrapper: submit, then
 pump the network until the request completes.
+
+Like PBFT, the replicas' retransmission cache keeps only the *last* reply
+per client, so each client identity must have at most one request
+outstanding at a time (issue the next request only after the previous one
+completed).  Every in-repo caller — the synchronous views, the scenario
+engine's generator clients — respects this; concurrency comes from using
+many client identities, not from pipelining one.
 """
 
 from __future__ import annotations
@@ -127,6 +134,8 @@ class PEATSClient:
         nudge_timeouts: Any = None,
         max_retransmissions: int = 20,
         retransmit_interval: float = 100.0,
+        retransmit_backoff: float = 2.0,
+        max_retransmit_interval: float = 1600.0,
     ) -> None:
         self.client_id = client_id
         self.replica_ids = tuple(replica_ids)
@@ -138,6 +147,8 @@ class PEATSClient:
         self._nudge_timeouts = nudge_timeouts
         self._max_retransmissions = max_retransmissions
         self._retransmit_interval = retransmit_interval
+        self._retransmit_backoff = retransmit_backoff
+        self._max_retransmit_interval = max_retransmit_interval
         self._statistics = {"requests": 0, "retransmissions": 0, "mismatched_replies": 0}
         network.register(self._address, self._on_message)
 
@@ -221,7 +232,21 @@ class PEATSClient:
             self._nudge_timeouts()
         self.network.broadcast(self._address, self.replica_ids, pending.request)
         pending._timer = self.network.schedule_after(
-            self._retransmit_interval, lambda: self._retransmit(request_key)
+            self._retransmit_delay(pending.attempts), lambda: self._retransmit(request_key)
+        )
+
+    def _retransmit_delay(self, attempts: int) -> float:
+        """Exponential backoff with a cap: ``base * backoff**attempts``.
+
+        A fixed retransmission interval amplifies view-change storms — every
+        stalled client re-broadcasts (and nudges the replicas' view-change
+        timers) at full rate exactly when the replicas are busy electing a
+        primary.  Backing off lets the protocol settle while still
+        guaranteeing the request is eventually retried.
+        """
+        return min(
+            self._retransmit_interval * (self._retransmit_backoff ** attempts),
+            self._max_retransmit_interval,
         )
 
     # ------------------------------------------------------------------
@@ -259,7 +284,7 @@ class PEATSClient:
             pending.add_done_callback(on_complete)
         self.network.broadcast(self._address, self.replica_ids, request)
         pending._timer = self.network.schedule_after(
-            self._retransmit_interval, lambda: self._retransmit(request.key)
+            self._retransmit_delay(0), lambda: self._retransmit(request.key)
         )
         return pending
 

@@ -2,8 +2,10 @@
 
 The message set follows the PBFT family (Castro & Liskov [3]) restricted to
 what the simulation needs: client requests and replies, the three ordering
-phases, and the view-change pair.  Messages are immutable dataclasses; the
-network layer wraps them in an authenticated envelope.
+phases over request *batches*, the checkpoint/garbage-collection pair, the
+view-change pair, and a minimal checkpoint-fetch used by lagging replicas.
+Messages are immutable dataclasses; the network layer wraps them in an
+authenticated envelope.
 """
 
 from __future__ import annotations
@@ -14,13 +16,18 @@ from typing import Any, Hashable, Mapping
 __all__ = [
     "ClientRequest",
     "ClientReply",
+    "Batch",
     "PrePrepare",
     "Prepare",
     "Commit",
+    "Checkpoint",
+    "StateRequest",
+    "StateResponse",
     "ViewChange",
     "NewView",
     "NULL_REQUEST_CLIENT",
     "null_request",
+    "null_batch",
 ]
 
 #: Pseudo-client of protocol-generated no-op requests (see :func:`null_request`).
@@ -62,8 +69,32 @@ def null_request(sequence: int) -> ClientRequest:
 
 
 @dataclasses.dataclass(frozen=True)
+class Batch:
+    """An ordered group of client requests sharing one consensus instance.
+
+    Batching is PBFT's main throughput lever: the protocol cost of one
+    instance (pre-prepare / 2f prepares / 2f+1 commits) is amortised over
+    every request in the batch, and one sequence number covers them all,
+    conserving the water-mark window.
+    """
+
+    requests: tuple[ClientRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def keys(self) -> tuple[tuple, ...]:
+        return tuple(request.key for request in self.requests)
+
+
+def null_batch(sequence: int) -> Batch:
+    """A batch holding a single gap-filling no-op (see :func:`null_request`)."""
+    return Batch(requests=(null_request(sequence),))
+
+
+@dataclasses.dataclass(frozen=True)
 class ClientReply:
-    """A replica's reply to a client request."""
+    """A replica's reply to one client request (one per request in a batch)."""
 
     replica: Hashable
     view: int
@@ -74,12 +105,12 @@ class ClientReply:
 
 @dataclasses.dataclass(frozen=True)
 class PrePrepare:
-    """The primary's ordering proposal for one request."""
+    """The primary's ordering proposal for one batch of requests."""
 
     view: int
     sequence: int
-    request_digest: str
-    request: ClientRequest
+    batch_digest: str
+    batch: Batch
     primary: Hashable
 
 
@@ -89,17 +120,57 @@ class Prepare:
 
     view: int
     sequence: int
-    request_digest: str
+    batch_digest: str
     replica: Hashable
 
 
 @dataclasses.dataclass(frozen=True)
 class Commit:
-    """A replica's commitment to execute the request at the sequence number."""
+    """A replica's commitment to execute the batch at the sequence number."""
 
     view: int
     sequence: int
-    request_digest: str
+    batch_digest: str
+    replica: Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class Checkpoint:
+    """Proof that ``replica`` executed everything up to ``sequence``.
+
+    Multicast every ``checkpoint_interval`` sequence numbers; ``2f + 1``
+    matching checkpoints form a *stable certificate*, after which ordering
+    state at or below ``sequence`` is garbage-collected and the water marks
+    advance.
+    """
+
+    sequence: int
+    state_digest: str
+    replica: Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class StateRequest:
+    """A lagging replica asking its peers for the latest stable checkpoint."""
+
+    sequence: int
+    replica: Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class StateResponse:
+    """A peer's answer to a :class:`StateRequest`.
+
+    ``state`` is the application snapshot at the responder's stable
+    checkpoint and ``proof`` the ``2f + 1`` :class:`Checkpoint` messages
+    that certify it; the requester validates ``state`` against the
+    certificate digest before installing it.
+    """
+
+    sequence: int
+    state_digest: str
+    state: Any
+    proof: tuple
     replica: Hashable
 
 
@@ -107,19 +178,26 @@ class Commit:
 class ViewChange:
     """A replica's vote to move to ``new_view``.
 
-    ``prepared`` carries, per sequence number, the request that this
-    replica prepared in earlier views so the new primary can re-propose it.
+    ``prepared`` carries, per sequence number, a ``(view, batch)`` pair:
+    the batch this replica prepared and the view of that certificate, so
+    the new primary can re-propose it — preferring, per sequence, the
+    certificate from the highest view (PBFT's arbitration rule).
     ``highest_sequence`` is the highest sequence number the replica has
     seen assigned (executed, committed or merely pre-prepared); the new
     primary starts numbering above the quorum maximum so sequence numbers
-    are never reused across views for different requests.
+    are never reused across views for different batches.
+    ``stable_checkpoint``/``checkpoint_proof`` tell the new primary the
+    vote's garbage-collection horizon: nothing at or below a certified
+    stable checkpoint needs re-proposing.
     """
 
     new_view: int
     replica: Hashable
     last_executed: int
-    prepared: Mapping[int, ClientRequest]
+    prepared: Mapping[int, tuple[int, Batch]]
     highest_sequence: int = 0
+    stable_checkpoint: int = 0
+    checkpoint_proof: tuple = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -128,4 +206,6 @@ class NewView:
 
     view: int
     primary: Hashable
-    reproposals: Mapping[int, ClientRequest]
+    reproposals: Mapping[int, Batch]
+    stable_checkpoint: int = 0
+    checkpoint_proof: tuple = ()

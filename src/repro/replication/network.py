@@ -51,6 +51,13 @@ class NetworkConfig:
     drop_probability: float = 0.0
     #: RNG seed (determinism).
     seed: int = 42
+    #: Per-message processing cost at the receiver (simulated ms).  When
+    #: positive, each node handles messages serially: a delivery waits for
+    #: the receiver to finish its previous message, then occupies it for
+    #: ``processing_time``.  This models the CPU cost of authenticating and
+    #: handling one message — the resource that request batching amortises.
+    #: The default of 0 keeps the latency-only model (no serialisation).
+    processing_time: float = 0.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,6 +110,9 @@ class SimulatedNetwork:
         self._rejected = 0
         self._timers_fired = 0
         self._in_flight_tamper: dict[Hashable, Callable[[Any], Any]] = {}
+        # Per-receiver serialisation horizon (only used when the config's
+        # processing_time is positive).
+        self._busy_until: dict[Hashable, float] = {}
 
     # ------------------------------------------------------------------
     # Topology management
@@ -116,6 +126,10 @@ class SimulatedNetwork:
 
     def nodes(self) -> tuple[Hashable, ...]:
         return tuple(self._handlers)
+
+    def has_node(self, node: Hashable) -> bool:
+        """Whether ``node`` is registered (senders can probe before sending)."""
+        return node in self._handlers
 
     def partition(self, a: Hashable, b: Hashable) -> None:
         """Cut the link between ``a`` and ``b`` (both directions)."""
@@ -163,6 +177,15 @@ class SimulatedNetwork:
             payload = self._in_flight_tamper[sender](payload)
         latency = self._config.mean_latency + self._rng.uniform(0, self._config.jitter)
         deliver_at = self._now + max(latency, 0.001)
+        if self._config.processing_time > 0:
+            # The receiver handles messages one at a time: this delivery
+            # completes only after the receiver has finished everything
+            # sent to it earlier, plus its own processing cost.
+            deliver_at = (
+                max(deliver_at, self._busy_until.get(receiver, 0.0))
+                + self._config.processing_time
+            )
+            self._busy_until[receiver] = deliver_at
         envelope = Envelope(sender=sender, receiver=receiver, payload=payload, mac=mac)
         heapq.heappush(self._queue, (deliver_at, next(self._sequence), envelope))
 

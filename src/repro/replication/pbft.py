@@ -6,23 +6,56 @@ deployment, simplified to what the simulation needs:
 
 * ``n = 3f + 1`` replicas, one of which is the *primary* of the current
   view (``primary = view mod n``);
-* clients broadcast requests to every replica; the primary assigns sequence
-  numbers and multicasts ``PRE-PREPARE``; backups answer with ``PREPARE``;
-  once a replica has the pre-prepare and ``2f`` matching prepares it
-  multicasts ``COMMIT``; once it has ``2f + 1`` matching commits it
-  executes the request (in sequence order) on its local
-  :class:`~repro.replication.replica.PEATSReplica` and replies to the
-  client;
+* clients broadcast requests to every replica; the primary drains its
+  buffer of pending requests into *batches* of up to ``max_batch_size``,
+  assigns each batch one sequence number and multicasts ``PRE-PREPARE``;
+  backups answer with ``PREPARE``; once a replica has the pre-prepare and
+  ``2f`` matching prepares it multicasts ``COMMIT``; once it has ``2f + 1``
+  matching commits it executes the batch's requests (in sequence order, in
+  batch order) on its local
+  :class:`~repro.replication.replica.PEATSReplica` and replies to each
+  request's client;
+* every ``checkpoint_interval`` sequence numbers a replica multicasts a
+  ``CHECKPOINT`` carrying a digest of its application state; ``2f + 1``
+  matching checkpoints form a *stable certificate*, after which all
+  ordering state at or below the stable sequence is garbage-collected and
+  the water marks advance (a primary never assigns sequence numbers beyond
+  ``stable + log_window``, so the message log is bounded);
+* a replica that learns a stable checkpoint ahead of its own execution
+  horizon fetches the checkpointed application state from a peer and
+  installs it after validating it against the certificate digest (the
+  minimal state transfer a recovering replica needs; incremental/partial
+  transfer is future work);
 * a backup that has buffered a request for longer than the view-change
-  timeout broadcasts ``VIEW-CHANGE``; on ``2f + 1`` view-change votes the
+  timeout broadcasts ``VIEW-CHANGE`` (carrying its prepared certificates
+  *and* its stable-checkpoint proof); on ``2f + 1`` view-change votes the
   new primary installs the view with ``NEW-VIEW``, re-proposing every
-  request reported as prepared, and re-ordering the still-pending ones.
+  batch reported as prepared above the quorum's best stable checkpoint,
+  and re-ordering the still-pending requests.
 
-Omissions relative to full PBFT — checkpoints / log garbage collection,
-MAC-vector authenticators (we use per-link HMACs provided by the network),
-and big-O optimisations — do not affect the properties the experiments
-measure (safety with ``f`` Byzantine replicas, liveness after the failure
-of a primary, request/reply message complexity).
+Remaining omissions relative to full PBFT: MAC-vector authenticators (we
+use per-link HMACs provided by the network), digital signatures on
+view-change and checkpoint messages, and big-O optimisations.  The
+missing signatures matter where one replica relays another's words:
+per-link MACs cannot be verified by a third party, so the checkpoint
+proofs embedded in ``VIEW-CHANGE``/``NEW-VIEW``/``STATE-RESPONSE`` and
+the view-change fields ``last_executed``/``highest_sequence``/
+``prepared`` are only structurally validated.  Three mitigations narrow
+(but do not close) the gap: a state transfer installs only state shipped
+byte-identically by ``f + 1`` distinct responders, a new primary adopts
+a view-change vote's stable checkpoint as its re-proposal floor only
+when ``f + 1`` voters corroborate it, and a backup adopts a ``NEW-VIEW``
+floor only when corroborated by the view-change votes it saw itself.
+The unauthenticated ``prepared``/``highest_sequence`` fields remain
+trusted as in the pre-batching protocol, and the client requests relayed
+inside a ``PRE-PREPARE`` batch are likewise not client-authenticated (a
+faulty primary can forge a request under another client's name — backups
+tolerate it without crashing, but full PBFT prevents it with client
+signatures on requests); closing both needs signed certificates, which
+is future work.  None of this
+affects the fault-free and crash-fault scenarios the experiments
+measure (safety with ``f`` silent/lying replicas, liveness after the
+failure of a primary, request/reply message complexity).
 
 Byzantine replica behaviour is modelled with :class:`ReplicaFaultMode`:
 ``CRASHED`` replicas go silent, ``MUTE`` ones execute but never send
@@ -33,20 +66,24 @@ to clients (caught by the client's ``f + 1`` matching-reply vote).
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional
 
-from repro.errors import QuorumError
+from repro.errors import ReplicationError
 from repro.replication.crypto import digest
 from repro.replication.messages import (
     NULL_REQUEST_CLIENT,
+    Batch,
+    Checkpoint,
     ClientReply,
     ClientRequest,
     Commit,
     NewView,
     PrePrepare,
     Prepare,
+    StateRequest,
+    StateResponse,
     ViewChange,
-    null_request,
+    null_batch,
 )
 from repro.replication.network import SimulatedNetwork
 from repro.replication.replica import PEATSReplica
@@ -76,32 +113,76 @@ class OrderingNode:
         *,
         view_change_timeout: float = 50.0,
         fault_mode: ReplicaFaultMode = ReplicaFaultMode.CORRECT,
+        max_batch_size: int = 8,
+        checkpoint_interval: int = 8,
+        log_window: int | None = None,
     ) -> None:
+        if max_batch_size < 1:
+            raise ReplicationError("max_batch_size must be at least 1")
+        if checkpoint_interval < 1:
+            raise ReplicationError("checkpoint_interval must be at least 1")
         self.replica_id = replica_id
         self.replica_ids = tuple(replica_ids)
+        self._replica_set = frozenset(replica_ids)
         self.f = f
         self.application = application
         self.network = network
         self.view_change_timeout = view_change_timeout
         self.fault_mode = fault_mode
+        self.max_batch_size = max_batch_size
+        self.checkpoint_interval = checkpoint_interval
+        #: Distance between the low (stable checkpoint) and high water mark.
+        self.log_window = log_window if log_window is not None else 2 * checkpoint_interval
+        if self.log_window < checkpoint_interval:
+            raise ReplicationError("log_window must be at least checkpoint_interval")
 
         self.view = 0
         self.next_sequence = 1
         self.last_executed = 0
+        self.stable_checkpoint = 0
 
-        # Ordering state, keyed by (view, sequence).
+        # Ordering state, keyed by (view, sequence) / (view, sequence, digest);
+        # truncated below the stable checkpoint.
         self._pre_prepares: Dict[tuple[int, int], PrePrepare] = {}
         self._prepares: Dict[tuple[int, int, str], set[Hashable]] = {}
         self._commits: Dict[tuple[int, int, str], set[Hashable]] = {}
-        self._committed: Dict[int, ClientRequest] = {}
+        self._committed: Dict[int, Batch] = {}
         self._sent_prepare: set[tuple[int, int]] = set()
         self._sent_commit: set[tuple[int, int]] = set()
 
-        # Client-request bookkeeping.
+        # Client-request bookkeeping; entries for requests executed at or
+        # below the stable checkpoint are dropped (retransmission
+        # idempotency is then covered by the application's bounded
+        # per-client reply cache).
         self._buffered: Dict[tuple, ClientRequest] = {}
         self._buffered_since: Dict[tuple, float] = {}
+        # FIFO of buffered requests not yet assigned to a batch — what the
+        # primary's drain consumes, kept separate so intake stays O(1) per
+        # request instead of rescanning every buffered entry.
+        self._unordered: Dict[tuple, ClientRequest] = {}
         self._ordered_keys: set[tuple] = set()
         self._executed_keys: set[tuple] = set()
+        self._executed_at: Dict[tuple, int] = {}
+
+        # Checkpoint bookkeeping.  Only the *latest* vote per replica is
+        # kept (a correct replica's newer checkpoint supersedes its older
+        # one), so a faulty replica spraying artificial sequence numbers
+        # overwrites its own slot instead of growing the map.
+        self._checkpoint_votes: Dict[Hashable, Checkpoint] = {}
+        self._checkpoint_proof: tuple[Checkpoint, ...] = ()
+        self._checkpoint_states: Dict[int, Any] = {}
+        self._stable_state: Any = None
+        self._own_checkpoint: Optional[Checkpoint] = None
+        # Pending state transfers: the latest response per peer;
+        # installation requires f + 1 distinct senders shipping identical
+        # state, so a single Byzantine responder cannot feed us fabricated
+        # state (and cannot grow this map beyond one slot).
+        self._state_responses: Dict[Hashable, StateResponse] = {}
+        self._state_transfers = 0
+        # Set when our own checkpoint digest contradicted a stable
+        # certificate: the sequence whose certified state we must install
+        # even though we already executed past it.
+        self._resync_below: Optional[int] = None
 
         # View-change bookkeeping.
         self._view_change_votes: Dict[int, Dict[Hashable, ViewChange]] = {}
@@ -110,7 +191,15 @@ class OrderingNode:
         self._highest_vote = 0
         # Ordering messages for views we have not entered yet (they can
         # overtake the NEW-VIEW announcement on the asynchronous network).
-        self._future_messages: list[tuple[Hashable, Any]] = []
+        # Bounded per sender — senders are replicas (dispatch enforces it)
+        # and a faulty one must not grow the buffer without limit.
+        self._future_messages: Dict[Hashable, list[Any]] = {}
+        self._future_limit = 4 * self.log_window + 16
+        # Pre-prepares above our high water mark (our checkpoint certificate
+        # may simply not have arrived yet); replayed when the window slides.
+        # Keyed by sequence (latest message wins) and capped by the hard
+        # sequence ceiling below, so it holds at most ~log_window entries.
+        self._out_of_window: Dict[int, tuple[Hashable, PrePrepare]] = {}
 
         network.register(replica_id, self.on_message)
 
@@ -124,8 +213,15 @@ class OrderingNode:
 
     @property
     def quorum(self) -> int:
-        """The 2f + 1 quorum size used by prepares, commits and view changes."""
+        """The 2f + 1 quorum size used by prepares, commits, checkpoints
+        and view changes."""
         return 2 * self.f + 1
+
+    @property
+    def high_water_mark(self) -> int:
+        """Highest sequence number that may be assigned before the next
+        checkpoint certificate slides the window."""
+        return self.stable_checkpoint + self.log_window
 
     def primary_of(self, view: int) -> Hashable:
         return self.replica_ids[view % self.n]
@@ -146,6 +242,10 @@ class OrderingNode:
     def _send(self, receiver: Hashable, payload: Any) -> None:
         if self.fault_mode is ReplicaFaultMode.CRASHED:
             return
+        if not self.network.has_node(receiver):
+            # A faulty primary can batch a request whose claimed client is
+            # not on the network; replying must not crash a correct replica.
+            return
         self.network.send(self.replica_id, receiver, payload)
 
     # ------------------------------------------------------------------
@@ -156,14 +256,27 @@ class OrderingNode:
         """Network entry point for this replica."""
         if self.fault_mode is ReplicaFaultMode.CRASHED:
             return
+        if not isinstance(payload, ClientRequest) and sender not in self._replica_set:
+            # Every non-request message is replica-to-replica protocol
+            # traffic.  Accepting it from arbitrary network identities
+            # would let a Byzantine *client* stuff quorums (checkpoint
+            # certificates, state-transfer thresholds) or pull a full
+            # state dump past the access policy via StateRequest.
+            return
         if isinstance(payload, ClientRequest):
-            self._on_request(payload)
+            self._on_request(sender, payload)
         elif isinstance(payload, PrePrepare):
             self._on_pre_prepare(sender, payload)
         elif isinstance(payload, Prepare):
             self._on_prepare(sender, payload)
         elif isinstance(payload, Commit):
             self._on_commit(sender, payload)
+        elif isinstance(payload, Checkpoint):
+            self._on_checkpoint(sender, payload)
+        elif isinstance(payload, StateRequest):
+            self._on_state_request(sender, payload)
+        elif isinstance(payload, StateResponse):
+            self._on_state_response(sender, payload)
         elif isinstance(payload, ViewChange):
             self._on_view_change(sender, payload)
         elif isinstance(payload, NewView):
@@ -171,39 +284,65 @@ class OrderingNode:
         # Unknown payloads are ignored (a Byzantine node may send garbage).
 
     # ------------------------------------------------------------------
-    # Client requests
+    # Client requests and batch assembly
     # ------------------------------------------------------------------
 
-    def _on_request(self, request: ClientRequest) -> None:
-        if request.key in self._executed_keys:
-            # Retransmission of an executed request: resend the cached reply.
-            self._reply(request, self.application.execute(request))
+    def _on_request(self, sender: Hashable, request: ClientRequest) -> None:
+        if sender != request.client:
+            # The channel authenticates the sender; a client may only speak
+            # for itself.  Without this check one forged request with a huge
+            # request_id would poison the victim's reply-cache high-water
+            # mark and silently drop all its future requests.
             return
-        if request.key in self._ordered_keys:
+        cached = self.application.cached_reply(request)
+        if cached is not None:
+            # Retransmission of the client's latest executed request:
+            # resend the cached reply.
+            self._reply(request, cached)
+            return
+        latest = self.application.last_request_id(request.client)
+        if latest is not None and latest >= request.request_id:
+            # Stale retransmission of a request the client has already
+            # moved past (clients issue one request at a time).
+            return
+        if request.key in self._executed_keys or request.key in self._ordered_keys:
             return
         self._buffered.setdefault(request.key, request)
         self._buffered_since.setdefault(request.key, self.network.now)
-        if self.is_primary and not self._view_changing:
-            self._order(request)
+        self._unordered.setdefault(request.key, request)
+        self._maybe_drain()
 
-    def _order(self, request: ClientRequest) -> None:
-        """Primary: assign the next sequence number and pre-prepare."""
-        if request.key in self._ordered_keys:
+    def _maybe_drain(self) -> None:
+        """Primary: drain unordered requests into batches within the window."""
+        if not self.is_primary or self._view_changing or self.is_silent:
             return
+        while self._unordered and self.next_sequence <= self.high_water_mark:
+            chunk: list[ClientRequest] = []
+            while self._unordered and len(chunk) < self.max_batch_size:
+                key, request = next(iter(self._unordered.items()))
+                del self._unordered[key]
+                if key in self._ordered_keys or key in self._executed_keys:
+                    continue
+                chunk.append(request)
+            if chunk:
+                self._order_batch(Batch(requests=tuple(chunk)))
+
+    def _order_batch(self, batch: Batch) -> None:
+        """Primary: assign the next sequence number and pre-prepare a batch."""
         sequence = self.next_sequence
         self.next_sequence += 1
-        self._ordered_keys.add(request.key)
+        self._ordered_keys.update(batch.keys())
         message = PrePrepare(
             view=self.view,
             sequence=sequence,
-            request_digest=digest(request),
-            request=request,
+            batch_digest=digest(batch),
+            batch=batch,
             primary=self.replica_id,
         )
         # The primary also records its own pre-prepare locally.
         self._pre_prepares[(self.view, sequence)] = message
         self._multicast(message)
-        self._maybe_send_commit(self.view, sequence, message.request_digest)
+        self._maybe_send_commit(self.view, sequence, message.batch_digest)
 
     # ------------------------------------------------------------------
     # Ordering phases
@@ -211,18 +350,41 @@ class OrderingNode:
 
     def _on_pre_prepare(self, sender: Hashable, message: PrePrepare) -> None:
         if message.view > self.view:
-            self._future_messages.append((sender, message))
+            self._buffer_future(sender, message)
             return
         if message.view != self.view or sender != self.primary_of(message.view):
             return
-        if digest(message.request) != message.request_digest:
+        if self._view_changing:
+            # PBFT: while view-changing, accept only checkpoint and
+            # view-change traffic.  Progressing the old view here would let
+            # a batch commit that our already-cast view-change vote does
+            # not report as prepared — the new primary could then null-fill
+            # its sequence number while we execute it, silently diverging.
+            return
+        if message.sequence <= self.stable_checkpoint:
+            # Already covered by a stable checkpoint: garbage-collected.
+            return
+        if message.sequence > self.high_water_mark:
+            if message.sequence > self.stable_checkpoint + 2 * self.log_window:
+                # A correct primary's window can lead ours by at most one
+                # certificate; anything further is a faulty primary trying
+                # to fill this buffer.
+                return
+            # Our checkpoint certificate may be lagging the primary's;
+            # retry once the window slides instead of dropping.
+            self._out_of_window[message.sequence] = (sender, message)
+            return
+        if digest(message.batch) != message.batch_digest:
             return
         key = (message.view, message.sequence)
         if key in self._pre_prepares:
             return
         self._pre_prepares[key] = message
-        self._ordered_keys.add(message.request.key)
-        self._buffered.setdefault(message.request.key, message.request)
+        self._ordered_keys.update(message.batch.keys())
+        for request in message.batch.requests:
+            self._unordered.pop(request.key, None)
+            if request.client != NULL_REQUEST_CLIENT:
+                self._buffered.setdefault(request.key, request)
         # Track the highest sequence number this replica has seen assigned:
         # if it later becomes primary it must not reuse any of them.
         self.next_sequence = max(self.next_sequence, message.sequence + 1)
@@ -232,85 +394,106 @@ class OrderingNode:
                 Prepare(
                     view=message.view,
                     sequence=message.sequence,
-                    request_digest=message.request_digest,
+                    batch_digest=message.batch_digest,
                     replica=self.replica_id,
                 )
             )
-        self._maybe_send_commit(message.view, message.sequence, message.request_digest)
+        self._maybe_send_commit(message.view, message.sequence, message.batch_digest)
 
     def _on_prepare(self, sender: Hashable, message: Prepare) -> None:
         if message.view > self.view:
-            self._future_messages.append((sender, message))
+            self._buffer_future(sender, message)
             return
-        if message.view != self.view:
+        if message.view != self.view or message.sequence <= self.stable_checkpoint:
             return
-        key = (message.view, message.sequence, message.request_digest)
+        if message.sequence > self.stable_checkpoint + 2 * self.log_window:
+            # Outside any window a correct replica could be in: a faulty
+            # peer spraying arbitrary sequences must not grow the vote maps.
+            return
+        if self._view_changing:
+            return
+        key = (message.view, message.sequence, message.batch_digest)
         self._prepares.setdefault(key, set()).add(sender)
-        self._maybe_send_commit(message.view, message.sequence, message.request_digest)
+        self._maybe_send_commit(message.view, message.sequence, message.batch_digest)
 
-    def _prepared(self, view: int, sequence: int, request_digest: str) -> bool:
+    def _prepared(self, view: int, sequence: int, batch_digest: str) -> bool:
         """PBFT ``prepared`` predicate: pre-prepare + 2f prepares (incl. self)."""
         if (view, sequence) not in self._pre_prepares:
             return False
-        if self._pre_prepares[(view, sequence)].request_digest != request_digest:
+        if self._pre_prepares[(view, sequence)].batch_digest != batch_digest:
             return False
-        votes = set(self._prepares.get((view, sequence, request_digest), set()))
+        votes = set(self._prepares.get((view, sequence, batch_digest), set()))
         votes.add(self.primary_of(view))
         votes.add(self.replica_id)
         return len(votes) >= self.quorum
 
-    def _maybe_send_commit(self, view: int, sequence: int, request_digest: str) -> None:
+    def _maybe_send_commit(self, view: int, sequence: int, batch_digest: str) -> None:
         key = (view, sequence)
         if key in self._sent_commit:
             return
-        if not self._prepared(view, sequence, request_digest):
+        if not self._prepared(view, sequence, batch_digest):
             return
         self._sent_commit.add(key)
         self._multicast(
             Commit(
                 view=view,
                 sequence=sequence,
-                request_digest=request_digest,
+                batch_digest=batch_digest,
                 replica=self.replica_id,
             )
         )
         # Count our own commit vote immediately.
-        self._commits.setdefault((view, sequence, request_digest), set()).add(self.replica_id)
-        self._maybe_execute(view, sequence, request_digest)
+        self._commits.setdefault((view, sequence, batch_digest), set()).add(self.replica_id)
+        self._maybe_execute(view, sequence, batch_digest)
 
     def _on_commit(self, sender: Hashable, message: Commit) -> None:
         if message.view > self.view:
-            self._future_messages.append((sender, message))
+            self._buffer_future(sender, message)
             return
-        if message.view != self.view:
+        if message.view != self.view or message.sequence <= self.stable_checkpoint:
             return
-        key = (message.view, message.sequence, message.request_digest)
+        if message.sequence > self.stable_checkpoint + 2 * self.log_window:
+            return
+        if self._view_changing:
+            return
+        key = (message.view, message.sequence, message.batch_digest)
         self._commits.setdefault(key, set()).add(sender)
-        self._maybe_execute(message.view, message.sequence, message.request_digest)
+        self._maybe_execute(message.view, message.sequence, message.batch_digest)
 
-    def _maybe_execute(self, view: int, sequence: int, request_digest: str) -> None:
+    def _maybe_execute(self, view: int, sequence: int, batch_digest: str) -> None:
         key = (view, sequence)
-        votes = self._commits.get((view, sequence, request_digest), set())
+        votes = self._commits.get((view, sequence, batch_digest), set())
         if len(votes) < self.quorum:
             return
         if key not in self._pre_prepares:
             return
-        if sequence in self._committed:
+        if sequence <= self.last_executed or sequence in self._committed:
             return
-        self._committed[sequence] = self._pre_prepares[key].request
+        self._committed[sequence] = self._pre_prepares[key].batch
         self._execute_ready()
 
     def _execute_ready(self) -> None:
-        """Execute committed requests in strict sequence order."""
+        """Execute committed batches in strict sequence order."""
         while (self.last_executed + 1) in self._committed:
             sequence = self.last_executed + 1
-            request = self._committed[sequence]
-            result = self.application.execute(request)
+            batch = self._committed[sequence]
+            for request in batch.requests:
+                latest = self.application.last_request_id(request.client)
+                stale = latest is not None and latest > request.request_id
+                result = self.application.execute(request)
+                self._executed_keys.add(request.key)
+                self._executed_at[request.key] = sequence
+                self._buffered.pop(request.key, None)
+                self._buffered_since.pop(request.key, None)
+                self._unordered.pop(request.key, None)
+                if not stale:
+                    # A stale duplicate (the same request re-ordered across
+                    # a view change after the client already moved on) must
+                    # not be answered with the newer cached payload.
+                    self._reply(request, result)
             self.last_executed = sequence
-            self._executed_keys.add(request.key)
-            self._buffered.pop(request.key, None)
-            self._buffered_since.pop(request.key, None)
-            self._reply(request, result)
+            if sequence % self.checkpoint_interval == 0:
+                self._take_checkpoint(sequence)
 
     def _reply(self, request: ClientRequest, result: Any) -> None:
         if self.is_silent:
@@ -333,6 +516,248 @@ class OrderingNode:
         self._send(request.client, reply)
 
     # ------------------------------------------------------------------
+    # Checkpoints and log truncation
+    # ------------------------------------------------------------------
+
+    def _take_checkpoint(self, sequence: int) -> None:
+        state = self.application.capture_state()
+        self._checkpoint_states[sequence] = state
+        message = Checkpoint(
+            sequence=sequence, state_digest=digest(state), replica=self.replica_id
+        )
+        self._own_checkpoint = message
+        self._record_checkpoint_vote(self.replica_id, message)
+        self._multicast(message)
+        self._maybe_stabilize(sequence, message.state_digest)
+
+    def _record_checkpoint_vote(self, replica: Hashable, message: Checkpoint) -> None:
+        current = self._checkpoint_votes.get(replica)
+        if current is None or message.sequence >= current.sequence:
+            self._checkpoint_votes[replica] = message
+
+    def _on_checkpoint(self, sender: Hashable, message: Checkpoint) -> None:
+        if message.replica != sender:
+            # A replica may only vouch for its own state.
+            return
+        if message.sequence <= self.stable_checkpoint:
+            return
+        self._record_checkpoint_vote(sender, message)
+        self._maybe_stabilize(message.sequence, message.state_digest)
+
+    def _maybe_stabilize(self, sequence: int, state_digest: str) -> None:
+        if sequence <= self.stable_checkpoint:
+            return
+        votes = {
+            replica: vote
+            for replica, vote in self._checkpoint_votes.items()
+            if vote.sequence == sequence and vote.state_digest == state_digest
+        }
+        if len(votes) < self.quorum:
+            return
+        proof = tuple(votes[replica] for replica in sorted(votes, key=repr))
+        self._stabilize(sequence, proof)
+
+    def _stabilize(self, sequence: int, proof: tuple[Checkpoint, ...]) -> None:
+        """Adopt a stable checkpoint certificate: truncate and slide the window."""
+        self.stable_checkpoint = sequence
+        self._checkpoint_proof = proof
+        own_state = self._checkpoint_states.get(sequence)
+        certified_digest = proof[0].state_digest if proof else None
+        self._truncate(sequence)
+        if (
+            own_state is not None
+            and certified_digest is not None
+            and digest(own_state) != certified_digest
+        ):
+            # Our execution history contradicts the certified majority —
+            # possible only outside the protocol's trust envelope (see the
+            # module docstring), but self-healing is cheap: discard our
+            # copy and install the certified state even though we already
+            # executed past it.
+            self._checkpoint_states.pop(sequence, None)
+            self._stable_state = None
+            self._resync_below = sequence
+            self._request_state(sequence)
+        else:
+            self._stable_state = own_state
+            if self.last_executed < sequence:
+                # The group advanced without us (crash window, partition):
+                # fetch the checkpointed state instead of replaying history
+                # that has been garbage-collected.
+                self._request_state(sequence)
+        self._slide_window()
+
+    def _slide_window(self) -> None:
+        """Resume work the old window was blocking (shared tail of every
+        adopt-checkpoint path except ``_enter_view``, which must re-propose
+        the old sequences before it may drain fresh ones)."""
+        self._maybe_drain()
+        self._replay_out_of_window()
+
+    def _truncate(self, sequence: int) -> None:
+        """Garbage-collect all ordering state at or below ``sequence``."""
+        self._pre_prepares = {
+            key: value for key, value in self._pre_prepares.items() if key[1] > sequence
+        }
+        self._prepares = {
+            key: value for key, value in self._prepares.items() if key[1] > sequence
+        }
+        self._commits = {
+            key: value for key, value in self._commits.items() if key[1] > sequence
+        }
+        self._committed = {
+            seq: batch for seq, batch in self._committed.items() if seq > sequence
+        }
+        self._sent_prepare = {key for key in self._sent_prepare if key[1] > sequence}
+        self._sent_commit = {key for key in self._sent_commit if key[1] > sequence}
+        self._checkpoint_votes = {
+            replica: vote
+            for replica, vote in self._checkpoint_votes.items()
+            if vote.sequence > sequence
+        }
+        self._checkpoint_states = {
+            seq: state for seq, state in self._checkpoint_states.items() if seq >= sequence
+        }
+        self._state_responses = {
+            sender: response
+            for sender, response in self._state_responses.items()
+            if response.sequence > sequence
+        }
+        # Per-request bookkeeping below the stable checkpoint: from here on
+        # the application's per-client reply cache covers retransmissions.
+        for key, executed_at in list(self._executed_at.items()):
+            if executed_at <= sequence:
+                del self._executed_at[key]
+                self._executed_keys.discard(key)
+                self._ordered_keys.discard(key)
+                self._buffered.pop(key, None)
+                self._buffered_since.pop(key, None)
+                self._unordered.pop(key, None)
+
+    def _buffer_future(self, sender: Hashable, message: Any) -> None:
+        """Hold an ordering message for a view we have not entered yet.
+
+        Bounded per sender: a correct replica can only be a view or so
+        ahead, so the tail of a long backlog is droppable — anything lost
+        is recovered by the new view's re-proposals and client
+        retransmissions.
+        """
+        queue = self._future_messages.setdefault(sender, [])
+        queue.append(message)
+        if len(queue) > self._future_limit:
+            del queue[: len(queue) - self._future_limit]
+
+    def _replay_out_of_window(self) -> None:
+        if not self._out_of_window:
+            return
+        replay, self._out_of_window = self._out_of_window, {}
+        for sequence in sorted(replay):
+            sender, message = replay[sequence]
+            self._on_pre_prepare(sender, message)
+
+    # ------------------------------------------------------------------
+    # Checkpoint state transfer (recovering / lagging replicas)
+    # ------------------------------------------------------------------
+
+    def _request_state(self, sequence: int) -> None:
+        self._multicast(StateRequest(sequence=sequence, replica=self.replica_id))
+
+    def _on_state_request(self, sender: Hashable, message: StateRequest) -> None:
+        if self.is_silent or self._stable_state is None:
+            return
+        if self.stable_checkpoint < message.sequence:
+            return
+        self._send(
+            sender,
+            StateResponse(
+                sequence=self.stable_checkpoint,
+                state_digest=digest(self._stable_state),
+                state=self._stable_state,
+                proof=self._checkpoint_proof,
+                replica=self.replica_id,
+            ),
+        )
+
+    def _on_state_response(self, sender: Hashable, message: StateResponse) -> None:
+        if message.replica != sender:
+            return
+        if message.sequence <= self.last_executed and message.sequence != self._resync_below:
+            return
+        if digest(message.state) != message.state_digest:
+            return
+        certificate = self._checkpoint_certificate(message.proof)
+        if certificate != (message.sequence, message.state_digest):
+            return
+        # The proof's inner Checkpoint votes are not origin-authenticated
+        # (per-link MACs cannot be verified by a third party), so a lone
+        # Byzantine responder could fabricate one.  Require f + 1 distinct
+        # senders shipping byte-identical state: at least one is correct.
+        self._state_responses[sender] = message
+        matching = [
+            response
+            for response in self._state_responses.values()
+            if response.sequence == message.sequence
+            and response.state_digest == message.state_digest
+        ]
+        if len(matching) < self.f + 1:
+            return
+        self.application.install_state(message.state)
+        self.last_executed = message.sequence
+        self.next_sequence = max(self.next_sequence, message.sequence + 1)
+        self._resync_below = None
+        if message.sequence >= self.stable_checkpoint:
+            self.stable_checkpoint = message.sequence
+            self._checkpoint_proof = message.proof
+            self._stable_state = message.state
+            self._checkpoint_states[message.sequence] = message.state
+        self._state_transfers += 1
+        self._state_responses.clear()
+        self._truncate(message.sequence)
+        # Requests buffered before the blackout may have been executed (and
+        # garbage-collected) by the rest of the group; the transferred
+        # reply cache is the authority.  Dropping them here keeps them from
+        # reading as overdue and triggering spurious view changes.
+        for key in list(self._buffered):
+            client, request_id = key
+            latest = self.application.last_request_id(client)
+            if latest is not None and latest >= request_id:
+                self._buffered.pop(key, None)
+                self._buffered_since.pop(key, None)
+                self._unordered.pop(key, None)
+                self._ordered_keys.discard(key)
+        self._slide_window()
+        self._execute_ready()
+
+    def _valid_checkpoint_proof(
+        self, proof: tuple, sequence: int, state_digest: str
+    ) -> bool:
+        """Structural check of a checkpoint certificate: 2f + 1 distinct
+        replicas vouching for the same (sequence, state digest)."""
+        if len(proof) > self.n:
+            # More votes than replicas means padding; reject rather than
+            # store/iterate/re-propagate an attacker-sized tuple.
+            return False
+        replicas = set()
+        for vote in proof:
+            if not isinstance(vote, Checkpoint):
+                return False
+            if vote.sequence != sequence or vote.state_digest != state_digest:
+                return False
+            if vote.replica not in self.replica_ids:
+                return False
+            replicas.add(vote.replica)
+        return len(replicas) >= self.quorum
+
+    def _checkpoint_certificate(self, proof: tuple) -> Optional[tuple[int, str]]:
+        """The (sequence, digest) a structurally valid proof certifies."""
+        if not proof or not isinstance(proof[0], Checkpoint):
+            return None
+        head = proof[0]
+        if self._valid_checkpoint_proof(proof, head.sequence, head.state_digest):
+            return (head.sequence, head.state_digest)
+        return None
+
+    # ------------------------------------------------------------------
     # View change
     # ------------------------------------------------------------------
 
@@ -352,6 +777,14 @@ class OrderingNode:
         ]
         if not overdue:
             return
+        # Progress may be gated on a checkpoint certificate (the window is
+        # full) or on a state transfer whose messages were dropped by a
+        # partition; re-multicast the cheap idempotent pieces before
+        # escalating to a view change.
+        if self._own_checkpoint is not None and self._own_checkpoint.sequence > self.stable_checkpoint:
+            self._multicast(self._own_checkpoint)
+        if self.stable_checkpoint > self.last_executed:
+            self._request_state(self.stable_checkpoint)
         if self._view_changing:
             # The view change itself has stalled (e.g. the designated new
             # primary is partitioned away and can never gather a quorum).
@@ -379,25 +812,29 @@ class OrderingNode:
         self._view_changing = True
         self._view_change_started_at = self.network.now
         self._highest_vote = max(self._highest_vote, new_view)
-        # Report every prepared certificate this replica holds — including
-        # sequences it already executed.  A new primary that missed part of
-        # the history (it was partitioned while the rest of the quorum
-        # executed) needs those certificates to re-propose the *real*
-        # requests at the old numbers; otherwise it would null-fill them
-        # and silently diverge from the other correct replicas.  Execution
-        # is idempotent per request key, so replicas that already ran them
-        # are unaffected.  Sorted iteration lets a later view's certificate
-        # for the same sequence win.
-        prepared: dict[int, ClientRequest] = {}
+        # Report every prepared certificate this replica holds above its
+        # stable checkpoint — including sequences it already executed.  A
+        # new primary that missed part of the history (it was partitioned
+        # while the rest of the quorum executed) needs those certificates
+        # to re-propose the *real* batches at the old numbers; otherwise it
+        # would null-fill them and silently diverge from the other correct
+        # replicas.  Execution is idempotent per request, so replicas that
+        # already ran them are unaffected.  Sorted iteration lets a later
+        # view's certificate for the same sequence win.
+        prepared: dict[int, tuple[int, Batch]] = {}
         for (view, sequence), message in sorted(self._pre_prepares.items()):
-            if self._prepared(view, sequence, message.request_digest):
-                prepared[sequence] = message.request
+            if sequence <= self.stable_checkpoint:
+                continue
+            if self._prepared(view, sequence, message.batch_digest):
+                prepared[sequence] = (view, message.batch)
         vote = ViewChange(
             new_view=new_view,
             replica=self.replica_id,
             last_executed=self.last_executed,
             prepared=prepared,
             highest_sequence=self.next_sequence - 1,
+            stable_checkpoint=self.stable_checkpoint,
+            checkpoint_proof=self._checkpoint_proof,
         )
         self._view_change_votes.setdefault(new_view, {})[self.replica_id] = vote
         self._multicast(vote)
@@ -407,6 +844,20 @@ class OrderingNode:
         if message.new_view <= self.view:
             return
         self._view_change_votes.setdefault(message.new_view, {})[sender] = message
+        # Bound the map: a faulty replica naming millions of distinct
+        # future views must not grow it.  Keep the *lowest* pending views —
+        # view numbers advance one certificate at a time, so far-future
+        # entries can only be junk — plus whatever view we voted for.
+        if len(self._view_change_votes) > 16:
+            keep = set(sorted(self._view_change_votes)[:16])
+            keep.add(self._highest_vote)
+            self._view_change_votes = {
+                view: votes
+                for view, votes in self._view_change_votes.items()
+                if view in keep
+            }
+            if message.new_view not in self._view_change_votes:
+                return
         # Join the view change once f + 1 replicas are asking for it (we
         # cannot all be faulty), even if our own timer has not fired — and
         # also when they ask for a *higher* view than the one we are
@@ -427,43 +878,119 @@ class OrderingNode:
             return
         if new_view <= self.view:
             return
-        # Collect every request reported prepared by some member of the quorum.
-        reproposals: dict[int, ClientRequest] = {}
+        # The quorum's best *certified and corroborated* stable checkpoint
+        # is the floor: nothing at or below it needs re-proposing.  The
+        # proof alone is only structurally checkable (its inner votes are
+        # not origin-authenticated), so additionally require f + 1 voters
+        # to report a stable checkpoint at least that high — at least one
+        # of them is correct, and a correct replica only reaches a stable
+        # checkpoint through a real certificate.
+        stable = self.stable_checkpoint
+        stable_proof = self._checkpoint_proof
+        candidates = []
+        for vote in votes.values():
+            if vote.stable_checkpoint <= stable:
+                continue
+            certificate = self._checkpoint_certificate(vote.checkpoint_proof)
+            if certificate is not None and certificate[0] == vote.stable_checkpoint:
+                candidates.append((vote.stable_checkpoint, vote.checkpoint_proof))
+        for candidate_stable, candidate_proof in sorted(
+            candidates, key=lambda candidate: candidate[0], reverse=True
+        ):
+            support = sum(
+                1 for vote in votes.values() if vote.stable_checkpoint >= candidate_stable
+            )
+            if support >= self.f + 1:
+                stable = candidate_stable
+                stable_proof = candidate_proof
+                break
+        # Collect every batch reported prepared by some member of the
+        # quorum.  Per sequence, the certificate from the *highest* view
+        # wins (PBFT's rule): a batch superseded by a later view's
+        # null-fill or re-proposal must not resurface just because the
+        # older certificate's vote arrived first.
+        best: dict[int, tuple[int, Batch]] = {}
         max_executed = 0
         max_sequence = 0
         for vote in votes.values():
             max_executed = max(max_executed, vote.last_executed)
             max_sequence = max(max_sequence, vote.highest_sequence)
-            for sequence, request in vote.prepared.items():
-                reproposals.setdefault(sequence, request)
+            for sequence, (certificate_view, batch) in vote.prepared.items():
+                if sequence <= stable:
+                    continue
+                current = best.get(sequence)
+                if current is None or certificate_view > current[0]:
+                    best[sequence] = (certificate_view, batch)
+        reproposals = {sequence: batch for sequence, (_, batch) in best.items()}
         announcement = NewView(
-            view=new_view, primary=self.replica_id, reproposals=reproposals
+            view=new_view,
+            primary=self.replica_id,
+            reproposals=reproposals,
+            stable_checkpoint=stable,
+            checkpoint_proof=stable_proof,
         )
         self._multicast(announcement)
-        self._enter_view(new_view, reproposals, max(max_executed, max_sequence))
+        self._enter_view(
+            new_view, reproposals, max(max_executed, max_sequence), stable, stable_proof
+        )
 
     def _on_new_view(self, sender: Hashable, message: NewView) -> None:
         if message.view <= self.view:
             return
         if sender != self.primary_of(message.view):
             return
+        stable = self.stable_checkpoint
+        stable_proof = self._checkpoint_proof
+        if message.stable_checkpoint > stable:
+            certificate = self._checkpoint_certificate(message.checkpoint_proof)
+            supporters = sum(
+                1
+                for vote in self._view_change_votes.get(message.view, {}).values()
+                if vote.stable_checkpoint >= message.stable_checkpoint
+            )
+            # Corroborate the announced floor against the view-change votes
+            # we saw ourselves; an uncorroborated floor is simply not
+            # adopted (we keep more log than strictly needed, never less).
+            if (
+                certificate is not None
+                and certificate[0] == message.stable_checkpoint
+                and supporters >= self.f + 1
+            ):
+                stable = message.stable_checkpoint
+                stable_proof = message.checkpoint_proof
         votes = self._view_change_votes.get(message.view, {}).values()
         max_executed = max(
             [self.last_executed]
             + [vote.last_executed for vote in votes]
             + [vote.highest_sequence for vote in votes],
         )
-        self._enter_view(message.view, dict(message.reproposals), max_executed)
+        self._enter_view(
+            message.view, dict(message.reproposals), max_executed, stable, stable_proof
+        )
 
     def _enter_view(
-        self, new_view: int, reproposals: dict[int, ClientRequest], max_executed: int
+        self,
+        new_view: int,
+        reproposals: dict[int, Batch],
+        max_executed: int,
+        stable: int,
+        stable_proof: tuple[Checkpoint, ...],
     ) -> None:
         self.view = new_view
         self._view_changing = False
         self._sent_prepare.clear()
         self._sent_commit.clear()
+        if stable > self.stable_checkpoint:
+            # Adopt the quorum's certified checkpoint horizon; if we have
+            # not executed up to it ourselves, fetch the state.
+            self.stable_checkpoint = stable
+            self._checkpoint_proof = stable_proof
+            self._stable_state = self._checkpoint_states.get(stable)
+            self._truncate(stable)
+            if self.last_executed < stable:
+                self._request_state(stable)
         highest = max(
-            [self.next_sequence - 1, max_executed, self.last_executed]
+            [self.next_sequence - 1, max_executed, self.last_executed, self.stable_checkpoint]
             + list(reproposals.keys())
         )
         self.next_sequence = highest + 1
@@ -472,43 +999,58 @@ class OrderingNode:
         # key sits in _ordered_keys, so retransmissions are ignored and it
         # is never assigned a new sequence number.  Rebuild the set from
         # what actually survives into the new view; execution is idempotent
-        # per request key, so re-ordering a request that does eventually
-        # commit under its old number is harmless.
+        # per request, so re-ordering a request that does eventually commit
+        # under its old number is harmless.
         self._ordered_keys = set(self._executed_keys)
-        self._ordered_keys.update(request.key for request in reproposals.values())
+        for batch in reproposals.values():
+            self._ordered_keys.update(batch.keys())
+        self._unordered = {
+            key: request
+            for key, request in self._buffered.items()
+            if key not in self._ordered_keys and key not in self._executed_keys
+        }
         if self.is_primary:
-            # Re-propose every sequence number up to the highest one assigned
-            # anywhere, keeping the quorum's prepared requests under their
-            # old numbers.  Sequences nobody prepared would otherwise be
-            # permanent holes — execution is strictly contiguous — so they
-            # are plugged: with this replica's own committed request if it
-            # has one, else with a no-op null request (PBFT's rule).
-            for sequence in range(self.last_executed + 1, self.next_sequence):
-                request = reproposals.get(sequence) or self._committed.get(sequence)
-                if request is None:
-                    request = null_request(sequence)
+            # Re-propose every sequence number above the checkpoint floor
+            # up to the highest one assigned anywhere, keeping the quorum's
+            # prepared batches under their old numbers.  Sequences nobody
+            # prepared would otherwise be permanent holes — execution is
+            # strictly contiguous — so they are plugged: with this
+            # replica's own committed batch if it has one, else with a
+            # no-op null batch (PBFT's rule).
+            floor = max(self.last_executed, self.stable_checkpoint)
+            for sequence in range(floor + 1, self.next_sequence):
+                batch = reproposals.get(sequence) or self._committed.get(sequence)
+                if batch is None:
+                    batch = null_batch(sequence)
                 message = PrePrepare(
                     view=self.view,
                     sequence=sequence,
-                    request_digest=digest(request),
-                    request=request,
+                    batch_digest=digest(batch),
+                    batch=batch,
                     primary=self.replica_id,
                 )
                 self._pre_prepares[(self.view, sequence)] = message
-                self._ordered_keys.add(request.key)
+                self._ordered_keys.update(batch.keys())
+                for key in batch.keys():
+                    self._unordered.pop(key, None)
                 self._multicast(message)
-                self._maybe_send_commit(self.view, sequence, message.request_digest)
+                self._maybe_send_commit(self.view, sequence, message.batch_digest)
             # Then assign fresh numbers to the still-buffered requests.
-            for key, request in list(self._buffered.items()):
-                if key not in self._executed_keys and key not in self._ordered_keys:
-                    self._order(request)
+            self._maybe_drain()
         # Reset request timers so we do not immediately trigger another change.
         for key in self._buffered_since:
             self._buffered_since[key] = self.network.now
+        # Votes for views at or below the one just entered can never be
+        # used again (both install paths ignore them): drop them.
+        self._view_change_votes = {
+            view: votes for view, votes in self._view_change_votes.items() if view > new_view
+        }
         # Replay ordering messages that overtook the NEW-VIEW announcement.
-        replay, self._future_messages = self._future_messages, []
-        for sender, message in replay:
-            self.on_message(sender, message)
+        replay, self._future_messages = self._future_messages, {}
+        for sender, messages in replay.items():
+            for message in messages:
+                self.on_message(sender, message)
+        self._replay_out_of_window()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -519,12 +1061,16 @@ class OrderingNode:
         return {
             "view": self.view,
             "last_executed": self.last_executed,
+            "stable_checkpoint": self.stable_checkpoint,
             "buffered": len(self._buffered),
+            "log_instances": len(self._pre_prepares),
+            "state_transfers": self._state_transfers,
             "fault_mode": self.fault_mode.value,
         }
 
     def __repr__(self) -> str:
         return (
             f"OrderingNode(id={self.replica_id!r}, view={self.view}, "
-            f"executed={self.last_executed}, mode={self.fault_mode.value})"
+            f"executed={self.last_executed}, stable={self.stable_checkpoint}, "
+            f"mode={self.fault_mode.value})"
         )

@@ -16,6 +16,14 @@ Because every correct replica holds the same policy, receives the same
 requests in the same order and both the monitor and the space are
 deterministic, all correct replicas produce identical results; the client
 only needs ``f + 1`` matching replies to trust one.
+
+Retransmission idempotency follows PBFT's bounded scheme: the replica
+remembers the *last* reply per client (clients have one outstanding
+request at a time, so an older request id from the same client is a stale
+retransmission, answered from the cache and never re-executed).  The cache
+is therefore bounded by the number of clients, not by the number of
+requests ever executed — which is what lets the ordering layer truncate
+its own per-request bookkeeping at checkpoints.
 """
 
 from __future__ import annotations
@@ -66,26 +74,43 @@ class PEATSReplica:
 
     def __init__(self, replica_id: Any, policy: AccessPolicy) -> None:
         self.replica_id = replica_id
+        self._policy = policy
         self._space = AugmentedTupleSpace()
         self._monitor = ReferenceMonitor(policy)
-        self._executed_requests: dict[tuple, Any] = {}
+        # Last executed (request_id, reply payload) per client: PBFT's
+        # bounded reply cache (clients issue one request at a time).
+        self._last_reply: dict[Any, tuple[int, Any]] = {}
 
     # ------------------------------------------------------------------
     # Deterministic execution
     # ------------------------------------------------------------------
 
+    def last_request_id(self, client: Any) -> Optional[int]:
+        """The request id of the last request executed for ``client``."""
+        cached = self._last_reply.get(client)
+        return cached[0] if cached is not None else None
+
+    def cached_reply(self, request: ClientRequest) -> Optional[Any]:
+        """The cached reply for an exact retransmission, else ``None``."""
+        cached = self._last_reply.get(request.client)
+        if cached is not None and cached[0] == request.request_id:
+            return cached[1]
+        return None
+
     def execute(self, request: ClientRequest) -> Any:
         """Execute ``request`` and return its reply payload.
 
-        Re-executing a request with the same ``(client, request_id)`` key
-        returns the cached reply (client retransmissions must not change
-        the state twice).
+        Re-executing the client's latest request returns the cached reply,
+        and a request *older* than the client's latest is a stale
+        retransmission or a view-change re-proposal of an already-executed
+        request: neither may change the state twice.
         """
-        if request.key in self._executed_requests:
-            return self._executed_requests[request.key]
+        cached = self._last_reply.get(request.client)
+        if cached is not None and cached[0] >= request.request_id:
+            return cached[1]
         result = self._execute_once(request)
         payload = result.as_payload()
-        self._executed_requests[request.key] = payload
+        self._last_reply[request.client] = (request.request_id, payload)
         return payload
 
     def _execute_once(self, request: ClientRequest) -> ExecutionResult:
@@ -111,6 +136,38 @@ class PEATSReplica:
         raise AssertionError(f"unreachable operation {operation!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
+    # Checkpoint state capture / transfer
+    # ------------------------------------------------------------------
+
+    def capture_state(self) -> tuple:
+        """A picklable snapshot of the replica state (space + reply cache).
+
+        Correct replicas execute the same request prefix, so their
+        insertion orders — and hence these snapshots — are byte-identical;
+        that is the property the checkpoint certificates and the state
+        transfer rely on.  Tuples are captured in *insertion* order, not
+        re-sorted: template matching picks the oldest insertion first, so
+        a replica that installs this state must reproduce the order, or
+        its future ``rdp``/``inp`` answers would diverge from replicas
+        that executed normally.
+        """
+        entries = tuple(self._space.snapshot())
+        replies = tuple(sorted(self._last_reply.items(), key=repr))
+        return (entries, replies)
+
+    def install_state(self, state: tuple) -> None:
+        """Replace the replica state with a transferred checkpoint snapshot."""
+        entries, replies = state
+        self._space = AugmentedTupleSpace(entries)
+        self._last_reply = {client: tuple(cached) for client, cached in replies}
+
+    def state_digest(self) -> str:
+        """Digest of :meth:`capture_state` (checkpoint votes, reply safety)."""
+        from repro.replication.crypto import digest
+
+        return digest(self.capture_state())
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -121,12 +178,6 @@ class PEATSReplica:
     @property
     def monitor(self) -> ReferenceMonitor:
         return self._monitor
-
-    def state_digest(self) -> str:
-        """Digest of the replica state, used by tests to compare replicas."""
-        from repro.replication.crypto import digest
-
-        return digest(tuple(sorted((repr(e) for e in self._space.snapshot()))))
 
     def __repr__(self) -> str:
         return f"PEATSReplica(id={self.replica_id!r}, tuples={len(self._space.snapshot())})"

@@ -56,6 +56,8 @@ class ReplicatedPEATS:
         network_config: NetworkConfig | None = None,
         replica_faults: dict[int, ReplicaFaultMode] | None = None,
         view_change_timeout: float = 50.0,
+        max_batch_size: int = 8,
+        checkpoint_interval: int = 8,
     ) -> None:
         if f < 0:
             raise ReplicationError("f must be non-negative")
@@ -76,6 +78,8 @@ class ReplicatedPEATS:
                 self._network,
                 view_change_timeout=view_change_timeout,
                 fault_mode=replica_faults.get(index, ReplicaFaultMode.CORRECT),
+                max_batch_size=max_batch_size,
+                checkpoint_interval=checkpoint_interval,
             )
             self._nodes.append(node)
         self._clients: dict[Hashable, PEATSClient] = {}
@@ -155,6 +159,10 @@ class ReplicatedPEATS:
     def replica_state_digests(self) -> dict[str, str]:
         """State digest per replica (correct replicas must agree)."""
         return {node.replica_id: node.application.state_digest() for node in self._nodes}
+
+    def stable_checkpoints(self) -> dict[str, int]:
+        """Stable-checkpoint sequence per replica (log-truncation horizon)."""
+        return {node.replica_id: node.stable_checkpoint for node in self._nodes}
 
     def __repr__(self) -> str:
         return (

@@ -193,7 +193,13 @@ class Scenario:
     mean_latency: float = 1.0
     jitter: float = 0.5
     drop_probability: float = 0.0
+    #: Per-message processing cost at each node (0 = latency-only model).
+    processing_time: float = 0.0
     view_change_timeout: float = 50.0
+    #: Requests the primary may pack into one consensus instance.
+    max_batch_size: int = 8
+    #: Sequence numbers between checkpoints (log-truncation cadence).
+    checkpoint_interval: int = 8
     replica_faults: Mapping[int, ReplicaFaultMode] = dataclasses.field(default_factory=dict)
     deadline: Optional[float] = None
 
@@ -203,6 +209,7 @@ class Scenario:
             jitter=self.jitter,
             drop_probability=self.drop_probability,
             seed=self.seed,
+            processing_time=self.processing_time,
         )
 
 
@@ -232,6 +239,8 @@ def run_scenario(scenario: Scenario, *, metrics: SimMetrics | None = None) -> Sc
         network_config=scenario.network_config(),
         replica_faults=dict(scenario.replica_faults),
         view_change_timeout=scenario.view_change_timeout,
+        max_batch_size=scenario.max_batch_size,
+        checkpoint_interval=scenario.checkpoint_interval,
     )
     engine = ScenarioEngine(service, metrics=metrics)
     for process, factory in scenario.clients:

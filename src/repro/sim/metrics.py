@@ -132,6 +132,8 @@ class SimMetrics:
         latency: float,
         status: str,
     ) -> None:
+        if now < 0:
+            raise ValueError(f"completion timestamp must be non-negative, got {now}")
         self._trace.append(
             _TraceEvent(
                 now, "complete", str(process), f"{operation}#{request_id} {status} {_fmt(latency)}"
@@ -201,9 +203,8 @@ class SimMetrics:
             return []
         buckets: dict[int, int] = {}
         for when in self._completions:
-            buckets[int(when // self.throughput_bucket)] = (
-                buckets.get(int(when // self.throughput_bucket), 0) + 1
-            )
+            bucket = int(when // self.throughput_bucket)
+            buckets[bucket] = buckets.get(bucket, 0) + 1
         return [
             (index * self.throughput_bucket, buckets[index]) for index in sorted(buckets)
         ]

@@ -48,6 +48,7 @@ __all__ = [
     "barrier_rendezvous",
     "kv_readwrite",
     "queue_producer_consumer",
+    "write_burst",
 ]
 
 Workload = list[tuple[Hashable, Callable[[], ClientProgram]]]
@@ -147,6 +148,26 @@ def barrier_rendezvous(
         return program
 
     return [(names[index], factory(index)) for index in range(n_clients)]
+
+
+def write_burst(n_clients: int, *, ops_per_client: int = 8) -> Workload:
+    """Pure write pressure: every client ``out``s a stream of fresh tuples.
+
+    The simplest way to push a known number of requests through the
+    ordering layer — used to exercise batching, checkpoint cadence and
+    log-truncation bounds (every operation is a distinct consensus input,
+    no polling retries).
+    """
+
+    def factory(index: int) -> Callable[[], ClientProgram]:
+        def program() -> ClientProgram:
+            for step in range(ops_per_client):
+                yield op_out(entry("BURST", f"wb-{index:02d}", step))
+            return ("wrote", ops_per_client)
+
+        return program
+
+    return [(f"wb-{index:02d}", factory(index)) for index in range(n_clients)]
 
 
 def kv_readwrite(

@@ -4,7 +4,14 @@ import pytest
 
 from repro.policy import AccessPolicy, Rule
 from repro.replication.crypto import digest
-from repro.replication.messages import ClientRequest, Commit, PrePrepare, Prepare, ViewChange
+from repro.replication.messages import (
+    Batch,
+    ClientRequest,
+    Commit,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+)
 from repro.replication.network import NetworkConfig, SimulatedNetwork
 from repro.replication.pbft import OrderingNode, ReplicaFaultMode
 from repro.replication.replica import PEATSReplica
@@ -44,6 +51,10 @@ def make_request(request_id=0, operation="out", arguments=None):
         operation=operation,
         arguments=arguments if arguments is not None else (entry("A", request_id),),
     )
+
+
+def make_batch(*requests):
+    return Batch(requests=tuple(requests))
 
 
 class TestOrderingBasics:
@@ -86,12 +97,12 @@ class TestOrderingBasics:
 
     def test_pre_prepare_from_non_primary_is_ignored(self):
         network, nodes, _ = make_cluster()
-        request = make_request()
+        batch = make_batch(make_request())
         rogue = PrePrepare(
             view=0,
             sequence=1,
-            request_digest=digest(request),
-            request=request,
+            batch_digest=digest(batch),
+            batch=batch,
             primary="r2",
         )
         network.send("r2", "r1", rogue)
@@ -100,9 +111,9 @@ class TestOrderingBasics:
 
     def test_pre_prepare_with_wrong_digest_is_ignored(self):
         network, nodes, _ = make_cluster()
-        request = make_request()
+        batch = make_batch(make_request())
         forged = PrePrepare(
-            view=0, sequence=1, request_digest="bogus", request=request, primary="r0"
+            view=0, sequence=1, batch_digest="bogus", batch=batch, primary="r0"
         )
         network.send("r0", "r1", forged)
         network.run()
@@ -111,17 +122,17 @@ class TestOrderingBasics:
     def test_commit_quorum_needed_before_execution(self):
         network, nodes, _ = make_cluster()
         backup = nodes[1]
-        request = make_request()
+        batch = make_batch(make_request())
         message = PrePrepare(
             view=0,
             sequence=1,
-            request_digest=digest(request),
-            request=request,
+            batch_digest=digest(batch),
+            batch=batch,
             primary="r0",
         )
         backup.on_message("r0", message)
         # Only one prepare (from r2): not enough for the 2f+1 quorum.
-        backup.on_message("r2", Prepare(view=0, sequence=1, request_digest=digest(request), replica="r2"))
+        backup.on_message("r2", Prepare(view=0, sequence=1, batch_digest=digest(batch), replica="r2"))
         assert backup.last_executed == 0
 
 

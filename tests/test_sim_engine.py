@@ -214,6 +214,36 @@ class TestScenarioEngine:
             Op("steal", ())
 
 
+class TestThroughputSeries:
+    def test_empty_series(self):
+        metrics = SimMetrics(throughput_bucket=100.0)
+        assert metrics.throughput_series() == []
+
+    def test_single_bucket(self):
+        metrics = SimMetrics(throughput_bucket=100.0)
+        for now in (0.0, 10.0, 99.9):
+            metrics.record_complete(now, "p", "out", 0, latency=1.0, status="OK")
+        assert metrics.throughput_series() == [(0.0, 3)]
+
+    def test_zero_timestamp_lands_in_the_first_bucket(self):
+        metrics = SimMetrics(throughput_bucket=50.0)
+        metrics.record_complete(0.0, "p", "out", 0, latency=0.0, status="OK")
+        metrics.record_complete(50.0, "p", "out", 1, latency=0.0, status="OK")
+        assert metrics.throughput_series() == [(0.0, 1), (50.0, 1)]
+
+    def test_negative_timestamp_rejected(self):
+        metrics = SimMetrics(throughput_bucket=100.0)
+        with pytest.raises(ValueError):
+            metrics.record_complete(-0.5, "p", "out", 0, latency=1.0, status="OK")
+        assert metrics.throughput_series() == []
+
+    def test_sparse_buckets_only_report_nonempty_windows(self):
+        metrics = SimMetrics(throughput_bucket=10.0)
+        metrics.record_complete(5.0, "p", "out", 0, latency=1.0, status="OK")
+        metrics.record_complete(35.0, "p", "out", 1, latency=1.0, status="OK")
+        assert metrics.throughput_series() == [(0.0, 1), (30.0, 1)]
+
+
 class TestScenarioFacade:
     def test_run_scenario_builds_a_fresh_deployment(self):
         def program():
