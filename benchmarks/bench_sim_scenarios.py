@@ -15,6 +15,7 @@ correct-client operations.
 """
 
 from benchmarks._output import emit_table
+from repro.cluster import ExplicitRouting
 from repro.replication.pbft import ReplicaFaultMode
 from repro.sim import PartitionWindow, Scenario, run_scenario
 from repro.sim.workloads import (
@@ -169,6 +170,86 @@ def test_e8_batch_size_sweep(benchmark):
     # and message count.
     assert all(row["ops_per_vsec"] > single["ops_per_vsec"] for row in batched)
     assert all(row["messages"] < single["messages"] for row in batched)
+
+
+def shard_sweep_scenario(shards: int, n_clients: int = 64) -> Scenario:
+    """Consensus storm over a sharded cluster, per-message cost held fixed.
+
+    The workload is identical across shard counts: 64 clients racing on 4
+    decision names (16 clients per race), explicit routing spreading the
+    names evenly over the groups.  Every configuration pays the same
+    0.1 ms per-message processing cost — the serial resource one primary
+    bottlenecks on — so the sweep isolates the sharding variable: N shards
+    give N primaries ordering disjoint request streams in parallel.
+    """
+    spread = 4
+    routing = ExplicitRouting({f"DECISION-{i}": i % shards for i in range(spread)})
+    return Scenario(
+        name=f"storm-shards-{shards}",
+        clients=consensus_storm(n_clients, spread=spread),
+        shards=shards,
+        routing=routing,
+        max_batch_size=2,
+        checkpoint_interval=8,
+        processing_time=0.1,
+        mean_latency=0.2,
+        jitter=0.1,
+        seed=11,
+    )
+
+
+def test_e8_shard_count_sweep(benchmark):
+    """Aggregate throughput vs. shard count: the win sharding buys.
+
+    Asserts the tentpole claim: ≥ 2.5× aggregate consensus-storm
+    throughput at 4 shards vs. 1 shard under the same per-message
+    processing cost, with per-shard-tagged traces that replay
+    byte-identically per seed.
+    """
+
+    def measure():
+        rows = []
+        for shards in (1, 2, 4):
+            result = run_scenario(shard_sweep_scenario(shards))
+            assert result.completed, f"shards={shards}: unfinished clients"
+            replay = run_scenario(shard_sweep_scenario(shards))
+            # Same seed ⇒ byte-identical trace, including the shard tags —
+            # and therefore identical per-shard throughput series.
+            assert result.metrics.trace_text() == replay.metrics.trace_text()
+            for shard in range(shards if shards > 1 else 0):
+                assert result.metrics.throughput_series(shard) == replay.metrics.throughput_series(shard)
+            summary = result.metrics.summary()
+            per_shard = result.metrics.by_shard()
+            rows.append(
+                {
+                    "shards": shards,
+                    "ops": summary["ops"],
+                    "virtual_ms": summary["virtual_ms"],
+                    "ops_per_vsec": summary["ops_per_vsec"],
+                    "latency_p50": summary["latency_p50"],
+                    "latency_p95": summary["latency_p95"],
+                    "messages": summary["messages"],
+                    "min_shard_ops": min(
+                        (row["ops"] for row in per_shard.values()), default=summary["ops"]
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit_table(
+        rows,
+        title="E8 — shard-count sweep, consensus storm 64 clients over 4 "
+        "decision names (f=1 per group, 0.1 ms/msg processing)",
+    )
+    baseline = rows[0]["ops_per_vsec"]
+    by_count = {row["shards"]: row["ops_per_vsec"] for row in rows}
+    # Sharding must pay at every step, and reach the tentpole bar at 4.
+    assert by_count[2] > baseline
+    assert by_count[4] >= 2.5 * baseline
+    # The explicit routing balances the four races over the groups: no
+    # shard sits idle in any sharded configuration.
+    assert all(row["min_shard_ops"] > 0 for row in rows)
 
 
 def test_e8_client_scaling_table(benchmark):

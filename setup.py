@@ -1,13 +1,24 @@
-"""Setuptools shim.
+"""Setuptools packaging for the PEATS reproduction library.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-the package can also be installed in environments whose tooling predates
-PEP 660 editable installs (``python setup.py develop`` or legacy
-``pip install -e . --no-use-pep517``), including fully offline machines
-without the ``wheel`` package.
+The library is pure Python with no third-party runtime dependencies, so
+the metadata lives right here (no ``pyproject.toml`` is required); the
+file also keeps legacy flows working (``python setup.py develop`` or
+``pip install -e . --no-use-pep517``) on fully offline machines without
+the ``wheel`` package.  Packages are discovered from ``src/`` so newly
+added subpackages (e.g. ``repro.cluster``) are picked up automatically.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
 if __name__ == "__main__":
-    setup()
+    setup(
+        name="repro-peats",
+        version="0.3.0",
+        description=(
+            "Reproduction of policy-enforced augmented tuple spaces (PEATS) "
+            "with a simulated BFT replicated and sharded deployment"
+        ),
+        package_dir={"": "src"},
+        packages=find_packages("src"),
+        python_requires=">=3.10",
+    )

@@ -50,6 +50,7 @@ from repro.policy import (
     wait_free_universal_policy,
     weak_consensus_policy,
 )
+from repro.cluster import ShardedPEATS
 from repro.policy.library import BOTTOM
 from repro.replication import ReplicatedPEATS
 from repro.tspace import AugmentedTupleSpace, LinearizableTupleSpace
@@ -101,6 +102,7 @@ __all__ = [
     "ObjectInvocation",
     "LockFreeUniversalConstruction",
     "WaitFreeUniversalConstruction",
-    # replication
+    # replication / cluster
     "ReplicatedPEATS",
+    "ShardedPEATS",
 ]

@@ -1,0 +1,100 @@
+"""The routed client of the sharded PEATS cluster.
+
+One :class:`ShardedClient` is one authenticated client identity registered
+*once* on the cluster's shared network.  Every submitted operation is
+routed by tuple name through the cluster's
+:class:`~repro.cluster.routing.ShardMap` and broadcast only to the owning
+replica group — the ``f + 1`` reply vote then runs against that group's
+replicas exactly as in the single-group deployment.  Templates whose name
+field is a wildcard raise :class:`~repro.errors.CrossShardError` at
+submission time (see the routing module).
+
+:class:`ShardedClientView` is the tuple-space facade over that client; it
+is the single-group :class:`~repro.replication.service.ReplicatedClientView`
+verbatim (same denial handling, same bounded-polling blocking reads), just
+backed by a routing client — which is the point: sharding is invisible to
+callers until they ask for a cross-shard read.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from repro.replication.client import PEATSClient, PendingRequest
+from repro.replication.service import ReplicatedClientView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.cluster.service import ShardedPEATS
+
+__all__ = ["ShardedClient", "ShardedClientView"]
+
+
+class ShardedClient(PEATSClient):
+    """A :class:`PEATSClient` that routes each request to its owning shard."""
+
+    def __init__(self, client_id: Hashable, service: "ShardedPEATS") -> None:
+        super().__init__(
+            client_id,
+            service.replica_ids,
+            service.f,
+            service.network,
+            nudge_timeouts=service.check_timeouts,
+        )
+        self._service = service
+
+    @property
+    def service(self) -> "ShardedPEATS":
+        return self._service
+
+    def shard_of_operation(self, operation: str, arguments: tuple) -> int:
+        """The shard that will execute the operation (may raise
+        :class:`~repro.errors.CrossShardError`)."""
+        return self._service.shard_map.route(operation, arguments)
+
+    def submit(
+        self,
+        operation: str,
+        arguments: tuple,
+        *,
+        on_complete: Callable[[PendingRequest], None] | None = None,
+        replica_ids: tuple[Hashable, ...] | None = None,
+    ) -> PendingRequest:
+        """Route by tuple name, then submit to the owning replica group.
+
+        The request's client MAC vector covers exactly that group's
+        replicas, and retransmissions go to the same group.  An explicit
+        ``replica_ids`` override bypasses routing (escape hatch for tests).
+        """
+        if replica_ids is not None:
+            return super().submit(
+                operation, arguments, on_complete=on_complete, replica_ids=replica_ids
+            )
+        shard = self.shard_of_operation(operation, arguments)
+        pending = super().submit(
+            operation,
+            arguments,
+            on_complete=on_complete,
+            replica_ids=self._service.group(shard).replica_ids,
+        )
+        pending.shard = shard
+        return pending
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedClient(client_id={self.client_id!r}, "
+            f"shards={self._service.n_shards})"
+        )
+
+
+class ShardedClientView(ReplicatedClientView):
+    """Per-process tuple-space view over the sharded cluster.
+
+    Inherits the whole single-group interface: denied invocations come
+    back falsy, ``rd``/``in_`` are bounded polling loops on the shared
+    virtual clock, and ``snapshot`` merges every shard's space.  Wildcard
+    name fields surface as :class:`~repro.errors.CrossShardError` from the
+    underlying routing client.
+    """
+
+    def __repr__(self) -> str:
+        return f"ShardedClientView(process={self.process!r})"

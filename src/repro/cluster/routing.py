@@ -1,0 +1,224 @@
+"""Deterministic routing of tuple names to shard ids.
+
+The tuple space partitions naturally by the tuple *name* (its first
+field): every operation the replicated PEATS supports either carries an
+entry (``out``, the entry side of ``cas``) or a template whose name field
+is concrete in all the paper's algorithms (``PROPOSE``, ``DECISION``,
+``LOCK``, …).  The :class:`ShardMap` turns that observation into a
+cluster-wide routing function: name → shard id, shard id → replica group.
+
+Routing is *pluggable*: a :class:`RoutingPolicy` maps a name (and the
+shard count) to a shard id.  Three policies ship with the library:
+
+* :class:`HashRouting` — a seeded SHA-256 hash of the name, stable across
+  processes and runs (``hash()`` is per-process randomised for strings, so
+  it must never be used here);
+* :class:`RangeRouting` — explicit cut points partitioning the name space
+  lexicographically (non-string names compare by ``repr``);
+* :class:`ExplicitRouting` — a hand-written name → shard assignment with a
+  pluggable fallback for unassigned names, so selected names keep their
+  shard even when the shard count changes.
+
+Templates whose name field is a wildcard or formal match tuples on every
+shard; they cannot be routed to a single group and raise
+:class:`~repro.errors.CrossShardError` (scatter-gather reads are the
+documented follow-up).
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import hashlib
+from typing import Hashable, Mapping, Union
+
+from repro.errors import CrossShardError, ReplicationError
+from repro.tuples import Entry, Template
+from repro.tuples.fields import is_defined
+
+__all__ = [
+    "RoutingPolicy",
+    "HashRouting",
+    "RangeRouting",
+    "ExplicitRouting",
+    "ShardMap",
+]
+
+
+class RoutingPolicy:
+    """Maps a tuple name to a shard id in ``[0, n_shards)``."""
+
+    def shard_of(self, name: Hashable, n_shards: int) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def validate(self, n_shards: int) -> None:
+        """Reject configurations that cannot route into ``n_shards`` shards."""
+
+
+def _canonical_key(name: Hashable) -> str:
+    """A total, deterministic string form of a name for ordering/hashing.
+
+    Strings are used as-is (the common case); any other field type falls
+    back to ``repr``, which is deterministic for the value types tuples
+    admit.  Distinct names of different types can alias the same key
+    (``1`` and ``"1"`` both yield ``"1"``) — harmless for routing, which
+    only needs every name to land deterministically on *some* shard;
+    aliased names are merely co-located.
+    """
+    return name if isinstance(name, str) else repr(name)
+
+
+@dataclasses.dataclass(frozen=True)
+class HashRouting(RoutingPolicy):
+    """Seeded cryptographic-hash routing: uniform, stateless, stable.
+
+    The digest is over a canonical rendering of the name, so the same name
+    routes to the same shard in every process and every run — which is
+    what makes sharded scenario traces replayable.
+    """
+
+    salt: str = "repro-shard"
+
+    def shard_of(self, name: Hashable, n_shards: int) -> int:
+        material = f"{self.salt}|{_canonical_key(name)}".encode()
+        value = int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+        return value % n_shards
+
+
+@dataclasses.dataclass(frozen=True)
+class RangeRouting(RoutingPolicy):
+    """Lexicographic name ranges: ``boundaries`` are the cut points.
+
+    ``n_shards - 1`` sorted boundary strings split the name space into
+    ``n_shards`` contiguous ranges; a name routes to the index of the
+    range containing it.  Useful when related names should be co-located
+    (e.g. every ``LOCK*`` tuple on one group).
+    """
+
+    boundaries: tuple[str, ...]
+
+    def validate(self, n_shards: int) -> None:
+        if len(self.boundaries) != n_shards - 1:
+            raise ReplicationError(
+                f"range routing over {n_shards} shards needs exactly "
+                f"{n_shards - 1} boundaries, got {len(self.boundaries)}"
+            )
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise ReplicationError("range boundaries must be sorted")
+
+    def shard_of(self, name: Hashable, n_shards: int) -> int:
+        return bisect.bisect_right(self.boundaries, _canonical_key(name))
+
+
+class ExplicitRouting(RoutingPolicy):
+    """A hand-written name → shard assignment with a routing fallback.
+
+    Explicitly assigned names keep their shard regardless of the shard
+    count (the stability property the router tests pin down); everything
+    else falls through to ``fallback`` (hash routing by default), keeping
+    the map total.
+    """
+
+    def __init__(
+        self,
+        assignment: Mapping[Hashable, int],
+        *,
+        fallback: RoutingPolicy | None = None,
+    ) -> None:
+        self._assignment = dict(assignment)
+        self._fallback = fallback if fallback is not None else HashRouting()
+
+    @property
+    def assignment(self) -> dict[Hashable, int]:
+        return dict(self._assignment)
+
+    def validate(self, n_shards: int) -> None:
+        for name, shard in self._assignment.items():
+            if not isinstance(shard, int) or isinstance(shard, bool) or not 0 <= shard < n_shards:
+                raise ReplicationError(
+                    f"explicit assignment {name!r} -> {shard!r} is outside "
+                    f"[0, {n_shards})"
+                )
+
+    def shard_of(self, name: Hashable, n_shards: int) -> int:
+        shard = self._assignment.get(name)
+        if shard is None:
+            return self._fallback.shard_of(name, n_shards)
+        return shard
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplicitRouting({len(self._assignment)} names, "
+            f"fallback={self._fallback!r})"
+        )
+
+
+class ShardMap:
+    """The cluster's routing table: tuple name → shard id.
+
+    Wraps a :class:`RoutingPolicy` with validation (every route must land
+    in ``[0, n_shards)``) and with the operation-level rules: entries route
+    by their name field, templates must have a *concrete* name field, and
+    a ``cas`` pair must agree on one shard.
+    """
+
+    def __init__(self, n_shards: int, policy: RoutingPolicy | None = None) -> None:
+        if n_shards < 1:
+            raise ReplicationError("a cluster needs at least one shard")
+        self._n_shards = n_shards
+        self._policy = policy if policy is not None else HashRouting()
+        self._policy.validate(n_shards)
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def policy(self) -> RoutingPolicy:
+        return self._policy
+
+    def shard_of(self, name: Hashable) -> int:
+        """The shard owning ``name``; total over all defined field values."""
+        shard = self._policy.shard_of(name, self._n_shards)
+        if not isinstance(shard, int) or isinstance(shard, bool) or not 0 <= shard < self._n_shards:
+            raise ReplicationError(
+                f"routing policy produced shard {shard!r} for {name!r}, "
+                f"outside [0, {self._n_shards})"
+            )
+        return shard
+
+    def shard_of_tuple(self, item: Union[Entry, Template]) -> int:
+        """The shard owning an entry or template, by its name field.
+
+        Raises :class:`~repro.errors.CrossShardError` when the name field
+        is a wildcard or formal — such a template matches tuples on every
+        shard and has no single owner.
+        """
+        name = item.fields[0]
+        if not is_defined(name):
+            raise CrossShardError(
+                f"template {item!r} has a wildcard/formal name field and "
+                "cannot be routed to a single shard (scatter-gather reads "
+                "are not implemented yet)"
+            )
+        return self.shard_of(name)
+
+    def route(self, operation: str, arguments: tuple) -> int:
+        """The shard that must execute ``operation(*arguments)``."""
+        if operation == "out":
+            return self.shard_of_tuple(arguments[0])
+        if operation in ("rd", "rdp", "in", "inp"):
+            return self.shard_of_tuple(arguments[0])
+        if operation == "cas":
+            template_arg, entry_arg = arguments
+            target = self.shard_of_tuple(entry_arg)
+            if self.shard_of_tuple(template_arg) != target:
+                raise CrossShardError(
+                    f"cas template {template_arg!r} and entry {entry_arg!r} "
+                    "route to different shards"
+                )
+            return target
+        raise CrossShardError(f"operation {operation!r} cannot be routed by tuple name")
+
+    def __repr__(self) -> str:
+        return f"ShardMap(n_shards={self._n_shards}, policy={self._policy!r})"

@@ -1,0 +1,206 @@
+"""The sharded PEATS: N independent PBFT replica groups, one clock.
+
+:class:`ShardedPEATS` is the first layer *above*
+:class:`~repro.replication.service.ReplicatedPEATS`: it owns one replica
+group per shard, all registered on one shared
+:class:`~repro.replication.network.SimulatedNetwork` (so a scenario's
+virtual clock, seed and fault schedule span the whole cluster), and routes
+client operations to the group owning the tuple's name via a
+:class:`~repro.cluster.routing.ShardMap`.
+
+Scaling argument: every request still funnels through *a* primary, but
+with ``N`` shards there are ``N`` primaries ordering disjoint request
+streams in parallel — under a per-message processing cost the cluster's
+aggregate throughput approaches ``N`` times one group's (the shard-count
+sweep in ``benchmarks/bench_sim_scenarios.py`` measures exactly this).
+
+Group namespacing: shard ``k``'s replicas are ``shard-k:replica-i``.
+Groups never share an id, each group multicasts only within its own id
+set, and every replica rejects protocol traffic from identities outside
+its group, so the groups coexist on one network without cross-talk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping, Union
+
+from repro.errors import ReplicationError
+from repro.policy.policy import AccessPolicy
+from repro.replication.network import NetworkConfig, SimulatedNetwork
+from repro.replication.pbft import OrderingNode, ReplicaFaultMode
+from repro.replication.service import ReplicatedPEATS
+from repro.cluster.client import ShardedClient, ShardedClientView
+from repro.cluster.routing import RoutingPolicy, ShardMap
+from repro.tuples import Entry
+
+__all__ = ["ShardedPEATS"]
+
+
+class ShardedPEATS:
+    """A policy-enforced tuple space sharded across PBFT replica groups."""
+
+    def __init__(
+        self,
+        policy: AccessPolicy,
+        *,
+        shards: int = 2,
+        f: int = 1,
+        routing: RoutingPolicy | None = None,
+        network_config: NetworkConfig | None = None,
+        replica_faults: Mapping[Union[int, tuple[int, int]], ReplicaFaultMode] | None = None,
+        view_change_timeout: float = 50.0,
+        max_batch_size: int = 8,
+        checkpoint_interval: int = 8,
+    ) -> None:
+        """``replica_faults`` keys may be ``(shard, index)`` pairs or flat
+        node indexes (``shard = index // (3f + 1)``), matching how the
+        fault schedules address nodes."""
+        if shards < 1:
+            raise ReplicationError("a cluster needs at least one shard")
+        self.f = f
+        self._policy = policy
+        self._shard_map = ShardMap(shards, routing)
+        self._network = SimulatedNetwork(network_config or NetworkConfig())
+        group_size = 3 * f + 1
+        per_group: list[dict[int, ReplicaFaultMode]] = [{} for _ in range(shards)]
+        for key, mode in (replica_faults or {}).items():
+            if isinstance(key, tuple):
+                shard, index = key
+            else:
+                shard, index = divmod(key, group_size)
+            if not 0 <= shard < shards or not 0 <= index < group_size:
+                raise ReplicationError(
+                    f"replica fault target {key!r} is outside the cluster "
+                    f"({shards} shards of {group_size} replicas)"
+                )
+            per_group[shard][index] = mode
+        self._groups = tuple(
+            ReplicatedPEATS(
+                policy,
+                f=f,
+                network=self._network,
+                group=f"shard-{shard}",
+                replica_faults=per_group[shard],
+                view_change_timeout=view_change_timeout,
+                max_batch_size=max_batch_size,
+                checkpoint_interval=checkpoint_interval,
+            )
+            for shard in range(shards)
+        )
+        self._clients: dict[Hashable, ShardedClient] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def policy(self) -> AccessPolicy:
+        return self._policy
+
+    @property
+    def network(self) -> SimulatedNetwork:
+        return self._network
+
+    @property
+    def shard_map(self) -> ShardMap:
+        return self._shard_map
+
+    @property
+    def n_shards(self) -> int:
+        return self._shard_map.n_shards
+
+    @property
+    def groups(self) -> tuple[ReplicatedPEATS, ...]:
+        return self._groups
+
+    def group(self, shard: int) -> ReplicatedPEATS:
+        """The replica group owning ``shard``."""
+        if not 0 <= shard < len(self._groups):
+            raise ReplicationError(f"no shard {shard!r} in this cluster")
+        return self._groups[shard]
+
+    def group_of(self, name: Hashable) -> ReplicatedPEATS:
+        """The replica group owning tuple name ``name``."""
+        return self._groups[self._shard_map.shard_of(name)]
+
+    @property
+    def nodes(self) -> tuple[OrderingNode, ...]:
+        """Every ordering node of the cluster, in shard order.
+
+        Flat indexing matches the fault schedules' integer addressing:
+        node ``i`` lives on shard ``i // (3f + 1)``.
+        """
+        return tuple(node for group in self._groups for node in group.nodes)
+
+    @property
+    def replica_ids(self) -> tuple[str, ...]:
+        return tuple(rid for group in self._groups for rid in group.replica_ids)
+
+    def correct_nodes(self) -> list[OrderingNode]:
+        return [node for group in self._groups for node in group.correct_nodes()]
+
+    def check_timeouts(self) -> None:
+        """Fire every group's view-change timers (simulated time)."""
+        for group in self._groups:
+            group.check_timeouts()
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+
+    def client(self, process: Hashable) -> ShardedClient:
+        """The routing request/reply client for ``process`` (one network
+        registration, shared by every shard)."""
+        if process not in self._clients:
+            self._clients[process] = ShardedClient(process, self)
+        return self._clients[process]
+
+    def client_view(self, process: Hashable) -> ShardedClientView:
+        """A tuple-space view through which ``process`` issues operations."""
+        return ShardedClientView(self, process)
+
+    # ------------------------------------------------------------------
+    # Administrative introspection (tests, benchmarks)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        """The union of every shard's space, in shard order.
+
+        Each shard's slice comes from that group's most advanced correct
+        replica (the single-group rule); tuples never move between shards,
+        so concatenation is exact.
+        """
+        merged: list[Entry] = []
+        for group in self._groups:
+            merged.extend(group.snapshot())
+        return tuple(merged)
+
+    def replica_state_digests(self) -> dict[str, str]:
+        """State digest per replica across all groups (ids are namespaced)."""
+        digests: dict[str, str] = {}
+        for group in self._groups:
+            digests.update(group.replica_state_digests())
+        return digests
+
+    def stable_checkpoints(self) -> dict[str, int]:
+        checkpoints: dict[str, int] = {}
+        for group in self._groups:
+            checkpoints.update(group.stable_checkpoints())
+        return checkpoints
+
+    def shard_statistics(self) -> dict[int, dict[str, Any]]:
+        """Per-shard ordering progress (executed sequences, views, ...)."""
+        stats: dict[int, dict[str, Any]] = {}
+        for shard, group in enumerate(self._groups):
+            stats[shard] = {
+                "last_executed": max(node.last_executed for node in group.nodes),
+                "stable_checkpoint": max(node.stable_checkpoint for node in group.nodes),
+                "views": tuple(node.view for node in group.nodes),
+            }
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedPEATS(policy={self._policy.name!r}, shards={self.n_shards}, "
+            f"f={self.f}, replicas={self.n_shards * (3 * self.f + 1)})"
+        )

@@ -25,6 +25,7 @@ __all__ = [
     "AuthenticationError",
     "QuorumError",
     "ViewChangeError",
+    "CrossShardError",
     "SimulationError",
 ]
 
@@ -122,6 +123,17 @@ class QuorumError(ReplicationError):
 
 class ViewChangeError(ReplicationError):
     """Raised when a view change cannot complete."""
+
+
+class CrossShardError(ReplicationError):
+    """Raised when an operation cannot be routed to a single shard.
+
+    Tuple-space operations are routed to replica groups by the tuple's
+    *name* (its first field).  A template whose name field is a wildcard or
+    formal matches tuples on every shard, so it has no single owner; until
+    scatter-gather reads exist, such operations are rejected with this
+    error.
+    """
 
 
 class SimulationError(ReproError):

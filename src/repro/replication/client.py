@@ -34,7 +34,7 @@ import collections
 from typing import Any, Callable, Hashable, Optional
 
 from repro.errors import QuorumError, ReplicationError
-from repro.replication.messages import ClientReply, ClientRequest
+from repro.replication.messages import ClientReply, ClientRequest, authenticate_request
 from repro.replication.network import SimulatedNetwork, Timer
 
 __all__ = ["PendingRequest", "PEATSClient"]
@@ -55,18 +55,30 @@ class PendingRequest:
         "completed_at",
         "attempts",
         "done",
+        "targets",
+        "shard",
         "_result",
         "_exception",
         "_callbacks",
         "_timer",
     )
 
-    def __init__(self, request: ClientRequest, submitted_at: float) -> None:
+    def __init__(
+        self,
+        request: ClientRequest,
+        submitted_at: float,
+        *,
+        targets: tuple[Hashable, ...] = (),
+    ) -> None:
         self.request = request
         self.submitted_at = submitted_at
         self.completed_at: Optional[float] = None
         self.attempts = 0
         self.done = False
+        #: The replica group this request was addressed (and retransmitted) to.
+        self.targets = targets
+        #: Shard index the request was routed to (``None`` when unsharded).
+        self.shard: Optional[int] = None
         self._result: Any = None
         self._exception: Optional[BaseException] = None
         self._callbacks: list[Callable[["PendingRequest"], None]] = []
@@ -182,12 +194,19 @@ class PEATSClient:
         if pending is None:
             # Stale reply for a request already resolved (or never issued).
             return
+        if sender not in pending.targets:
+            # Only the replicas the request was addressed to may vote on
+            # its result.  Without this check a sharded cluster's fault
+            # model breaks: f Byzantine replicas *per group* could pool
+            # replies across groups and forge an f + 1 quorum for a
+            # request their own group never executed.
+            return
         self._replies[payload.request_key][sender] = payload
-        result = self._voted_result(payload.request_key)
+        result = self._voted_result(payload.request_key, pending)
         if result is not None:
             self._resolve(pending, result)
 
-    def _voted_result(self, request_key: tuple) -> Optional[Any]:
+    def _voted_result(self, request_key: tuple, pending: PendingRequest) -> Optional[Any]:
         """Return the result vouched for by ``f + 1`` matching replies."""
         replies = self._replies.get(request_key, {})
         tally: dict[str, list[ClientReply]] = collections.defaultdict(list)
@@ -196,7 +215,7 @@ class PEATSClient:
         for matching in tally.values():
             if len(matching) >= self.f + 1:
                 return matching[0].result
-        if len(replies) >= len(self.replica_ids):
+        if len(replies) >= len(pending.targets):
             self._statistics["mismatched_replies"] += 1
         return None
 
@@ -230,7 +249,7 @@ class PEATSClient:
         self._statistics["retransmissions"] += 1
         if self._nudge_timeouts is not None:
             self._nudge_timeouts()
-        self.network.broadcast(self._address, self.replica_ids, pending.request)
+        self.network.broadcast(self._address, pending.targets, pending.request)
         pending._timer = self.network.schedule_after(
             self._retransmit_delay(pending.attempts), lambda: self._retransmit(request_key)
         )
@@ -259,6 +278,7 @@ class PEATSClient:
         arguments: tuple,
         *,
         on_complete: Callable[[PendingRequest], None] | None = None,
+        replica_ids: tuple[Hashable, ...] | None = None,
     ) -> PendingRequest:
         """Broadcast a request and return its :class:`PendingRequest`.
 
@@ -268,7 +288,14 @@ class PEATSClient:
         timer keeps the request alive until then (or until
         ``max_retransmissions`` is exhausted, which fails the request with
         :class:`~repro.errors.QuorumError`).
+
+        ``replica_ids`` overrides the target replica group for this one
+        request — the hook the sharded client uses to address the shard
+        that owns the tuple name.  The request carries a client MAC per
+        target replica, so backups can verify its origin even when it
+        reaches them relayed inside the primary's ``PRE-PREPARE`` batch.
         """
+        targets = tuple(replica_ids) if replica_ids is not None else self.replica_ids
         request_id = self._next_request_id
         self._next_request_id += 1
         request = ClientRequest(
@@ -277,12 +304,13 @@ class PEATSClient:
             operation=operation,
             arguments=arguments,
         )
-        pending = PendingRequest(request, self.network.now)
+        request = authenticate_request(request, self.network.authenticator, targets)
+        pending = PendingRequest(request, self.network.now, targets=targets)
         self._pending[request.key] = pending
         self._statistics["requests"] += 1
         if on_complete is not None:
             pending.add_done_callback(on_complete)
-        self.network.broadcast(self._address, self.replica_ids, request)
+        self.network.broadcast(self._address, targets, request)
         pending._timer = self.network.schedule_after(
             self._retransmit_delay(0), lambda: self._retransmit(request.key)
         )

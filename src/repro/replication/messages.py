@@ -28,6 +28,8 @@ __all__ = [
     "NULL_REQUEST_CLIENT",
     "null_request",
     "null_batch",
+    "request_auth_payload",
+    "authenticate_request",
 ]
 
 #: Pseudo-client of protocol-generated no-op requests (see :func:`null_request`).
@@ -42,16 +44,59 @@ class ClientRequest:
     ``client`` is the authenticated client identity (the *process* the
     reference monitor sees) and ``request_id`` makes retransmissions
     idempotent.
+
+    ``auth`` is the client's MAC *vector*: per target replica, an HMAC over
+    the request content under the client↔replica shared key (see
+    :func:`authenticate_request`).  The per-envelope channel MAC only
+    authenticates the immediate sender, so when the primary relays the
+    request inside a ``PRE-PREPARE`` batch the backups use this vector to
+    check the request really originates from ``client`` — a faulty primary
+    cannot forge requests under another client's name.
     """
 
     client: Hashable
     request_id: int
     operation: str
     arguments: tuple
+    auth: tuple = ()
 
     @property
     def key(self) -> tuple:
         return (self.client, self.request_id)
+
+
+def request_auth_payload(request: "ClientRequest") -> tuple:
+    """The request content covered by the client MAC vector.
+
+    Everything except ``auth`` itself: the client identity, the
+    idempotency id and the full invocation.  Binding the operation and
+    arguments prevents a relay from splicing a valid MAC onto a different
+    invocation.
+    """
+    return (
+        "peats-client-request",
+        request.client,
+        request.request_id,
+        request.operation,
+        request.arguments,
+    )
+
+
+def authenticate_request(request: "ClientRequest", authenticator: Any, replica_ids) -> "ClientRequest":
+    """Attach the client MAC vector for ``replica_ids`` to ``request``.
+
+    ``authenticator`` is the deployment's shared-key MAC scheme (the
+    network's :class:`~repro.replication.crypto.MessageAuthenticator`); the
+    client computes one MAC per replica of the owning group, under the key
+    it shares with that replica, so each backup can verify its own entry
+    even when the request arrives relayed by the primary.
+    """
+    payload = request_auth_payload(request)
+    auth = tuple(
+        (replica_id, authenticator.mac(request.client, replica_id, payload))
+        for replica_id in replica_ids
+    )
+    return dataclasses.replace(request, auth=auth)
 
 
 def null_request(sequence: int) -> ClientRequest:
@@ -165,6 +210,14 @@ class StateResponse:
     checkpoint and ``proof`` the ``2f + 1`` :class:`Checkpoint` messages
     that certify it; the requester validates ``state`` against the
     certificate digest before installing it.
+
+    ``prepared`` additionally ships the responder's in-window ordering
+    progress *above* the checkpoint: per sequence number one
+    ``(sequence, view, batch, committed)`` entry, where ``committed`` marks
+    batches the responder has committed/executed.  A recovering replica
+    adopts the entries corroborated by ``f + 1`` responders, so it can
+    execute the committed tail and vote on the still-open instances
+    immediately instead of idling until the next checkpoint boundary.
     """
 
     sequence: int
@@ -172,6 +225,7 @@ class StateResponse:
     state: Any
     proof: tuple
     replica: Hashable
+    prepared: tuple = ()
 
 
 @dataclasses.dataclass(frozen=True)

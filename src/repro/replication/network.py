@@ -118,6 +118,18 @@ class SimulatedNetwork:
     # Topology management
     # ------------------------------------------------------------------
 
+    @property
+    def authenticator(self) -> MessageAuthenticator:
+        """The shared-key MAC scheme of this deployment.
+
+        Exposed so principals can compute MACs a *third party* will verify
+        later — e.g. the client MAC vector carried inside a request, which
+        backup replicas check when the primary relays the request in a
+        ``PRE-PREPARE`` batch (the per-envelope MAC only authenticates the
+        immediate link, not the original author).
+        """
+        return self._authenticator
+
     def register(self, node: Hashable, handler: Callable[[Hashable, Any], None]) -> None:
         """Attach ``node`` to the network with its message handler."""
         if node in self._handlers:

@@ -47,12 +47,14 @@ a view-change vote's stable checkpoint as its re-proposal floor only
 when ``f + 1`` voters corroborate it, and a backup adopts a ``NEW-VIEW``
 floor only when corroborated by the view-change votes it saw itself.
 The unauthenticated ``prepared``/``highest_sequence`` fields remain
-trusted as in the pre-batching protocol, and the client requests relayed
-inside a ``PRE-PREPARE`` batch are likewise not client-authenticated (a
-faulty primary can forge a request under another client's name — backups
-tolerate it without crashing, but full PBFT prevents it with client
-signatures on requests); closing both needs signed certificates, which
-is future work.  None of this
+trusted as in the pre-batching protocol; closing that needs signed
+certificates, which is future work.  The client requests relayed inside
+a ``PRE-PREPARE`` batch, however, *are* client-authenticated: every
+request carries a MAC vector (one HMAC per target replica under the
+client↔replica shared key, full PBFT's authenticator scheme), and a
+replica accepts a request — direct or relayed — only after verifying its
+own entry, so a faulty primary cannot forge a request under another
+client's name.  None of this
 affects the fault-free and crash-fault scenarios the experiments
 measure (safety with ``f`` silent/lying replicas, liveness after the
 failure of a primary, request/reply message complexity).
@@ -84,6 +86,7 @@ from repro.replication.messages import (
     StateResponse,
     ViewChange,
     null_batch,
+    request_auth_payload,
 )
 from repro.replication.network import SimulatedNetwork
 from repro.replication.replica import PEATSReplica
@@ -287,12 +290,41 @@ class OrderingNode:
     # Client requests and batch assembly
     # ------------------------------------------------------------------
 
+    def _client_authenticated(self, request: ClientRequest) -> bool:
+        """Verify this replica's entry of the request's client MAC vector.
+
+        Per-link envelope MACs only authenticate the immediate sender, so
+        a request relayed by the primary inside a ``PRE-PREPARE`` batch
+        needs its own proof of origin: the client MACs the request content
+        once per target replica under the pairwise shared key.  Protocol
+        no-ops (gap fillers) have no real client and are accepted exactly
+        in their canonical shape — anything else claiming the null client
+        is a forgery trying to execute unauthenticated state changes.
+        """
+        if request.client == NULL_REQUEST_CLIENT:
+            return request.operation == "__noop__" and request.arguments == ()
+        try:
+            entries = dict(request.auth)
+        except (TypeError, ValueError):
+            return False
+        mac = entries.get(self.replica_id)
+        if not isinstance(mac, str):
+            return False
+        return self.network.authenticator.verify(
+            request.client, self.replica_id, request_auth_payload(request), mac
+        )
+
     def _on_request(self, sender: Hashable, request: ClientRequest) -> None:
         if sender != request.client:
             # The channel authenticates the sender; a client may only speak
             # for itself.  Without this check one forged request with a huge
             # request_id would poison the victim's reply-cache high-water
             # mark and silently drop all its future requests.
+            return
+        if not self._client_authenticated(request):
+            # No valid client MAC for this replica: were the primary to
+            # batch it, the backups would reject the whole batch, so a
+            # correct replica refuses the request up front.
             return
         cached = self.application.cached_reply(request)
         if cached is not None:
@@ -375,6 +407,15 @@ class OrderingNode:
             self._out_of_window[message.sequence] = (sender, message)
             return
         if digest(message.batch) != message.batch_digest:
+            return
+        if any(
+            not self._client_authenticated(request)
+            for request in message.batch.requests
+        ):
+            # At least one relayed request lacks a valid client MAC for
+            # this replica: a faulty primary is forging requests under a
+            # client's name (or relaying a tampered one).  Reject the batch
+            # — without 2f backup prepares it can never commit.
             return
         key = (message.view, message.sequence)
         if key in self._pre_prepares:
@@ -675,7 +716,39 @@ class OrderingNode:
                 state=self._stable_state,
                 proof=self._checkpoint_proof,
                 replica=self.replica_id,
+                prepared=self._in_window_progress(),
             ),
+        )
+
+    def _in_window_progress(self) -> tuple:
+        """Ordering progress above the stable checkpoint, for state transfer.
+
+        One ``(sequence, view, batch, committed)`` entry per sequence this
+        replica has committed (authoritative batch, view normalised to 0 so
+        responders in different views still corroborate each other) or
+        prepared (certificate view kept — the requester can only vote on it
+        in that view).  Shipping these alongside the checkpoint lets a
+        recovering replica execute the committed tail and vote on the open
+        instances immediately instead of waiting for the next checkpoint
+        boundary.
+        """
+        entries: Dict[int, tuple[int, Batch, bool]] = {}
+        for sequence, batch in self._committed.items():
+            if sequence > self.stable_checkpoint:
+                entries[sequence] = (0, batch, True)
+        for (view, sequence), message in sorted(self._pre_prepares.items()):
+            if sequence <= self.stable_checkpoint:
+                continue
+            current = entries.get(sequence)
+            if current is not None and current[2]:
+                continue
+            if not self._prepared(view, sequence, message.batch_digest):
+                continue
+            if current is None or view > current[0]:
+                entries[sequence] = (view, message.batch, False)
+        return tuple(
+            (sequence, view, batch, committed)
+            for sequence, (view, batch, committed) in sorted(entries.items())
         )
 
     def _on_state_response(self, sender: Hashable, message: StateResponse) -> None:
@@ -711,8 +784,9 @@ class OrderingNode:
             self._stable_state = message.state
             self._checkpoint_states[message.sequence] = message.state
         self._state_transfers += 1
-        self._state_responses.clear()
         self._truncate(message.sequence)
+        self._adopt_transferred_progress(message.sequence, matching)
+        self._state_responses.clear()
         # Requests buffered before the blackout may have been executed (and
         # garbage-collected) by the rest of the group; the transferred
         # reply cache is the authority.  Dropping them here keeps them from
@@ -727,6 +801,85 @@ class OrderingNode:
                 self._ordered_keys.discard(key)
         self._slide_window()
         self._execute_ready()
+
+    def _valid_transfer_entry(self, item: Any, floor: int) -> bool:
+        """Structural check of one transferred ``prepared`` entry."""
+        if not (isinstance(item, tuple) and len(item) == 4):
+            return False
+        sequence, view, batch, committed = item
+        if not isinstance(sequence, int) or isinstance(sequence, bool):
+            return False
+        if not isinstance(view, int) or isinstance(view, bool):
+            return False
+        if not isinstance(batch, Batch) or not isinstance(committed, bool):
+            return False
+        if sequence <= floor or sequence > floor + 2 * self.log_window:
+            return False
+        return all(
+            isinstance(request, ClientRequest) and self._client_authenticated(request)
+            for request in batch.requests
+        )
+
+    def _adopt_transferred_progress(self, floor: int, matching: list) -> None:
+        """Adopt in-window ordering progress shipped with a state transfer.
+
+        The ``prepared`` payload is no better authenticated than the state
+        itself, so the same rule applies: an entry counts only when every
+        one of the ``f + 1`` matching responders ships it byte-identically
+        (at least one of them is correct, and a correct replica only
+        reports batches it really committed or prepared).  Committed
+        batches join the execution queue directly; prepared-but-open
+        instances are re-entered at the ordering layer so this replica can
+        cast its votes immediately.
+        """
+        threshold = self.f + 1
+        support: Dict[tuple, int] = {}
+        for response in matching:
+            prepared = response.prepared if isinstance(response.prepared, tuple) else ()
+            seen: set[tuple] = set()
+            # Per-response cap: a faulty responder's oversized payload must
+            # not grow the support map beyond what a window can hold.
+            for item in prepared[: 4 * self.log_window]:
+                if item in seen or not self._valid_transfer_entry(item, floor):
+                    continue
+                seen.add(item)
+                support[item] = support.get(item, 0) + 1
+        adopted = sorted(
+            (item for item, count in support.items() if count >= threshold),
+            key=lambda item: item[0],
+        )
+        for sequence, view, batch, committed in adopted:
+            self._ordered_keys.update(batch.keys())
+            for request in batch.requests:
+                self._unordered.pop(request.key, None)
+            if committed:
+                self._committed.setdefault(sequence, batch)
+                continue
+            if view != self.view:
+                # A prepared certificate from another view cannot be voted
+                # on here; the view-change protocol re-arbitrates it.
+                continue
+            key = (view, sequence)
+            batch_digest = digest(batch)
+            if key not in self._pre_prepares:
+                self._pre_prepares[key] = PrePrepare(
+                    view=view,
+                    sequence=sequence,
+                    batch_digest=batch_digest,
+                    batch=batch,
+                    primary=self.primary_of(view),
+                )
+            if not self.is_primary and key not in self._sent_prepare:
+                self._sent_prepare.add(key)
+                self._multicast(
+                    Prepare(
+                        view=view,
+                        sequence=sequence,
+                        batch_digest=batch_digest,
+                        replica=self.replica_id,
+                    )
+                )
+            self._maybe_send_commit(view, sequence, batch_digest)
 
     def _valid_checkpoint_proof(
         self, proof: tuple, sequence: int, state_digest: str

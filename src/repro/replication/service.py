@@ -54,18 +54,37 @@ class ReplicatedPEATS:
         *,
         f: int = 1,
         network_config: NetworkConfig | None = None,
+        network: SimulatedNetwork | None = None,
+        group: str | None = None,
         replica_faults: dict[int, ReplicaFaultMode] | None = None,
         view_change_timeout: float = 50.0,
         max_batch_size: int = 8,
         checkpoint_interval: int = 8,
     ) -> None:
+        """``network``/``group`` let several replica groups share one clock.
+
+        A sharded deployment (:class:`~repro.cluster.ShardedPEATS`) passes
+        the same :class:`SimulatedNetwork` to every group and gives each a
+        distinct ``group`` name, which prefixes the replica ids
+        (``shard-0:replica-1``) so four groups' replicas and primaries
+        coexist on one network without identity collisions or message
+        cross-talk — each group only ever multicasts to its own id set.
+        """
         if f < 0:
             raise ReplicationError("f must be non-negative")
+        if network is not None and network_config is not None:
+            raise ReplicationError(
+                "pass either a shared network or a network_config, not both"
+            )
         self.f = f
         self.n_replicas = 3 * f + 1
+        self.group = group
         self._policy = policy
-        self._network = SimulatedNetwork(network_config or NetworkConfig())
-        self._replica_ids = tuple(f"replica-{index}" for index in range(self.n_replicas))
+        self._network = network or SimulatedNetwork(network_config or NetworkConfig())
+        prefix = f"{group}:" if group is not None else ""
+        self._replica_ids = tuple(
+            f"{prefix}replica-{index}" for index in range(self.n_replicas)
+        )
         replica_faults = replica_faults or {}
         self._nodes: list[OrderingNode] = []
         for index, replica_id in enumerate(self._replica_ids):

@@ -15,7 +15,14 @@ regime reproducible on the seeded discrete-event substrate:
 * :mod:`repro.sim.workloads` — reusable load shapes (consensus storms,
   lock/barrier contention, kv read/write mixes, producer/consumer queues);
 * :mod:`repro.sim.metrics` — latency histograms, throughput over virtual
-  time, and byte-stable trace recording (same seed ⇒ identical trace).
+  time (aggregate and per shard), and byte-stable trace recording (same
+  seed ⇒ identical trace).
+
+Scenarios scale out too: ``Scenario(shards=N, routing=...)`` deploys a
+:class:`~repro.cluster.ShardedPEATS` — N independent replica groups on
+this same virtual clock — and every sample is tagged with its owning
+shard (``SimMetrics.by_shard()``); fault events accept ``shard=`` to
+target a single group.
 
 Quick start::
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Generator, Hashable, Optional, Union
 
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 from repro.replication.client import PendingRequest
 from repro.replication.replica import DENIED
 from repro.tuples import Entry, Template
@@ -157,9 +157,27 @@ class ClientRunner:
 
     def _submit(self, step: Op) -> None:
         self.operations_issued += 1
-        pending = self.client.submit(step.operation, step.arguments)
+        try:
+            pending = self.client.submit(step.operation, step.arguments)
+        except ReproError as error:
+            # Submission itself can fail — e.g. the sharded client rejects
+            # a wildcard-name template with CrossShardError.  A program bug
+            # must fail this one client, not crash the whole scenario.
+            self.engine.metrics.record_failure(
+                self.engine.network.now,
+                self.process,
+                step.operation,
+                -1,
+                type(error).__name__,
+            )
+            self._finish(error=error)
+            return
         self.engine.metrics.record_submit(
-            self.engine.network.now, self.process, step.operation, pending.request.request_id
+            self.engine.network.now,
+            self.process,
+            step.operation,
+            pending.request.request_id,
+            shard=pending.shard,
         )
         pending.add_done_callback(lambda done: self._on_complete(step, done))
 
@@ -168,7 +186,12 @@ class ClientRunner:
         request_id = pending.request.request_id
         if pending.exception is not None:
             self.engine.metrics.record_failure(
-                now, self.process, step.operation, request_id, type(pending.exception).__name__
+                now,
+                self.process,
+                step.operation,
+                request_id,
+                type(pending.exception).__name__,
+                shard=pending.shard,
             )
             self._finish(error=pending.exception)
             return
@@ -181,6 +204,7 @@ class ClientRunner:
             request_id,
             latency=pending.latency or 0.0,
             status=status,
+            shard=pending.shard,
         )
         self._advance(payload)
 

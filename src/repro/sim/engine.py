@@ -33,8 +33,10 @@ The declarative entry point is :class:`Scenario` + :func:`run_scenario`::
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Hashable, Mapping, Optional, Sequence
+from typing import Any, Callable, Hashable, Mapping, Optional, Sequence, Union
 
+from repro.cluster.routing import RoutingPolicy
+from repro.cluster.service import ShardedPEATS
 from repro.errors import SimulationError
 from repro.policy.policy import AccessPolicy
 from repro.policy.rules import Rule
@@ -62,9 +64,22 @@ def open_sim_policy(name: str = "sim-open") -> AccessPolicy:
 
 
 class ScenarioEngine:
-    """Runs many concurrent simulated clients against one replicated PEATS."""
+    """Runs many concurrent simulated clients against one deployment.
 
-    def __init__(self, service: ReplicatedPEATS, *, metrics: SimMetrics | None = None) -> None:
+    ``service`` is either a single replica group
+    (:class:`~repro.replication.service.ReplicatedPEATS`) or a sharded
+    cluster (:class:`~repro.cluster.service.ShardedPEATS`); both expose
+    the same surface the engine needs — ``network``, ``client(process)``
+    and ``nodes`` — and the sharded client tags every sample with its
+    shard, so per-shard metrics fall out of the same flight recorder.
+    """
+
+    def __init__(
+        self,
+        service: Union[ReplicatedPEATS, ShardedPEATS],
+        *,
+        metrics: SimMetrics | None = None,
+    ) -> None:
         self.service = service
         self.metrics = metrics or SimMetrics()
         self._runners: list[ClientRunner] = []
@@ -200,7 +215,15 @@ class Scenario:
     max_batch_size: int = 8
     #: Sequence numbers between checkpoints (log-truncation cadence).
     checkpoint_interval: int = 8
-    replica_faults: Mapping[int, ReplicaFaultMode] = dataclasses.field(default_factory=dict)
+    replica_faults: Mapping[Any, ReplicaFaultMode] = dataclasses.field(default_factory=dict)
+    #: Number of independent replica groups the tuple space is sharded
+    #: over.  ``1`` (the default) runs the classic single-group deployment;
+    #: anything higher builds a :class:`~repro.cluster.ShardedPEATS` whose
+    #: groups share this scenario's seed, clock and fault schedule.  With
+    #: shards, ``replica_faults`` keys may be ``(shard, index)`` pairs.
+    shards: int = 1
+    #: Routing policy for the sharded cluster (None = hash routing).
+    routing: Optional[RoutingPolicy] = None
     deadline: Optional[float] = None
 
     def network_config(self) -> NetworkConfig:
@@ -218,7 +241,7 @@ class ScenarioResult:
     """What one :func:`run_scenario` call produced."""
 
     scenario: Scenario
-    service: ReplicatedPEATS
+    service: Union[ReplicatedPEATS, ShardedPEATS]
     engine: ScenarioEngine
     metrics: SimMetrics
 
@@ -232,16 +255,49 @@ class ScenarioResult:
 
 
 def run_scenario(scenario: Scenario, *, metrics: SimMetrics | None = None) -> ScenarioResult:
-    """Build a fresh deployment for ``scenario`` and run it to completion."""
-    service = ReplicatedPEATS(
-        scenario.policy_factory(),
-        f=scenario.f,
-        network_config=scenario.network_config(),
-        replica_faults=dict(scenario.replica_faults),
-        view_change_timeout=scenario.view_change_timeout,
-        max_batch_size=scenario.max_batch_size,
-        checkpoint_interval=scenario.checkpoint_interval,
-    )
+    """Build a fresh deployment for ``scenario`` and run it to completion.
+
+    ``scenario.shards > 1`` deploys a sharded cluster instead of a single
+    replica group; the same seed still yields a byte-identical trace, with
+    every sample tagged by its owning shard.
+    """
+    if scenario.shards > 1:
+        service: Union[ReplicatedPEATS, ShardedPEATS] = ShardedPEATS(
+            scenario.policy_factory(),
+            shards=scenario.shards,
+            routing=scenario.routing,
+            f=scenario.f,
+            network_config=scenario.network_config(),
+            replica_faults=dict(scenario.replica_faults),
+            view_change_timeout=scenario.view_change_timeout,
+            max_batch_size=scenario.max_batch_size,
+            checkpoint_interval=scenario.checkpoint_interval,
+        )
+    else:
+        # A shard-sweep reuses one fault spec across shard counts, so
+        # (shard, index) keys must keep working at shards == 1 — normalise
+        # (0, i) to the flat index the single-group service expects
+        # instead of silently dropping the fault.
+        replica_faults = {}
+        for key, mode in scenario.replica_faults.items():
+            if isinstance(key, tuple):
+                shard, index = key
+                if shard != 0:
+                    raise SimulationError(
+                        f"replica fault target {key!r} names shard {shard}, "
+                        "but the scenario deploys a single group"
+                    )
+                key = index
+            replica_faults[key] = mode
+        service = ReplicatedPEATS(
+            scenario.policy_factory(),
+            f=scenario.f,
+            network_config=scenario.network_config(),
+            replica_faults=replica_faults,
+            view_change_timeout=scenario.view_change_timeout,
+            max_batch_size=scenario.max_batch_size,
+            checkpoint_interval=scenario.checkpoint_interval,
+        )
     engine = ScenarioEngine(service, metrics=metrics)
     for process, factory in scenario.clients:
         engine.add_client(process, factory())

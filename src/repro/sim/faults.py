@@ -12,9 +12,9 @@ Available events:
   for a window of virtual time, then heal;
 * :class:`CrashWindow` — crash a replica at ``start`` and (optionally)
   recover it at ``end``.  A recovered replica has missed the traffic of
-  the window (there is no state-transfer protocol in the simulation), so
-  it may stay behind — which is exactly the degraded-but-safe behaviour
-  ``2f + 1`` quorums tolerate;
+  the window; once it learns a stable checkpoint it fetches the
+  certified state (plus the in-window committed/prepared tail) from its
+  peers and rejoins at the group's tip;
 * :class:`FaultModeWindow` — toggle any
   :class:`~repro.replication.pbft.ReplicaFaultMode` (e.g. ``LYING``) on a
   replica for a window;
@@ -24,6 +24,15 @@ Available events:
 
 Replicas are named by index (into ``service.nodes``) or by replica id;
 partition endpoints may also name client processes.
+
+Sharded deployments (:class:`~repro.cluster.ShardedPEATS`) add per-shard
+targeting: every event takes an optional ``shard`` — integer replica
+indexes then count *within* that shard's replica group (``CrashWindow(
+replica=0, shard=1, ...)`` crashes shard 1's initial primary), and a
+:class:`ViewChangeStorm` with a shard blows through that one group while
+the others keep ordering undisturbed.  Without ``shard``, integer indexes
+address ``service.nodes`` flat (shard ``i // (3f + 1)``), and a storm
+hits every group.
 """
 
 from __future__ import annotations
@@ -50,8 +59,25 @@ class FaultEvent:
         raise NotImplementedError
 
 
-def _resolve_node(engine: Any, replica: Union[int, Hashable]) -> OrderingNode:
-    nodes = engine.service.nodes
+def _shard_nodes(engine: Any, shard: Union[int, None]) -> tuple[OrderingNode, ...]:
+    """The node pool an event addresses: one shard's group, or everything."""
+    if shard is None:
+        return tuple(engine.service.nodes)
+    groups = getattr(engine.service, "groups", None)
+    if groups is None:
+        raise SimulationError(
+            f"shard={shard} targeting needs a sharded service, got "
+            f"{type(engine.service).__name__}"
+        )
+    if not 0 <= shard < len(groups):
+        raise SimulationError(f"no shard {shard} in this cluster")
+    return tuple(groups[shard].nodes)
+
+
+def _resolve_node(
+    engine: Any, replica: Union[int, Hashable], shard: Union[int, None] = None
+) -> OrderingNode:
+    nodes = _shard_nodes(engine, shard)
     if isinstance(replica, int) and not isinstance(replica, bool):
         if not 0 <= replica < len(nodes):
             raise SimulationError(f"no replica with index {replica}")
@@ -62,10 +88,12 @@ def _resolve_node(engine: Any, replica: Union[int, Hashable]) -> OrderingNode:
     raise SimulationError(f"no replica named {replica!r}")
 
 
-def _resolve_endpoint(engine: Any, endpoint: Union[int, Hashable]) -> Hashable:
+def _resolve_endpoint(
+    engine: Any, endpoint: Union[int, Hashable], shard: Union[int, None] = None
+) -> Hashable:
     """A partition endpoint: replica index / replica id / client process."""
     if isinstance(endpoint, int) and not isinstance(endpoint, bool):
-        return _resolve_node(engine, endpoint).replica_id
+        return _resolve_node(engine, endpoint, shard).replica_id
     return endpoint
 
 
@@ -77,6 +105,8 @@ class PartitionWindow(FaultEvent):
     end: float
     left: Sequence[Union[int, Hashable]]
     right: Sequence[Union[int, Hashable]]
+    #: Scope integer endpoint indexes to one shard's replica group.
+    shard: Union[int, None] = None
 
     def __post_init__(self) -> None:
         if self.end <= self.start:
@@ -88,7 +118,10 @@ class PartitionWindow(FaultEvent):
         def pairs():
             for a in self.left:
                 for b in self.right:
-                    yield _resolve_endpoint(engine, a), _resolve_endpoint(engine, b)
+                    yield (
+                        _resolve_endpoint(engine, a, self.shard),
+                        _resolve_endpoint(engine, b, self.shard),
+                    )
 
         def open_window() -> None:
             for a, b in pairs():
@@ -115,6 +148,8 @@ class CrashWindow(FaultEvent):
     replica: Union[int, Hashable]
     start: float
     end: Union[float, None] = None
+    #: Scope an integer replica index to one shard's replica group.
+    shard: Union[int, None] = None
 
     def __post_init__(self) -> None:
         if self.end is not None and self.end <= self.start:
@@ -122,7 +157,7 @@ class CrashWindow(FaultEvent):
 
     def schedule(self, engine: Any) -> None:
         network = engine.network
-        node = _resolve_node(engine, self.replica)
+        node = _resolve_node(engine, self.replica, self.shard)
         # Recovery restores whatever mode the replica had before the crash
         # (e.g. a LYING replica configured via Scenario.replica_faults must
         # resume lying, not silently turn correct).
@@ -153,10 +188,12 @@ class FaultModeWindow(FaultEvent):
     start: float
     end: Union[float, None] = None
     restore: ReplicaFaultMode = ReplicaFaultMode.CORRECT
+    #: Scope an integer replica index to one shard's replica group.
+    shard: Union[int, None] = None
 
     def schedule(self, engine: Any) -> None:
         network = engine.network
-        node = _resolve_node(engine, self.replica)
+        node = _resolve_node(engine, self.replica, self.shard)
 
         def enable() -> None:
             node.fault_mode = self.mode
@@ -182,6 +219,8 @@ class ViewChangeStorm(FaultEvent):
     start: float
     rounds: int = 1
     gap: float = 50.0
+    #: Limit the storm to one shard's replica group (None = every group).
+    shard: Union[int, None] = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -193,10 +232,11 @@ class ViewChangeStorm(FaultEvent):
         network = engine.network
 
         def blow(round_index: int) -> None:
+            scope = "" if self.shard is None else f" shard={self.shard}"
             engine.metrics.record_event(
-                network.now, "fault", f"view-change-storm round {round_index}"
+                network.now, "fault", f"view-change-storm round {round_index}{scope}"
             )
-            for node in engine.service.nodes:
+            for node in _shard_nodes(engine, self.shard):
                 node.force_view_change()
 
         for index in range(self.rounds):

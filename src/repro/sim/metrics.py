@@ -108,7 +108,12 @@ class SimMetrics:
         self._trace: list[_TraceEvent] = []
         self._latency_total = LatencyStats()
         self._latency_by_op: dict[str, LatencyStats] = {}
+        self._latency_by_shard: dict[Any, LatencyStats] = {}
         self._completions: list[float] = []
+        self._completion_shards: list[Any] = []
+        # Lazily computed throughput buckets, keyed by shard filter; one
+        # bucket pass per key per run, invalidated on new completions.
+        self._series_cache: dict[Any, list[tuple[float, int]]] = {}
         self._failures = 0
         self._denied = 0
         self._started_at: Optional[float] = None
@@ -119,8 +124,19 @@ class SimMetrics:
     # Recording (called by the engine / client runners)
     # ------------------------------------------------------------------
 
-    def record_submit(self, now: float, process: Hashable, operation: str, request_id: int) -> None:
-        self._trace.append(_TraceEvent(now, "submit", str(process), f"{operation}#{request_id}"))
+    def record_submit(
+        self,
+        now: float,
+        process: Hashable,
+        operation: str,
+        request_id: int,
+        *,
+        shard: Optional[int] = None,
+    ) -> None:
+        detail = f"{operation}#{request_id}"
+        if shard is not None:
+            detail += f" shard={shard}"
+        self._trace.append(_TraceEvent(now, "submit", str(process), detail))
 
     def record_complete(
         self,
@@ -131,24 +147,38 @@ class SimMetrics:
         *,
         latency: float,
         status: str,
+        shard: Optional[int] = None,
     ) -> None:
         if now < 0:
             raise ValueError(f"completion timestamp must be non-negative, got {now}")
-        self._trace.append(
-            _TraceEvent(
-                now, "complete", str(process), f"{operation}#{request_id} {status} {_fmt(latency)}"
-            )
-        )
+        detail = f"{operation}#{request_id} {status} {_fmt(latency)}"
+        if shard is not None:
+            detail += f" shard={shard}"
+        self._trace.append(_TraceEvent(now, "complete", str(process), detail))
         self._latency_total.record(latency)
         self._latency_by_op.setdefault(operation, LatencyStats()).record(latency)
+        if shard is not None:
+            self._latency_by_shard.setdefault(shard, LatencyStats()).record(latency)
         self._completions.append(now)
+        self._completion_shards.append(shard)
+        self._series_cache.clear()
         if status == "DENIED":
             self._denied += 1
 
-    def record_failure(self, now: float, process: Hashable, operation: str, request_id: int, error: str) -> None:
-        self._trace.append(
-            _TraceEvent(now, "failure", str(process), f"{operation}#{request_id} {error}")
-        )
+    def record_failure(
+        self,
+        now: float,
+        process: Hashable,
+        operation: str,
+        request_id: int,
+        error: str,
+        *,
+        shard: Optional[int] = None,
+    ) -> None:
+        detail = f"{operation}#{request_id} {error}"
+        if shard is not None:
+            detail += f" shard={shard}"
+        self._trace.append(_TraceEvent(now, "failure", str(process), detail))
         self._failures += 1
 
     def record_event(self, now: float, kind: str, detail: str, *, process: Hashable = "-") -> None:
@@ -197,17 +227,55 @@ class SimMetrics:
     def latency_of(self, operation: str) -> LatencyStats:
         return self._latency_by_op.setdefault(operation, LatencyStats())
 
-    def throughput_series(self) -> list[tuple[float, int]]:
-        """Completions per ``throughput_bucket`` of virtual time."""
-        if not self._completions:
-            return []
+    def throughput_series(self, shard: Optional[int] = None) -> list[tuple[float, int]]:
+        """Completions per ``throughput_bucket`` of virtual time.
+
+        ``shard`` filters to one shard's completions (samples recorded
+        without a shard tag never match a filter).  Buckets are computed
+        once per filter and cached, so alternating between the aggregate
+        view and per-shard views does not re-scan the completion list.
+        """
+        key = "__aggregate__" if shard is None else shard
+        cached = self._series_cache.get(key)
+        if cached is not None:
+            return cached
         buckets: dict[int, int] = {}
-        for when in self._completions:
+        for when, sample_shard in zip(self._completions, self._completion_shards):
+            if shard is not None and sample_shard != shard:
+                continue
             bucket = int(when // self.throughput_bucket)
             buckets[bucket] = buckets.get(bucket, 0) + 1
-        return [
+        series = [
             (index * self.throughput_bucket, buckets[index]) for index in sorted(buckets)
         ]
+        self._series_cache[key] = series
+        return series
+
+    def by_shard(self) -> dict[Any, dict[str, Any]]:
+        """Per-shard headline numbers (ops, throughput, latency summary).
+
+        Only samples recorded with a shard tag appear here; an unsharded
+        run returns an empty mapping.  Throughput divides each shard's
+        completions by the whole run's duration, so the rows sum to the
+        aggregate ``ops_per_vsec``.
+        """
+        duration = self.duration
+        rows: dict[Any, dict[str, Any]] = {}
+        for shard in sorted(self._latency_by_shard, key=repr):
+            stats = self._latency_by_shard[shard]
+            throughput = stats.count / (duration / 1000.0) if duration > 0 else 0.0
+            row: dict[str, Any] = {
+                "ops": stats.count,
+                "ops_per_vsec": round(throughput, 1),
+            }
+            row.update(
+                {f"latency_{k}": v for k, v in stats.summary().items() if k != "count"}
+            )
+            rows[shard] = row
+        return rows
+
+    def latency_of_shard(self, shard: int) -> LatencyStats:
+        return self._latency_by_shard.setdefault(shard, LatencyStats())
 
     def summary(self) -> dict[str, Any]:
         """One row of headline numbers (used by the benchmark tables)."""

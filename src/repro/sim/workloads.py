@@ -23,7 +23,17 @@ evaluate):
   until it has seen every other client's announcement;
 * :func:`kv_readwrite` — a keyspace read/write mix (the YCSB-style load);
 * :func:`queue_producer_consumer` — producers ``out`` jobs, consumers
-  ``inp`` them until a quota is met.
+  ``inp`` them until a quota is met;
+* :func:`multi_shard_kv` — a kv mix whose tuple names are spread over a
+  sharded cluster, with a tunable home-shard locality.
+
+Sharded clusters route operations by the tuple *name* (first field), so
+the single-name workloads above would land entirely on one shard.  The
+``spread`` parameter (on the storm, burst and kv builders) derives a
+family of names — ``DECISION-0`` … ``DECISION-{spread-1}`` — from the base
+name, spreading the load across shards while keeping every name concrete
+(routable).  ``spread=1`` (the default) preserves the original
+single-name workloads byte-for-byte.
 """
 
 from __future__ import annotations
@@ -49,20 +59,34 @@ __all__ = [
     "kv_readwrite",
     "queue_producer_consumer",
     "write_burst",
+    "multi_shard_kv",
 ]
 
 Workload = list[tuple[Hashable, Callable[[], ClientProgram]]]
 
 
-def consensus_storm(n_clients: int, *, decision_name: str = "DECISION") -> Workload:
-    """All clients race to decide one value; every client returns the winner."""
+def _spread_name(base: str, index: int, spread: int) -> str:
+    """The ``index``-th name of a ``spread``-wide family (``spread=1`` =
+    the base name itself, preserving pre-sharding workloads exactly)."""
+    return base if spread <= 1 else f"{base}-{index % spread}"
+
+
+def consensus_storm(
+    n_clients: int, *, decision_name: str = "DECISION", spread: int = 1
+) -> Workload:
+    """All clients race to decide one value; every client returns the winner.
+
+    With ``spread > 1`` the clients split into ``spread`` independent races
+    (one per decision name), so the workload exercises every shard of a
+    cluster routing those names to distinct groups.
+    """
 
     def factory(index: int) -> Callable[[], ClientProgram]:
+        name = _spread_name(decision_name, index, spread)
+
         def program() -> ClientProgram:
-            yield op_cas(
-                template(decision_name, Formal("d")), entry(decision_name, f"v{index}")
-            )
-            payload = yield op_rdp(template(decision_name, Formal("d")))
+            yield op_cas(template(name, Formal("d")), entry(name, f"v{index}"))
+            payload = yield op_rdp(template(name, Formal("d")))
             decided = ok_value(payload)
             return decided.fields[1] if decided is not None else None
 
@@ -150,19 +174,22 @@ def barrier_rendezvous(
     return [(names[index], factory(index)) for index in range(n_clients)]
 
 
-def write_burst(n_clients: int, *, ops_per_client: int = 8) -> Workload:
+def write_burst(n_clients: int, *, ops_per_client: int = 8, spread: int = 1) -> Workload:
     """Pure write pressure: every client ``out``s a stream of fresh tuples.
 
     The simplest way to push a known number of requests through the
     ordering layer — used to exercise batching, checkpoint cadence and
     log-truncation bounds (every operation is a distinct consensus input,
-    no polling retries).
+    no polling retries).  ``spread`` fans the tuple names over a family so
+    a sharded cluster spreads the burst across its groups.
     """
 
     def factory(index: int) -> Callable[[], ClientProgram]:
+        name = _spread_name("BURST", index, spread)
+
         def program() -> ClientProgram:
             for step in range(ops_per_client):
-                yield op_out(entry("BURST", f"wb-{index:02d}", step))
+                yield op_out(entry(name, f"wb-{index:02d}", step))
             return ("wrote", ops_per_client)
 
         return program
@@ -177,12 +204,15 @@ def kv_readwrite(
     ops_per_client: int = 8,
     write_ratio: float = 0.5,
     seed: int = 0,
+    spread: int = 1,
 ) -> Workload:
     """A read/write mix over a small keyspace of ``("KV", key, ...)`` tuples.
 
     Writers ``out`` fresh versions; readers ``rdp`` any version of a key.
     The operation mix is drawn from a per-client RNG seeded from ``seed``,
-    so the workload itself is fully deterministic.
+    so the workload itself is fully deterministic.  With ``spread > 1``
+    the tuple name is derived from the key (``KV-{key % spread}``), giving
+    each key a stable home shard on a sharded cluster.
     """
 
     def factory(index: int) -> Callable[[], ClientProgram]:
@@ -191,11 +221,12 @@ def kv_readwrite(
             reads = writes = 0
             for step in range(ops_per_client):
                 key = rng.randrange(keys)
+                name = _spread_name("KV", key, spread)
                 if rng.random() < write_ratio:
-                    yield op_out(entry("KV", key, f"kv-{index:02d}", step))
+                    yield op_out(entry(name, key, f"kv-{index:02d}", step))
                     writes += 1
                 else:
-                    yield op_rdp(template("KV", key, ANY, ANY))
+                    yield op_rdp(template(name, key, ANY, ANY))
                     reads += 1
             return ("mixed", reads, writes)
 
@@ -256,3 +287,54 @@ def queue_producer_consumer(
         for index in range(consumers)
     )
     return workload
+
+
+def multi_shard_kv(
+    n_clients: int,
+    *,
+    shards: int = 2,
+    keys: int = 8,
+    ops_per_client: int = 8,
+    write_ratio: float = 0.5,
+    locality: float = 1.0,
+    seed: int = 0,
+) -> Workload:
+    """A kv mix over ``shards`` name families, with tunable locality.
+
+    Each client has a *home* name family ``KV-{index % shards}``;
+    ``locality`` is the probability an operation stays home (1.0 = fully
+    partitioned traffic, the best case for a sharded cluster; lower values
+    send a fraction of each client's operations to other shards' names,
+    modelling a workload whose partitioning is imperfect — the operations
+    still route, they just land on remote groups).
+
+    Names are concrete throughout, so the workload runs unchanged on a
+    single-group deployment (where the names all share one space).
+    """
+    if shards < 1:
+        raise ValueError("multi_shard_kv needs at least one shard name family")
+
+    def factory(index: int) -> Callable[[], ClientProgram]:
+        home = index % shards
+
+        def program() -> ClientProgram:
+            rng = random.Random((seed << 20) ^ (index * 7919))
+            reads = writes = 0
+            for step in range(ops_per_client):
+                if shards == 1 or rng.random() < locality:
+                    family = home
+                else:
+                    family = rng.randrange(shards)
+                name = f"KV-{family}"
+                key = rng.randrange(keys)
+                if rng.random() < write_ratio:
+                    yield op_out(entry(name, key, f"ms-{index:02d}", step))
+                    writes += 1
+                else:
+                    yield op_rdp(template(name, key, ANY, ANY))
+                    reads += 1
+            return ("sharded-mix", reads, writes)
+
+        return program
+
+    return [(f"ms-{index:02d}", factory(index)) for index in range(n_clients)]

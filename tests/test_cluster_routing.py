@@ -1,0 +1,178 @@
+"""Property tests for the cluster's name → shard routing.
+
+The routing function is the safety anchor of the sharded deployment:
+every client must independently compute the *same* shard for the same
+name in every process and every run (determinism), every valid name must
+route somewhere (totality), and explicitly assigned names must not move
+when the cluster grows (stability).  The tests pin all three down, plus
+the operation-level rules (wildcard names and split ``cas`` pairs are
+cross-shard and rejected).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    ExplicitRouting,
+    HashRouting,
+    RangeRouting,
+    ShardMap,
+)
+from repro.errors import CrossShardError, ReplicationError
+from repro.tuples import ANY, Formal, entry, template
+
+#: Field values a tuple name can take (any defined, hashable field).
+names = st.one_of(
+    st.text(max_size=20),
+    st.integers(),
+    st.booleans(),
+    st.floats(allow_nan=False),
+    st.binary(max_size=16),
+    st.tuples(st.text(max_size=5), st.integers()),
+)
+
+
+class TestHashRouting:
+    @settings(max_examples=100, deadline=None)
+    @given(name=names, n_shards=st.integers(min_value=1, max_value=16))
+    def test_total_and_in_range(self, name, n_shards):
+        shard = ShardMap(n_shards).shard_of(name)
+        assert 0 <= shard < n_shards
+
+    @settings(max_examples=50, deadline=None)
+    @given(name=names, n_shards=st.integers(min_value=1, max_value=16))
+    def test_deterministic_across_instances(self, name, n_shards):
+        # Two independently built maps (fresh policy objects) must agree —
+        # this is what lets every client route without coordination.
+        first = ShardMap(n_shards, HashRouting())
+        second = ShardMap(n_shards, HashRouting())
+        assert first.shard_of(name) == second.shard_of(name)
+
+    def test_deterministic_across_runs(self):
+        # Pinned values: the hash is seeded SHA-256 over a canonical
+        # rendering, so the mapping survives interpreter restarts (unlike
+        # built-in ``hash``, which is per-process randomised for strings).
+        m4 = ShardMap(4)
+        assert {
+            name: m4.shard_of(name)
+            for name in ("DECISION", "LOCK", "KV-0", "KV-1", "JOB", 42, ("tup", 1))
+        } == {
+            "DECISION": 3,
+            "LOCK": 1,
+            "KV-0": 3,
+            "KV-1": 2,
+            "JOB": 0,
+            42: 2,
+            ("tup", 1): 3,
+        }
+
+    def test_distinct_salts_give_distinct_maps(self):
+        probe = [f"name-{i}" for i in range(64)]
+        a = ShardMap(4, HashRouting(salt="a"))
+        b = ShardMap(4, HashRouting(salt="b"))
+        assert [a.shard_of(n) for n in probe] != [b.shard_of(n) for n in probe]
+
+    def test_string_and_equal_repr_values_do_not_collide_blindly(self):
+        # repr('1') != repr(1): the canonical key keeps the types apart.
+        m = ShardMap(64)
+        samples = {("s", "1"), ("i", 1), ("s", "a"), ("b", b"a")}
+        assert len(samples) == 4  # distinct names, routed independently
+        for _, name in samples:
+            assert 0 <= m.shard_of(name) < 64
+
+
+class TestRangeRouting:
+    def test_boundaries_partition_the_name_space(self):
+        m = ShardMap(3, RangeRouting(boundaries=("H", "P")))
+        assert m.shard_of("DECISION") == 0
+        assert m.shard_of("LOCK") == 1
+        assert m.shard_of("QUEUE") == 2
+        assert m.shard_of("H") == 1  # boundary itself goes right
+
+    def test_boundary_count_must_match_shard_count(self):
+        with pytest.raises(ReplicationError):
+            ShardMap(3, RangeRouting(boundaries=("M",)))
+        with pytest.raises(ReplicationError):
+            ShardMap(2, RangeRouting(boundaries=("Z", "A")))  # unsorted
+
+    @settings(max_examples=50, deadline=None)
+    @given(name=names)
+    def test_total_over_non_string_names_via_repr(self, name):
+        m = ShardMap(2, RangeRouting(boundaries=("M",)))
+        assert 0 <= m.shard_of(name) < 2
+
+
+class TestExplicitRouting:
+    def test_assigned_names_are_stable_under_shard_count_changes(self):
+        # Growing the cluster must not move explicitly assigned names —
+        # their tuples live on the assigned group and a re-route would
+        # make them unreachable.
+        assignment = {"DECISION": 0, "LOCK": 1, "AUDIT": 1}
+        for n_shards in (2, 3, 4, 8):
+            m = ShardMap(n_shards, ExplicitRouting(assignment))
+            for name, shard in assignment.items():
+                assert m.shard_of(name) == shard
+
+    @settings(max_examples=50, deadline=None)
+    @given(name=names, n_shards=st.integers(min_value=2, max_value=8))
+    def test_total_via_fallback(self, name, n_shards):
+        m = ShardMap(n_shards, ExplicitRouting({"DECISION": 0}))
+        assert 0 <= m.shard_of(name) < n_shards
+
+    def test_out_of_range_assignment_is_rejected(self):
+        with pytest.raises(ReplicationError):
+            ShardMap(2, ExplicitRouting({"DECISION": 2}))
+        with pytest.raises(ReplicationError):
+            ShardMap(2, ExplicitRouting({"DECISION": -1}))
+        with pytest.raises(ReplicationError):
+            ShardMap(2, ExplicitRouting({"DECISION": True}))
+
+    def test_fallback_policy_is_pluggable(self):
+        m = ShardMap(3, ExplicitRouting({"PINNED": 2}, fallback=RangeRouting(("H", "P"))))
+        assert m.shard_of("PINNED") == 2
+        assert m.shard_of("AAA") == 0
+        assert m.shard_of("ZZZ") == 2
+
+
+class TestOperationRouting:
+    def test_entries_and_concrete_templates_route_by_name(self):
+        m = ShardMap(4, ExplicitRouting({"JOB": 1}))
+        assert m.route("out", (entry("JOB", 7),)) == 1
+        assert m.route("rdp", (template("JOB", ANY),)) == 1
+        assert m.route("inp", (template("JOB", Formal("x")),)) == 1
+        assert m.route("cas", (template("JOB", ANY), entry("JOB", 7))) == 1
+
+    def test_wildcard_name_is_cross_shard(self):
+        m = ShardMap(2)
+        with pytest.raises(CrossShardError):
+            m.route("rdp", (template(ANY, 1),))
+        with pytest.raises(CrossShardError):
+            m.route("inp", (template(Formal("n"), 1),))
+
+    def test_cas_pair_must_agree_on_one_shard(self):
+        m = ShardMap(2, ExplicitRouting({"A": 0, "B": 1}))
+        with pytest.raises(CrossShardError):
+            m.route("cas", (template("A", ANY), entry("B", 1)))
+        # Wildcard template name in a cas is cross-shard too.
+        with pytest.raises(CrossShardError):
+            m.route("cas", (template(ANY, ANY), entry("A", 1)))
+
+    def test_unroutable_operation_is_rejected(self):
+        m = ShardMap(2)
+        with pytest.raises(CrossShardError):
+            m.route("__noop__", ())
+
+    def test_shard_map_validates_policy_output(self):
+        class Broken:
+            def shard_of(self, name, n_shards):
+                return n_shards  # off by one
+
+            def validate(self, n_shards):
+                pass
+
+        with pytest.raises(ReplicationError):
+            ShardMap(2, Broken()).shard_of("X")
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ReplicationError):
+            ShardMap(0)

@@ -12,8 +12,9 @@ import pytest
 from repro.errors import ReplicationError
 from repro.policy import AccessPolicy, Rule
 from repro.replication import ReplicatedPEATS
+from repro.replication.crypto import KeyStore, MessageAuthenticator
 from repro.replication.network import NetworkConfig, SimulatedNetwork
-from repro.replication.messages import ClientRequest
+from repro.replication.messages import ClientRequest, authenticate_request
 from repro.replication.pbft import OrderingNode, ReplicaFaultMode
 from repro.replication.replica import PEATSReplica
 from repro.sim import (
@@ -56,13 +57,20 @@ def make_cluster(n=4, f=1, faults=None, **node_kwargs):
     return network, nodes, replies
 
 
+# Same default KeyStore as the test networks above, so client MAC vectors
+# computed here verify at the replicas.
+_AUTH = MessageAuthenticator(KeyStore())
+_REPLICAS = tuple(f"r{i}" for i in range(4))
+
+
 def request_from(client, request_id):
-    return ClientRequest(
+    request = ClientRequest(
         client=client,
         request_id=request_id,
         operation="out",
         arguments=(entry("A", client, request_id),),
     )
+    return authenticate_request(request, _AUTH, _REPLICAS)
 
 
 class TestBatching:
@@ -270,6 +278,34 @@ class TestCheckpointRecovery:
         assert len(set(result.service.replica_state_digests().values())) == 1
         assert recovered.statistics["buffered"] == 0
 
+    def test_state_transfer_ships_in_window_committed_tail(self):
+        # The group executed past its stable checkpoint; a replica that
+        # missed everything must catch up to the *tip* via the transferred
+        # in-window certificates, not stall at the checkpoint boundary
+        # waiting for the next certificate.
+        network, nodes, _ = make_cluster(
+            checkpoint_interval=8, max_batch_size=1, faults={3: ReplicaFaultMode.CRASHED}
+        )
+        for i in range(10):
+            req = request_from("client", i)
+            network.broadcast("client", [n.replica_id for n in nodes], req)
+            network.run()
+        live = nodes[:3]
+        assert all(node.last_executed == 10 for node in live)
+        assert all(node.stable_checkpoint == 8 for node in live)
+        # Recover the crashed replica and hand it the checkpoint
+        # certificate it slept through; it fetches state at 8 and must
+        # adopt the committed batches 9 and 10 shipped alongside.
+        lagging = nodes[3]
+        lagging.fault_mode = ReplicaFaultMode.CORRECT
+        for node in live:
+            network.send(node.replica_id, lagging.replica_id, node._own_checkpoint)
+        network.run()
+        assert lagging.statistics["state_transfers"] == 1
+        assert lagging.stable_checkpoint == 8
+        assert lagging.last_executed == 10
+        assert len({node.application.state_digest() for node in nodes}) == 1
+
     def test_state_response_with_wrong_proof_is_rejected(self):
         network, nodes, _ = make_cluster(checkpoint_interval=2)
         for i in range(3):
@@ -383,25 +419,66 @@ class TestProtocolMessageAuthorization:
         network.run()
         assert all(node.last_executed == 1 for node in nodes)
 
-    def test_batch_with_unregistered_client_does_not_crash_replicas(self):
-        # A faulty primary can forge a request under a client name that is
-        # not even on the network; replying to it must not crash correct
-        # replicas mid-execution.
+    def test_byzantine_primary_cannot_forge_a_request_into_a_batch(self):
+        # The request relayed in a PRE-PREPARE batch carries the client's
+        # MAC vector; a faulty primary inventing a request under another
+        # client's name (or under a ghost name with no keys) cannot produce
+        # those MACs, so backups reject the batch and nothing executes.
         network, nodes, _ = make_cluster()
         from repro.replication.crypto import digest
         from repro.replication.messages import Batch, ClientRequest, PrePrepare
 
-        ghost = ClientRequest(
+        forged = ClientRequest(
             client="ghost", request_id=0, operation="out", arguments=(entry("G", 1),)
         )
-        batch = Batch(requests=(ghost,))
+        batch = Batch(requests=(forged,))
         message = PrePrepare(
             view=0, sequence=1, batch_digest=digest(batch), batch=batch, primary="r0"
         )
         for node in nodes[1:]:
             network.send("r0", node.replica_id, message)
         network.run()
-        assert all(node.last_executed == 1 for node in nodes[1:])
+        # No backup prepared the forged batch, so it can never commit —
+        # and the replicas shrug it off without crashing.
+        assert all(node.last_executed == 0 for node in nodes[1:])
+        assert all(len(node.application.space.snapshot()) == 0 for node in nodes[1:])
+
+    def test_forged_mac_vector_under_real_client_name_is_rejected(self):
+        # Even with a registered victim client, a faulty primary cannot
+        # splice a fabricated request into a batch: the MAC vector is
+        # computed under keys only the client holds.  Stuffing the vector
+        # with garbage (or with MACs lifted from a *different* request)
+        # fails verification at every backup.
+        network, nodes, _ = make_cluster()
+        network.register("victim", lambda sender, payload: None)
+        from repro.replication.crypto import digest
+        from repro.replication.messages import Batch, ClientRequest, PrePrepare
+        import dataclasses
+
+        genuine = request_from("victim", 0)
+        # Lift the genuine MACs onto a different operation: binding the
+        # operation/arguments into the MAC payload must catch the splice.
+        spliced = dataclasses.replace(
+            ClientRequest(
+                client="victim",
+                request_id=0,
+                operation="inp",
+                arguments=(template("A", ANY, ANY),),
+            ),
+            auth=genuine.auth,
+        )
+        batch = Batch(requests=(spliced,))
+        message = PrePrepare(
+            view=0, sequence=1, batch_digest=digest(batch), batch=batch, primary="r0"
+        )
+        for node in nodes[1:]:
+            network.send("r0", node.replica_id, message)
+        network.run()
+        assert all(node.last_executed == 0 for node in nodes[1:])
+        # The genuine request itself still goes through afterwards.
+        network.broadcast("victim", [n.replica_id for n in nodes], genuine)
+        network.run()
+        assert all(node.last_executed == 1 for node in nodes)
 
     def test_oversized_checkpoint_proof_is_rejected(self):
         network, nodes, _ = make_cluster()

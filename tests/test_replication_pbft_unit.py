@@ -3,7 +3,7 @@
 import pytest
 
 from repro.policy import AccessPolicy, Rule
-from repro.replication.crypto import digest
+from repro.replication.crypto import KeyStore, MessageAuthenticator, digest
 from repro.replication.messages import (
     Batch,
     ClientRequest,
@@ -11,6 +11,7 @@ from repro.replication.messages import (
     PrePrepare,
     Prepare,
     ViewChange,
+    authenticate_request,
 )
 from repro.replication.network import NetworkConfig, SimulatedNetwork
 from repro.replication.pbft import OrderingNode, ReplicaFaultMode
@@ -44,13 +45,20 @@ def make_cluster(n=4, f=1, faults=None):
     return network, nodes, replies
 
 
-def make_request(request_id=0, operation="out", arguments=None):
-    return ClientRequest(
-        client="client",
+# Same default KeyStore as the test networks above, so client MAC vectors
+# computed here verify at the replicas.
+_AUTH = MessageAuthenticator(KeyStore())
+_REPLICAS = tuple(f"r{i}" for i in range(4))
+
+
+def make_request(request_id=0, operation="out", arguments=None, client="client"):
+    request = ClientRequest(
+        client=client,
         request_id=request_id,
         operation=operation,
         arguments=arguments if arguments is not None else (entry("A", request_id),),
     )
+    return authenticate_request(request, _AUTH, _REPLICAS)
 
 
 def make_batch(*requests):
