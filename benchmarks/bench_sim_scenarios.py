@@ -23,6 +23,7 @@ from repro.sim.workloads import (
     kv_readwrite,
     lock_contention,
     queue_producer_consumer,
+    wildcard_probe_mix,
 )
 
 
@@ -250,6 +251,89 @@ def test_e8_shard_count_sweep(benchmark):
     # The explicit routing balances the four races over the groups: no
     # shard sits idle in any sharded configuration.
     assert all(row["min_shard_ops"] > 0 for row in rows)
+
+
+def wildcard_sweep_scenario(locality: float, shards: int = 4, n_clients: int = 32) -> Scenario:
+    """Wildcard scatter-gather under a match-locality knob.
+
+    Every configuration runs the same read mix over a 4-shard cluster;
+    ``locality`` is the fraction of reads that know their tuple's name
+    (routed to one group).  The remainder are wildcard-name ``rdp`` probes
+    that the unified API scatter-gathers: one ``f + 1``-voted sub-request
+    per replica group, so every point of lost locality multiplies that
+    read's message cost by the shard count — the trajectory the sweep
+    makes visible.
+    """
+    spread = 4
+    routing = ExplicitRouting({f"ITEM-{i}": i % shards for i in range(spread)})
+    return Scenario(
+        name=f"wildcard-locality-{locality:.2f}",
+        clients=wildcard_probe_mix(
+            n_clients, spread=spread, ops_per_client=6, locality=locality, seed=5
+        ),
+        shards=shards,
+        routing=routing,
+        max_batch_size=2,
+        checkpoint_interval=8,
+        processing_time=0.05,
+        mean_latency=0.2,
+        jitter=0.1,
+        seed=13,
+    )
+
+
+def test_e8_wildcard_scatter_sweep(benchmark):
+    """Cross-shard read cost vs. match locality (the scatter-gather price).
+
+    Asserts the PR-4 capability claim: wildcard-name probes complete on a
+    4-shard cluster (no ``CrossShardError``), results replay identically
+    per seed, and the message bill grows as locality drops — the cost the
+    unified API makes explicit instead of refusing the operation.
+    """
+
+    def measure():
+        rows = []
+        for locality in (1.0, 0.5, 0.0):
+            result = run_scenario(wildcard_sweep_scenario(locality))
+            assert result.completed, f"locality={locality}: unfinished clients"
+            replay = run_scenario(wildcard_sweep_scenario(locality))
+            # Same seed ⇒ same winners, same traces: scatter-gather adds
+            # no nondeterminism beyond the seeded network.
+            assert result.metrics.trace_text() == replay.metrics.trace_text()
+            assert result.engine.runners and all(
+                runner.result == replay_runner.result
+                for runner, replay_runner in zip(
+                    result.engine.runners, replay.engine.runners
+                )
+            )
+            summary = result.metrics.summary()
+            rows.append(
+                {
+                    "locality": locality,
+                    "ops": summary["ops"],
+                    "virtual_ms": summary["virtual_ms"],
+                    "ops_per_vsec": summary["ops_per_vsec"],
+                    "latency_p50": summary["latency_p50"],
+                    "latency_p95": summary["latency_p95"],
+                    "messages": summary["messages"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit_table(
+        rows,
+        title="E8 — wildcard scatter-gather sweep, 32 clients on 4 shards "
+        "(f=1 per group, 0.05 ms/msg processing)",
+    )
+    by_locality = {row["locality"]: row for row in rows}
+    # The workload size is locality-invariant: only the read *routing*
+    # changes, so completed-operation counts must match across the sweep.
+    assert len({row["ops"] for row in rows}) == 1
+    # Every point of lost locality converts one-group reads into
+    # all-groups scatters: the message bill must grow monotonically.
+    assert by_locality[0.5]["messages"] > by_locality[1.0]["messages"]
+    assert by_locality[0.0]["messages"] > by_locality[0.5]["messages"]
 
 
 def test_e8_client_scaling_table(benchmark):

@@ -9,7 +9,10 @@ PEATS:
 3. strong binary consensus among n = 4 processes with one Byzantine
    participant (Algorithm 2, Fig. 4);
 4. an emulated shared counter built with the wait-free universal
-   construction (Algorithm 4, Fig. 8).
+   construction (Algorithm 4, Fig. 8) over a unified-API space handle;
+5. the unified API itself: ``connect()`` and the future-first operation
+   forms (the same handle fronts the replicated and sharded deployments —
+   see ``examples/unified_api_tour.py``).
 
 Run it with::
 
@@ -28,9 +31,13 @@ from repro import (  # noqa: E402
     StrongConsensus,
     WaitFreeUniversalConstruction,
     WeakConsensus,
+    connect,
     run_consensus,
+    wait_free_universal_policy,
 )
 from repro.model.faults import unjustified_deciding_byzantine  # noqa: E402
+from repro.sim.engine import open_sim_policy  # noqa: E402
+from repro.tuples import ANY, entry, template  # noqa: E402
 from repro.universal.emulated import counter_type  # noqa: E402
 
 
@@ -72,9 +79,13 @@ def demo_strong_consensus_with_byzantine() -> None:
 
 
 def demo_universal_counter() -> None:
-    print("== 4. Wait-free emulated counter (Algorithm 4) ==")
+    print("== 4. Wait-free emulated counter (Algorithm 4), over connect() ==")
     processes = ["alice", "bob", "carol"]
-    construction = WaitFreeUniversalConstruction(counter_type(), processes)
+    # The construction programs against the unified space protocol: the
+    # same call with connect("replicated", ...) or connect("sharded", ...)
+    # runs it over the Byzantine fault-tolerant deployments.
+    space = connect("local", policy=wait_free_universal_policy(processes))
+    construction = WaitFreeUniversalConstruction(counter_type(), processes, space=space)
     handles = {p: construction.handle(p) for p in processes}
     for p in processes:
         ticket = handles[p].invoke("increment")
@@ -83,12 +94,26 @@ def demo_universal_counter() -> None:
     print()
 
 
+def demo_unified_api() -> None:
+    print("== 5. The unified API: blocking and future-first forms ==")
+    space = connect("local", policy=open_sim_policy("quickstart-open"))
+    view = space.bind("p1")
+    view.out(entry("GREETING", "hello"))
+    print("  blocking rd  ->", view.rd(template("GREETING", ANY)).fields[1])
+    future = view.submit_inp(template("GREETING", ANY))
+    print("  submit_inp   ->", future.result(), f"(backend={space.backend!r})")
+    print("  swap 'local' for 'replicated' or 'sharded' in connect() and the")
+    print("  program above runs unchanged — see examples/unified_api_tour.py.")
+    print()
+
+
 def main() -> None:
     demo_policy_enforced_register()
     demo_weak_consensus()
     demo_strong_consensus_with_byzantine()
     demo_universal_counter()
-    print("Done. See examples/leader_election.py and examples/replicated_coordination.py next.")
+    demo_unified_api()
+    print("Done. See examples/unified_api_tour.py and examples/replicated_coordination.py next.")
 
 
 if __name__ == "__main__":

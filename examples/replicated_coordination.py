@@ -4,7 +4,10 @@
 This example runs the same algorithms as the other examples, but over the
 simulated DepSpace-style deployment: ``3f + 1`` replicas, each with its own
 tuple space and reference monitor, coordinated by a PBFT-style total-order
-protocol; clients vote on ``f + 1`` matching replies.
+protocol; clients vote on ``f + 1`` matching replies.  Everything goes
+through the unified API — ``connect("replicated", ...)`` returns the same
+``Space`` handle the local and sharded deployments expose, and the
+consensus/universal constructions program against it directly.
 
 Scenario — a small job-dispatch service used by mutually distrustful
 worker processes:
@@ -30,8 +33,8 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro import (  # noqa: E402
     LockFreeUniversalConstruction,
-    ReplicatedPEATS,
     StrongConsensus,
+    connect,
     lock_free_universal_policy,
     run_consensus,
     strong_consensus_policy,
@@ -45,12 +48,13 @@ from repro.universal.emulated import fifo_queue_type  # noqa: E402
 def consensus_over_replicated_peats() -> None:
     print("== 1. Strong consensus over the replicated PEATS ==")
     workers = list(range(4))  # n = 4 workers, t = 1 Byzantine worker
-    service = ReplicatedPEATS(
-        strong_consensus_policy(workers, t=1),
+    space = connect(
+        "replicated",
+        policy=strong_consensus_policy(workers, t=1),
         f=1,
         replica_faults={3: ReplicaFaultMode.LYING},  # one lying replica too
     )
-    consensus = StrongConsensus(workers, t=1, space=service.as_shared_space())
+    consensus = StrongConsensus(workers, t=1, space=space)
     proposals = {0: 1, 1: 1, 2: 1}  # correct workers propose epoch 1
     run = run_consensus(
         consensus,
@@ -59,19 +63,19 @@ def consensus_over_replicated_peats() -> None:
     )
     print("  epoch decided by correct workers:", run.decision())
     print("  agreement:", run.agreement)
-    digests = service.replica_state_digests()
+    digests = space.service.replica_state_digests()
     correct_digests = {d for r, d in digests.items() if r != "replica-3"}
     print("  correct replica states identical:", len(correct_digests) == 1)
     print("  simulated network messages delivered:",
-          int(service.network.statistics["delivered"]))
+          int(space.network.statistics["delivered"]))
     print()
 
 
 def replicated_job_queue() -> None:
     print("== 2. Replicated FIFO job queue (lock-free universal construction) ==")
-    service = ReplicatedPEATS(lock_free_universal_policy(), f=1)
+    space = connect("replicated", policy=lock_free_universal_policy(), f=1)
     construction = LockFreeUniversalConstruction(
-        fifo_queue_type(), space=service.as_shared_space().bind("dispatcher")
+        fifo_queue_type(), space=space.bind("dispatcher")
     )
     # The universal construction is uniform, so handles can be created for
     # any client identity; here every worker drives it through its own
@@ -82,31 +86,32 @@ def replicated_job_queue() -> None:
     print("  dispatcher enqueued 5 jobs")
 
     worker_construction = LockFreeUniversalConstruction(
-        fifo_queue_type(), space=service.as_shared_space().bind("worker-A")
+        fifo_queue_type(), space=space.bind("worker-A")
     )
     worker = worker_construction.handle("worker-A")
     taken = [worker.invoke("dequeue") for _ in range(3)]
     print("  worker-A dequeued:", taken)
-    print("  replicated tuple space now holds", len(service.snapshot()), "SEQ tuples")
+    print("  replicated tuple space now holds", len(space.snapshot()), "SEQ tuples")
     print()
 
 
 def surviving_a_primary_crash() -> None:
     print("== 3. View change: the primary replica crashes ==")
-    service = ReplicatedPEATS(
-        lock_free_universal_policy(),
+    space = connect(
+        "replicated",
+        policy=lock_free_universal_policy(),
         f=1,
         replica_faults={0: ReplicaFaultMode.CRASHED},
         view_change_timeout=10.0,
     )
-    client = service.client_view("operator")
+    client = space.bind("operator")
     inserted, _ = client.cas(
         template("SEQ", 1, Formal("x")),
         entry("SEQ", 1, "bootstrap"),
     )
     print("  request executed despite the crashed primary:", bool(inserted))
     print("  replica views after the crash:",
-          {node.replica_id: node.view for node in service.correct_nodes()})
+          {node.replica_id: node.view for node in space.service.correct_nodes()})
     print()
 
 

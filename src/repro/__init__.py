@@ -50,7 +50,9 @@ from repro.policy import (
     wait_free_universal_policy,
     weak_consensus_policy,
 )
+from repro.api import OperationFuture, Space, connect
 from repro.cluster import ShardedPEATS
+from repro.errors import OperationTimeoutError
 from repro.policy.library import BOTTOM
 from repro.replication import ReplicatedPEATS
 from repro.tspace import AugmentedTupleSpace, LinearizableTupleSpace
@@ -105,4 +107,9 @@ __all__ = [
     # replication / cluster
     "ReplicatedPEATS",
     "ShardedPEATS",
+    # unified API
+    "connect",
+    "Space",
+    "OperationFuture",
+    "OperationTimeoutError",
 ]

@@ -1,0 +1,137 @@
+"""``connect()`` — the one factory behind every deployment shape.
+
+::
+
+    from repro.api import connect
+
+    space = connect("local", policy=my_policy)
+    space = connect("replicated", policy=my_policy, f=1)
+    space = connect("sharded", policy=my_policy, shards=4)
+
+    # or wrap a deployment that already exists:
+    space = connect(service=ShardedPEATS(my_policy, shards=4))
+
+Every call returns a :class:`~repro.api.space.Space` with identical
+semantics — blocking and ``submit_*`` operation forms, one timeout and
+exception model, ``bind(process)`` views — so the same coordination
+program runs unmodified against any backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Union
+
+from repro.errors import TupleSpaceError
+from repro.api.local import LocalSpace
+from repro.api.replicated import ReplicatedSpace
+from repro.api.sharded import ShardedSpace
+from repro.api.space import Space
+from repro.cluster.routing import RoutingPolicy
+from repro.cluster.service import ShardedPEATS
+from repro.peo.peats import PEATS
+from repro.policy.policy import AccessPolicy
+from repro.replication.network import NetworkConfig
+from repro.replication.service import ReplicatedPEATS
+
+__all__ = ["connect", "BACKENDS"]
+
+#: The deployment shapes ``connect`` can build or wrap.
+BACKENDS = ("local", "replicated", "sharded")
+
+
+def connect(
+    backend: str | None = None,
+    *,
+    policy: AccessPolicy | None = None,
+    service: Union[PEATS, ReplicatedPEATS, ShardedPEATS, None] = None,
+    f: int = 1,
+    shards: int = 2,
+    routing: RoutingPolicy | None = None,
+    network_config: NetworkConfig | None = None,
+    replica_faults: Mapping[Any, Any] | None = None,
+    view_change_timeout: float = 50.0,
+    max_batch_size: int = 8,
+    checkpoint_interval: int = 8,
+    max_inp_rounds: Optional[int] = None,
+) -> Space:
+    """Build (or wrap) a deployment and return its unified :class:`Space`.
+
+    Either pass ``backend`` (``"local"``, ``"replicated"`` or
+    ``"sharded"``) plus a ``policy`` to build a fresh deployment, or pass
+    an existing deployment via ``service=`` (a
+    :class:`~repro.peo.peats.PEATS`,
+    :class:`~repro.replication.service.ReplicatedPEATS` or
+    :class:`~repro.cluster.service.ShardedPEATS`) and the backend is
+    inferred; a ``backend`` given alongside ``service`` must agree with
+    the inferred one.
+
+    The remaining keywords configure the built deployment and are ignored
+    where they do not apply (``f``/``network_config`` for the simulated
+    backends, ``shards``/``routing``/``max_inp_rounds`` for the sharded
+    one).
+    """
+    if service is not None:
+        inferred = _infer_backend(service)
+        if backend is not None and backend != inferred:
+            raise TupleSpaceError(
+                f"connect(backend={backend!r}) disagrees with the provided "
+                f"service, which is a {inferred!r} deployment"
+            )
+        return _wrap(inferred, service, max_inp_rounds)
+    if backend is None:
+        raise TupleSpaceError("connect() needs a backend name or a service=")
+    if backend not in BACKENDS:
+        raise TupleSpaceError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if policy is None:
+        raise TupleSpaceError(f"connect({backend!r}) needs a policy= to build")
+    if backend == "local":
+        return LocalSpace(PEATS(policy))
+    if backend == "replicated":
+        return ReplicatedSpace(
+            ReplicatedPEATS(
+                policy,
+                f=f,
+                network_config=network_config,
+                replica_faults=dict(replica_faults) if replica_faults else None,
+                view_change_timeout=view_change_timeout,
+                max_batch_size=max_batch_size,
+                checkpoint_interval=checkpoint_interval,
+            )
+        )
+    return ShardedSpace(
+        ShardedPEATS(
+            policy,
+            shards=shards,
+            f=f,
+            routing=routing,
+            network_config=network_config,
+            replica_faults=dict(replica_faults) if replica_faults else None,
+            view_change_timeout=view_change_timeout,
+            max_batch_size=max_batch_size,
+            checkpoint_interval=checkpoint_interval,
+        ),
+        max_inp_rounds=max_inp_rounds,
+    )
+
+
+def _infer_backend(service: Any) -> str:
+    if isinstance(service, ShardedPEATS):
+        return "sharded"
+    if isinstance(service, ReplicatedPEATS):
+        return "replicated"
+    if isinstance(service, PEATS):
+        return "local"
+    raise TupleSpaceError(
+        f"connect() cannot wrap a {type(service).__name__}; expected a "
+        "PEATS, ReplicatedPEATS or ShardedPEATS deployment"
+    )
+
+
+def _wrap(backend: str, service: Any, max_inp_rounds: Optional[int]) -> Space:
+    if backend == "sharded":
+        return ShardedSpace(service, max_inp_rounds=max_inp_rounds)
+    if backend == "replicated":
+        return ReplicatedSpace(service)
+    return LocalSpace(service)

@@ -1,0 +1,143 @@
+"""The local (in-process) backend of the unified API.
+
+:class:`LocalSpace` fronts a single-address-space
+:class:`~repro.peo.peats.PEATS`.  Operations execute synchronously, so
+every future this backend hands out is already resolved when ``submit``
+returns — the *eager* end of the future spectrum, with the same payload
+shapes and exception model as the networked backends (it shares the
+payload-level execution path with the replica state machine via
+:meth:`~repro.peo.peats.PEATS.execute_operation`).
+
+Blocking reads wait on the space's condition variable in wall-clock
+seconds; this is the only backend whose :attr:`~repro.api.space.Space.
+time_unit` is real time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, Hashable
+
+from repro.errors import AccessDeniedError, OperationTimeoutError
+from repro.futures import OperationFuture
+from repro.api.space import Space
+from repro.peo.base import DENIED
+from repro.peo.peats import PEATS
+from repro.tuples import Entry, Template
+
+__all__ = ["LocalSpace"]
+
+
+class LocalSpace(Space):
+    """Unified handle over an in-process :class:`~repro.peo.peats.PEATS`."""
+
+    backend = "local"
+    time_unit = "wall-clock s"
+    #: Local blocking reads may only wait for a concurrent *thread* to
+    #: produce the tuple; a short default keeps single-threaded callers
+    #: from hanging forever (pass ``timeout=`` explicitly for longer waits).
+    default_blocking_timeout = 5.0
+    default_poll_interval = 0.05
+
+    def __init__(self, peats: PEATS) -> None:
+        self._peats = peats
+        self._request_ids = itertools.count()
+
+    @property
+    def service(self) -> PEATS:
+        """The underlying deployment (here: the PEATS itself)."""
+        return self._peats
+
+    @property
+    def peats(self) -> PEATS:
+        return self._peats
+
+    # ------------------------------------------------------------------
+    # Backend hooks
+    # ------------------------------------------------------------------
+
+    def _submit_probe(
+        self, operation: str, arguments: tuple, process: Hashable
+    ) -> OperationFuture:
+        future = OperationFuture(
+            operation=operation,
+            submitted_at=self._now(),
+            request_id=next(self._request_ids),
+        )
+        payload = self._peats.execute_operation(operation, arguments, process=process)
+        future._complete(self._now(), result=payload)
+        return future
+
+    def _submit_blocking(
+        self,
+        operation: str,
+        template: Template,
+        *,
+        process: Hashable,
+        timeout: float | None,
+        poll_interval: float | None,
+    ) -> OperationFuture:
+        """Blocking reads run eagerly as the Section 4 polling recipe.
+
+        The unified semantics are the ones every backend can honour: poll
+        the non-blocking probe (``rdp`` for ``rd``, ``inp`` for ``in``),
+        so a policy that grants the probe grants the blocking form too,
+        exactly as on the replicated backends.  There is no event loop to
+        reschedule on, so the future is resolved (or failed) before it is
+        returned — denial raises :class:`~repro.errors.AccessDeniedError`,
+        budget exhaustion :class:`~repro.errors.OperationTimeoutError`,
+        sleeping between polls to give concurrent threads a chance.
+        """
+        probe_operation = "rdp" if operation == "rd" else "inp"
+        budget = self.default_blocking_timeout if timeout is None else timeout
+        interval = self.default_poll_interval if poll_interval is None else poll_interval
+        future = OperationFuture(
+            operation=operation,
+            submitted_at=self._now(),
+            request_id=next(self._request_ids),
+        )
+        deadline = self._now() + budget
+        while True:
+            status, value = self._peats.execute_operation(
+                probe_operation, (template,), process=process
+            )
+            if status == DENIED:
+                future._complete(
+                    self._now(),
+                    exception=AccessDeniedError(
+                        str(value), process=process, operation=operation
+                    ),
+                )
+                return future
+            if value is not None:
+                future._complete(self._now(), result=("OK", value))
+                return future
+            remaining = deadline - self._now()
+            if remaining <= 0:
+                future._complete(
+                    self._now(),
+                    exception=OperationTimeoutError(
+                        f"no tuple matching {template!r} appeared within "
+                        f"{budget} {self.time_unit} on the {self.backend} backend"
+                    ),
+                )
+                return future
+            time.sleep(min(interval, remaining))
+
+    def _drive(self, future: OperationFuture) -> None:
+        """Local futures resolve eagerly; there is nothing to pump."""
+
+    def _now(self) -> float:
+        return time.monotonic()
+
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        raise NotImplementedError(
+            "the local backend resolves futures eagerly and never schedules"
+        )  # pragma: no cover - _submit_blocking is overridden above
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        return self._peats.snapshot()
+
+    def __repr__(self) -> str:
+        return f"LocalSpace(policy={self._peats.policy.name!r}, size={len(self._peats)})"

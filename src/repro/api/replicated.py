@@ -1,0 +1,69 @@
+"""The replicated backend of the unified API: one PBFT group.
+
+:class:`ReplicatedSpace` fronts a :class:`~repro.replication.service.
+ReplicatedPEATS`.  Each ``process`` maps to one authenticated
+:class:`~repro.replication.client.PEATSClient` identity (memoized on the
+service), probes resolve through the ``f + 1`` reply vote, and blocking
+reads are the Section 4 polling recipe scheduled on the network's virtual
+clock — all in **simulated milliseconds**.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.errors import ReplicationError
+from repro.futures import OperationFuture
+from repro.api.space import Space
+from repro.replication.service import ReplicatedPEATS
+from repro.tuples import Entry
+
+__all__ = ["ReplicatedSpace"]
+
+
+class ReplicatedSpace(Space):
+    """Unified handle over one ``3f + 1``-replica PBFT group."""
+
+    backend = "replicated"
+    time_unit = "simulated ms"
+    default_blocking_timeout = 1_000.0
+    default_poll_interval = 10.0
+
+    def __init__(self, service: ReplicatedPEATS) -> None:
+        self._service = service
+
+    @property
+    def service(self) -> ReplicatedPEATS:
+        return self._service
+
+    @property
+    def network(self):
+        return self._service.network
+
+    # ------------------------------------------------------------------
+    # Backend hooks
+    # ------------------------------------------------------------------
+
+    def _submit_probe(
+        self, operation: str, arguments: tuple, process: Hashable
+    ) -> OperationFuture:
+        return self._service.client(process).submit(operation, tuple(arguments))
+
+    def _drive(self, future: OperationFuture) -> None:
+        self._service.network.run_until(lambda: future.done)
+        if not future.done:  # pragma: no cover - retransmit timers prevent this
+            raise ReplicationError(
+                f"network drained before {future!r} resolved"
+            )
+
+    def _now(self) -> float:
+        return self._service.network.now
+
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        self._service.network.schedule_after(delay, callback)
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        return self._service.snapshot()
+
+    def __repr__(self) -> str:
+        return f"ReplicatedSpace(f={self._service.f}, replicas={self._service.n_replicas})"

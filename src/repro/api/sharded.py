@@ -1,0 +1,224 @@
+"""The sharded backend of the unified API, with cross-shard scatter-gather.
+
+:class:`ShardedSpace` fronts a :class:`~repro.cluster.service.ShardedPEATS`.
+Concrete-name operations route to the owning replica group exactly like the
+:class:`~repro.cluster.client.ShardedClient`; what is new — and only
+expressible at this layer, which owns routing, futures and the shared
+error model at once — is the ROADMAP's **scatter-gather** for wildcard-name
+templates:
+
+* wildcard-name ``rdp`` broadcasts the probe to *every* replica group (one
+  ``f + 1``-voted sub-request per group, so each group's answer is already
+  Byzantine-safe), then deterministically answers from the **lowest shard
+  id with a match**;
+* wildcard-name ``inp`` runs the same non-destructive read phase, then
+  retries destructively **on the winning shard only**, so removal stays a
+  single-shard atomic operation.  If the destructive retry loses the race
+  (another client removed the tuple between the probe and the take), the
+  read phase restarts, up to :attr:`ShardedSpace.max_inp_rounds` rounds.
+
+The determinism rule, in full: per round, answers are ordered by shard id;
+the winner is the lowest shard whose voted answer is an ``OK`` match; with
+no match anywhere, a denial from the lowest denying shard is surfaced,
+else the result is ``None``.  All remaining nondeterminism is the seeded
+network's, so a scenario replay returns identical results and winning
+shards.
+
+Wildcard-name ``cas`` would need a cross-group atomic commit and stays out
+of scope (see ROADMAP); it raises :class:`~repro.errors.CrossShardError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.errors import ReplicationError
+from repro.futures import OperationFuture
+from repro.api.space import Space
+from repro.cluster.client import ShardedClient
+from repro.cluster.service import ShardedPEATS
+from repro.peo.base import DENIED
+from repro.tuples import Entry, Template
+from repro.tuples.fields import is_defined
+
+__all__ = ["ShardedSpace"]
+
+
+class ShardedSpace(Space):
+    """Unified handle over a sharded cluster of PBFT replica groups."""
+
+    backend = "sharded"
+    time_unit = "simulated ms"
+    default_blocking_timeout = 1_000.0
+    default_poll_interval = 10.0
+    #: Read-then-take rounds a wildcard ``inp`` attempts before conceding
+    #: the race and answering ``None``.
+    max_inp_rounds = 8
+
+    def __init__(self, service: ShardedPEATS, *, max_inp_rounds: int | None = None) -> None:
+        self._service = service
+        if max_inp_rounds is not None:
+            self.max_inp_rounds = max_inp_rounds
+
+    @property
+    def service(self) -> ShardedPEATS:
+        return self._service
+
+    @property
+    def network(self):
+        return self._service.network
+
+    @property
+    def n_shards(self) -> int:
+        return self._service.n_shards
+
+    # ------------------------------------------------------------------
+    # Backend hooks
+    # ------------------------------------------------------------------
+
+    def _submit_probe(
+        self, operation: str, arguments: tuple, process: Hashable
+    ) -> OperationFuture:
+        client = self._service.client(process)
+        if operation in ("rdp", "inp"):
+            template = arguments[0]
+            if isinstance(template, (Entry, Template)) and not is_defined(
+                template.fields[0]
+            ):
+                return _ScatterGather(self, client, operation, template).future
+        return client.submit(operation, tuple(arguments))
+
+    def _drive(self, future: OperationFuture) -> None:
+        self._service.network.run_until(lambda: future.done)
+        if not future.done:  # pragma: no cover - retransmit timers prevent this
+            raise ReplicationError(f"network drained before {future!r} resolved")
+
+    def _now(self) -> float:
+        return self._service.network.now
+
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        self._service.network.schedule_after(delay, callback)
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        return self._service.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSpace(shards={self._service.n_shards}, f={self._service.f})"
+        )
+
+
+class _ScatterGather:
+    """One wildcard-name ``rdp``/``inp`` resolved across every shard.
+
+    Drives a composite :class:`~repro.futures.OperationFuture` through up
+    to :attr:`ShardedSpace.max_inp_rounds` rounds.  Each round issues one
+    probe per replica group **from the same client identity**; that is
+    safe under PBFT's one-outstanding-request-per-client rule because the
+    groups are disjoint — each group's replicas see exactly one of the
+    round's requests, and the next round starts only after every group
+    answered.
+    """
+
+    def __init__(
+        self,
+        space: ShardedSpace,
+        client: ShardedClient,
+        operation: str,
+        template: Template,
+    ) -> None:
+        self.space = space
+        self.client = client
+        self.operation = operation
+        self.template = template
+        self.rounds = 0
+        self.future = OperationFuture(
+            operation=operation, submitted_at=space._now()
+        )
+        self._answers: dict[int, tuple] = {}
+        self._probe_round()
+
+    # ------------------------------------------------------------------
+    # Read phase: one voted probe per replica group
+    # ------------------------------------------------------------------
+
+    def _probe_round(self) -> None:
+        self._answers = {}
+        for shard, group in enumerate(self.space.service.groups):
+            probe = self.client.submit(
+                "rdp", (self.template,), replica_ids=group.replica_ids
+            )
+            probe.shard = shard
+            if self.future.request_id is None:
+                self.future.request_id = probe.request_id
+            probe.add_done_callback(self._on_probe)
+
+    def _on_probe(self, probe: OperationFuture) -> None:
+        if self.future.done:
+            return
+        if probe.exception is not None:
+            self.future._complete(self.space._now(), exception=probe.exception)
+            return
+        self._answers[probe.shard] = probe.result()
+        if len(self._answers) == self.space.n_shards:
+            self._resolve_round()
+
+    def _resolve_round(self) -> None:
+        winner = None
+        for shard in sorted(self._answers):
+            status, value = self._answers[shard]
+            if status != DENIED and value is not None:
+                winner = shard
+                break
+        if winner is None:
+            self._complete_unmatched()
+            return
+        if self.operation == "rdp":
+            self.future.shard = winner
+            self.future._complete(self.space._now(), result=self._answers[winner])
+            return
+        self._take_from(winner)
+
+    def _complete_unmatched(self) -> None:
+        """No shard holds a match: surface the lowest denial, else None."""
+        now = self.space._now()
+        for shard in sorted(self._answers):
+            payload = self._answers[shard]
+            if payload[0] == DENIED:
+                self.future.shard = shard
+                self.future._complete(now, result=payload)
+                return
+        self.future._complete(now, result=("OK", None))
+
+    # ------------------------------------------------------------------
+    # Take phase (inp only): destructive retry on the winning shard
+    # ------------------------------------------------------------------
+
+    def _take_from(self, winner: int) -> None:
+        take = self.client.submit(
+            "inp",
+            (self.template,),
+            replica_ids=self.space.service.group(winner).replica_ids,
+        )
+        take.shard = winner
+        take.add_done_callback(self._on_take)
+
+    def _on_take(self, take: OperationFuture) -> None:
+        if self.future.done:
+            return
+        now = self.space._now()
+        if take.exception is not None:
+            self.future._complete(now, exception=take.exception)
+            return
+        status, value = take.result()
+        if status == DENIED or value is not None:
+            self.future.shard = take.shard
+            self.future._complete(now, result=(status, value))
+            return
+        # Lost the race: the probed tuple was removed before the take
+        # landed.  Re-run the read phase so removal never spans shards.
+        self.rounds += 1
+        if self.rounds >= self.space.max_inp_rounds:
+            self.future._complete(now, result=("OK", None))
+            return
+        self._probe_round()

@@ -1,0 +1,402 @@
+"""The unified tuple-space protocol: one ``Space`` over every backend.
+
+The paper's thesis is that *one* augmented tuple-space abstraction
+(``out``/``rd``/``in``/``rdp``/``inp``/``cas``) serves every coordination
+construction.  :class:`Space` makes that literal for the library's three
+deployment shapes — the in-process PEATS, one replicated PBFT group, and
+the sharded cluster — behind a single handle produced by
+:func:`repro.api.connect`:
+
+* every operation exists in a **blocking** form (``space.rd(t)``) and a
+  **future** form (``space.submit_rd(t)``) returning an
+  :class:`~repro.futures.OperationFuture`;
+* operations take the invoking identity as an optional ``process=``
+  keyword, and :meth:`Space.bind` produces a per-process view implementing
+  the classic :class:`~repro.tspace.interface.TupleSpaceInterface`, so the
+  consensus algorithms, universal constructions and coordination recipes
+  run against any backend unmodified;
+* timeouts and errors are uniform: blocking reads raise
+  :class:`~repro.errors.OperationTimeoutError` (template in the message)
+  on every backend, denials surface exactly as they do on the local PEATS
+  (falsy ``out``/``cas``, ``None`` reads, :class:`~repro.errors.
+  AccessDeniedError` from blocking reads).
+
+Futures resolve to reply-style payloads — ``("OK", value)`` or
+``("PEATS-DENIED", reason)`` — identical across backends; the blocking
+forms unwrap them.  Time units remain backend time (wall-clock seconds on
+the local backend, virtual milliseconds on the simulated ones); each
+subclass documents its :attr:`Space.time_unit`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Hashable, Optional
+
+from repro.errors import AccessDeniedError, OperationTimeoutError, TupleSpaceError
+from repro.futures import OperationFuture
+from repro.peo.base import DENIED, DeniedResult
+from repro.policy.invocation import Invocation
+from repro.policy.monitor import Decision
+from repro.tspace.interface import TupleSpaceInterface
+from repro.tuples import Entry, Template
+
+__all__ = ["Space", "BoundSpace", "PROBE_OPERATIONS", "BLOCKING_OPERATIONS"]
+
+#: The non-blocking operations every backend executes natively.
+PROBE_OPERATIONS = ("out", "rdp", "inp", "cas")
+#: The blocking reads, emulated where the backend has no server-side wait.
+BLOCKING_OPERATIONS = ("rd", "in")
+
+
+def _denied_result(process: Hashable, operation: str, reason: Any) -> DeniedResult:
+    decision = Decision(
+        allowed=False,
+        invocation=Invocation(process=process, operation=operation, arguments=()),
+        rule=None,
+        reason=str(reason),
+    )
+    return DeniedResult(decision)
+
+
+class Space(TupleSpaceInterface):
+    """Uniform handle over one tuple-space deployment.
+
+    Subclasses supply the backend hooks (submit a probe, drive the event
+    loop, read/advance the clock); the blocking API, the ``submit_*``
+    family and the shared timeout model are implemented here once, so all
+    backends observe the same semantics by construction.
+    """
+
+    #: Deployment shape this handle fronts: "local" | "replicated" | "sharded".
+    backend: str = "abstract"
+    #: Unit of ``timeout``/``latency`` values on this backend.
+    time_unit: str = "units"
+    #: Default budget for blocking reads when no timeout is given.
+    default_blocking_timeout: float = 1_000.0
+    #: Default spacing between polls of an emulated blocking read.
+    default_poll_interval: float = 10.0
+
+    # ------------------------------------------------------------------
+    # Backend hooks
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _submit_probe(
+        self, operation: str, arguments: tuple, process: Hashable
+    ) -> OperationFuture:
+        """Submit one non-blocking operation; returns its payload future."""
+
+    @abc.abstractmethod
+    def _drive(self, future: OperationFuture) -> None:
+        """Advance the backend until ``future`` resolves (no-op when eager)."""
+
+    @abc.abstractmethod
+    def _now(self) -> float:
+        """The backend clock reading (used to stamp and budget futures)."""
+
+    @abc.abstractmethod
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` backend-time units."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> tuple[Entry, ...]:
+        """All entries currently stored across the whole deployment."""
+
+    # ------------------------------------------------------------------
+    # Future-first API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        operation: str,
+        arguments: tuple,
+        *,
+        process: Hashable = None,
+        on_complete: Callable[[OperationFuture], None] | None = None,
+        timeout: float | None = None,
+        poll_interval: float | None = None,
+    ) -> OperationFuture:
+        """Submit any tuple-space operation, returning its future.
+
+        ``timeout``/``poll_interval`` apply to the blocking reads (``rd``/
+        ``in``) only, in backend-time units.  The future resolves to a
+        reply payload (``("OK", value)`` / ``("PEATS-DENIED", reason)``);
+        blocking-read futures instead fail with
+        :class:`~repro.errors.OperationTimeoutError` on budget exhaustion
+        and :class:`~repro.errors.AccessDeniedError` on denial, mirroring
+        their blocking counterparts.
+        """
+        if operation in PROBE_OPERATIONS:
+            if timeout is not None or poll_interval is not None:
+                raise TupleSpaceError(
+                    f"timeout/poll_interval only apply to blocking reads, "
+                    f"not {operation!r}"
+                )
+            future = self._submit_probe(operation, tuple(arguments), process)
+        elif operation in BLOCKING_OPERATIONS:
+            future = self._submit_blocking(
+                operation,
+                arguments[0],
+                process=process,
+                timeout=timeout,
+                poll_interval=poll_interval,
+            )
+        else:
+            raise TupleSpaceError(f"unknown tuple-space operation {operation!r}")
+        if on_complete is not None:
+            future.add_done_callback(on_complete)
+        return future
+
+    def submit_out(self, entry: Entry, **options: Any) -> OperationFuture:
+        return self.submit("out", (entry,), **options)
+
+    def submit_rdp(self, template: Template, **options: Any) -> OperationFuture:
+        return self.submit("rdp", (template,), **options)
+
+    def submit_inp(self, template: Template, **options: Any) -> OperationFuture:
+        return self.submit("inp", (template,), **options)
+
+    def submit_cas(self, template: Template, entry: Entry, **options: Any) -> OperationFuture:
+        return self.submit("cas", (template, entry), **options)
+
+    def submit_rd(self, template: Template, **options: Any) -> OperationFuture:
+        return self.submit("rd", (template,), **options)
+
+    def submit_in(self, template: Template, **options: Any) -> OperationFuture:
+        return self.submit("in", (template,), **options)
+
+    def _submit_blocking(
+        self,
+        operation: str,
+        template: Template,
+        *,
+        process: Hashable,
+        timeout: float | None,
+        poll_interval: float | None,
+    ) -> OperationFuture:
+        """Emulate a blocking read as a self-rescheduling probe chain.
+
+        The recipe of Section 4: poll the non-blocking variant, letting
+        backend time advance between attempts so other clients (and view
+        changes) make progress.  Everything happens through completion
+        callbacks, so many blocking reads can be in flight concurrently —
+        this is what lets scenario clients issue ``rd``/``in`` steps.
+        """
+        probe_operation = "rdp" if operation == "rd" else "inp"
+        budget = self.default_blocking_timeout if timeout is None else timeout
+        interval = self.default_poll_interval if poll_interval is None else poll_interval
+        future = OperationFuture(operation=operation, submitted_at=self._now())
+        deadline = self._now() + budget
+
+        def attempt() -> None:
+            if future.done:
+                return
+            probe = self._submit_probe(probe_operation, (template,), process)
+            if future.request_id is None:
+                future.request_id = probe.request_id
+            probe.add_done_callback(resolve)
+
+        def resolve(probe: OperationFuture) -> None:
+            if future.done:
+                return
+            now = self._now()
+            if probe.exception is not None:
+                future._complete(now, exception=probe.exception)
+                return
+            status, value = probe.result()
+            if status == DENIED:
+                future._complete(
+                    now,
+                    exception=AccessDeniedError(
+                        str(value), process=process, operation=operation
+                    ),
+                )
+                return
+            if value is not None:
+                future.shard = probe.shard
+                future._complete(now, result=("OK", value))
+                return
+            if now >= deadline:
+                future._complete(
+                    now,
+                    exception=OperationTimeoutError(
+                        f"no tuple matching {template!r} appeared within "
+                        f"{budget} {self.time_unit} on the {self.backend} backend"
+                    ),
+                )
+                return
+            self._schedule(min(interval, deadline - now), attempt)
+
+        attempt()
+        return future
+
+    # ------------------------------------------------------------------
+    # Blocking API (TupleSpaceInterface, plus the invoking process)
+    # ------------------------------------------------------------------
+
+    def _execute(self, operation: str, arguments: tuple, process: Hashable) -> tuple[str, Any]:
+        future = self._submit_probe(operation, tuple(arguments), process)
+        self._drive(future)
+        return future.result()
+
+    def out(self, entry: Entry, *, process: Hashable = None) -> Any:
+        status, value = self._execute("out", (entry,), process)
+        if status == DENIED:
+            return _denied_result(process, "out", value)
+        return value
+
+    def rdp(self, template: Template, *, process: Hashable = None) -> Optional[Entry]:
+        status, value = self._execute("rdp", (template,), process)
+        if status == DENIED:
+            return None
+        return value
+
+    def inp(self, template: Template, *, process: Hashable = None) -> Optional[Entry]:
+        status, value = self._execute("inp", (template,), process)
+        if status == DENIED:
+            return None
+        return value
+
+    def cas(
+        self, template: Template, entry: Entry, *, process: Hashable = None
+    ) -> tuple[Any, Optional[Entry]]:
+        status, value = self._execute("cas", (template, entry), process)
+        if status == DENIED:
+            return _denied_result(process, "cas", value), None
+        inserted, existing = value
+        return inserted, existing
+
+    def rd(
+        self,
+        template: Template,
+        *,
+        timeout: float | None = None,
+        poll_interval: float | None = None,
+        process: Hashable = None,
+    ) -> Entry:
+        return self._blocking_read(
+            "rd", template, timeout=timeout, poll_interval=poll_interval, process=process
+        )
+
+    def in_(
+        self,
+        template: Template,
+        *,
+        timeout: float | None = None,
+        poll_interval: float | None = None,
+        process: Hashable = None,
+    ) -> Entry:
+        return self._blocking_read(
+            "in", template, timeout=timeout, poll_interval=poll_interval, process=process
+        )
+
+    def _blocking_read(
+        self,
+        operation: str,
+        template: Template,
+        *,
+        timeout: float | None,
+        poll_interval: float | None,
+        process: Hashable,
+    ) -> Entry:
+        future = self._submit_blocking(
+            operation, template, process=process, timeout=timeout, poll_interval=poll_interval
+        )
+        self._drive(future)
+        status, value = future.result()
+        return value
+
+    # ------------------------------------------------------------------
+    # Per-process views
+    # ------------------------------------------------------------------
+
+    def bind(self, process: Hashable) -> "BoundSpace":
+        """A view through which ``process`` issues its operations."""
+        return BoundSpace(self, process)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(backend={self.backend!r})"
+
+
+class BoundSpace(TupleSpaceInterface):
+    """Per-process view of a :class:`Space`.
+
+    Implements the classic :class:`~repro.tspace.interface.
+    TupleSpaceInterface` (so algorithms written against it run on any
+    backend) and carries the whole ``submit_*`` family with the process
+    pre-bound.
+    """
+
+    def __init__(self, space: Space, process: Hashable) -> None:
+        self._space = space
+        self._process = process
+
+    @property
+    def process(self) -> Hashable:
+        return self._process
+
+    @property
+    def space(self) -> Space:
+        return self._space
+
+    def submit(self, operation: str, arguments: tuple, **options: Any) -> OperationFuture:
+        return self._space.submit(operation, arguments, process=self._process, **options)
+
+    def submit_out(self, entry: Entry, **options: Any) -> OperationFuture:
+        return self.submit("out", (entry,), **options)
+
+    def submit_rdp(self, template: Template, **options: Any) -> OperationFuture:
+        return self.submit("rdp", (template,), **options)
+
+    def submit_inp(self, template: Template, **options: Any) -> OperationFuture:
+        return self.submit("inp", (template,), **options)
+
+    def submit_cas(self, template: Template, entry: Entry, **options: Any) -> OperationFuture:
+        return self.submit("cas", (template, entry), **options)
+
+    def submit_rd(self, template: Template, **options: Any) -> OperationFuture:
+        return self.submit("rd", (template,), **options)
+
+    def submit_in(self, template: Template, **options: Any) -> OperationFuture:
+        return self.submit("in", (template,), **options)
+
+    def out(self, entry: Entry) -> Any:
+        return self._space.out(entry, process=self._process)
+
+    def rdp(self, template: Template) -> Optional[Entry]:
+        return self._space.rdp(template, process=self._process)
+
+    def inp(self, template: Template) -> Optional[Entry]:
+        return self._space.inp(template, process=self._process)
+
+    def rd(
+        self,
+        template: Template,
+        *,
+        timeout: float | None = None,
+        poll_interval: float | None = None,
+    ) -> Entry:
+        return self._space.rd(
+            template, timeout=timeout, poll_interval=poll_interval, process=self._process
+        )
+
+    def in_(
+        self,
+        template: Template,
+        *,
+        timeout: float | None = None,
+        poll_interval: float | None = None,
+    ) -> Entry:
+        return self._space.in_(
+            template, timeout=timeout, poll_interval=poll_interval, process=self._process
+        )
+
+    def cas(self, template: Template, entry: Entry) -> tuple[Any, Optional[Entry]]:
+        return self._space.cas(template, entry, process=self._process)
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        return self._space.snapshot()
+
+    def __repr__(self) -> str:
+        return f"BoundSpace(backend={self._space.backend!r}, process={self._process!r})"

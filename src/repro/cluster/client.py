@@ -7,7 +7,10 @@ routed by tuple name through the cluster's
 replica group — the ``f + 1`` reply vote then runs against that group's
 replicas exactly as in the single-group deployment.  Templates whose name
 field is a wildcard raise :class:`~repro.errors.CrossShardError` at
-submission time (see the routing module).
+submission time (see the routing module); the unified API's
+:class:`~repro.api.ShardedSpace` sits above this client and resolves
+wildcard-name ``rdp``/``inp`` by scatter-gathering over every group
+(using this client's per-request ``replica_ids`` override).
 
 :class:`ShardedClientView` is the tuple-space facade over that client; it
 is the single-group :class:`~repro.replication.service.ReplicatedClientView`

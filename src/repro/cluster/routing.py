@@ -198,8 +198,9 @@ class ShardMap:
         if not is_defined(name):
             raise CrossShardError(
                 f"template {item!r} has a wildcard/formal name field and "
-                "cannot be routed to a single shard (scatter-gather reads "
-                "are not implemented yet)"
+                "cannot be routed to a single shard; wildcard-name rdp/inp "
+                "scatter-gather is available through the unified API "
+                "(repro.api.connect)"
             )
         return self.shard_of(name)
 
@@ -211,6 +212,14 @@ class ShardMap:
             return self.shard_of_tuple(arguments[0])
         if operation == "cas":
             template_arg, entry_arg = arguments
+            if not is_defined(template_arg.fields[0]):
+                raise CrossShardError(
+                    f"cas template {template_arg!r} has a wildcard/formal "
+                    "name field: a multi-shard cas would need a cross-group "
+                    "atomic commit and stays out of scope; only wildcard-name "
+                    "rdp/inp are supported cross-shard, via scatter-gather on "
+                    "the unified API (repro.api.connect)"
+                )
             target = self.shard_of_tuple(entry_arg)
             if self.shard_of_tuple(template_arg) != target:
                 raise CrossShardError(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Collection, Hashable
 
+from repro.coordination.binding import bound_view
 from repro.errors import TerminationError
 from repro.peo.peats import PEATS
 from repro.policy.expressions import Condition
@@ -77,11 +78,18 @@ class Barrier:
         *,
         space: Any | None = None,
     ) -> None:
+        """``space`` may be any shared handle speaking the unified protocol
+        — a local :class:`~repro.peo.peats.PEATS`, a replicated shared
+        space, or a :class:`~repro.api.Space` from
+        :func:`repro.api.connect` — so the same barrier runs over any
+        deployment shape.  A local PEATS guarded by the barrier policy is
+        created when omitted."""
         self._processes = tuple(processes)
         self._t = t
         if len(self._processes) <= t:
             raise ValueError("the barrier needs more processes than Byzantine faults")
         self._space = space if space is not None else PEATS(barrier_policy(self._processes))
+        self._views: dict[Hashable, Any] = {}
 
     @property
     def space(self) -> Any:
@@ -134,17 +142,16 @@ class Barrier:
                 )
 
     # ------------------------------------------------------------------
-    # Space helpers
+    # Space helpers (per-process views of the unified protocol)
     # ------------------------------------------------------------------
 
+    def _view(self, process):
+        if process not in self._views:
+            self._views[process] = bound_view(self._space, process)
+        return self._views[process]
+
     def _out(self, new_entry, process):
-        try:
-            return self._space.out(new_entry, process=process)
-        except TypeError:
-            return self._space.out(new_entry)
+        return self._view(process).out(new_entry)
 
     def _rdp(self, pattern, process):
-        try:
-            return self._space.rdp(pattern, process=process)
-        except TypeError:
-            return self._space.rdp(pattern)
+        return self._view(process).rdp(pattern)

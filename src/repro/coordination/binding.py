@@ -1,0 +1,92 @@
+"""Binding shared space handles to an invoking process.
+
+The coordination recipes program against the unified protocol of
+:mod:`repro.api`: a shared space handle offers ``bind(process)`` and the
+resulting per-process view speaks the classic
+:class:`~repro.tspace.interface.TupleSpaceInterface`.  The local
+:class:`~repro.peo.peats.PEATS`, the replicated
+``SharedReplicatedSpace`` adapter and every :class:`~repro.api.Space`
+returned by :func:`repro.api.connect` all provide it — so the same
+``Barrier``/``DistributedLock``/``LeaderElection`` instance runs
+unmodified over any backend.
+
+For shared spaces predating the protocol (operations taking a
+``process=`` keyword, or plain per-process views), :func:`bound_view`
+falls back to a keyword-forwarding shim.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Hashable, Optional
+
+from repro.tuples import Entry, Template
+
+__all__ = ["bound_view"]
+
+
+def _accepts_process(method: Any) -> bool:
+    """Whether ``method`` takes a ``process=`` keyword.
+
+    Decided from the signature, not by calling and catching
+    :class:`TypeError` — a ``TypeError`` raised *inside* a mutating
+    operation must propagate, never trigger a second execution.
+    Uninspectable callables are treated as keyword-less (the safe,
+    single-execution default).
+    """
+    try:
+        signature = inspect.signature(method)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == "process" and parameter.kind in (
+            inspect.Parameter.KEYWORD_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            return True
+    return False
+
+
+class _KeywordBoundView:
+    """Shim forwarding operations with ``process=`` where accepted."""
+
+    def __init__(self, space: Any, process: Hashable) -> None:
+        self._space = space
+        self._process = process
+        self._takes_process: dict[str, bool] = {}
+
+    def _invoke(self, operation: str, *arguments: Any) -> Any:
+        method = getattr(self._space, operation)
+        if operation not in self._takes_process:
+            self._takes_process[operation] = _accepts_process(method)
+        if self._takes_process[operation]:
+            return method(*arguments, process=self._process)
+        return method(*arguments)
+
+    def out(self, entry: Entry) -> Any:
+        return self._invoke("out", entry)
+
+    def rdp(self, template: Template) -> Optional[Entry]:
+        return self._invoke("rdp", template)
+
+    def inp(self, template: Template) -> Optional[Entry]:
+        return self._invoke("inp", template)
+
+    def cas(self, template: Template, entry: Entry) -> Any:
+        return self._invoke("cas", template, entry)
+
+    def snapshot(self) -> tuple[Entry, ...]:
+        return self._space.snapshot()
+
+    def __repr__(self) -> str:
+        return f"_KeywordBoundView(process={self._process!r})"
+
+
+def bound_view(space: Any, process: Hashable) -> Any:
+    """A per-process view of ``space`` (the unified-protocol entry point)."""
+    bind = getattr(space, "bind", None)
+    if callable(bind):
+        return bind(process)
+    return _KeywordBoundView(space, process)

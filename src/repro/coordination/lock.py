@@ -81,7 +81,14 @@ def ticket_lock_type() -> ObjectType:
 
 
 class DistributedLock:
-    """Mutual exclusion for a known set of processes over a PEATS."""
+    """Mutual exclusion for a known set of processes over a PEATS.
+
+    ``space`` may be any shared handle speaking the unified protocol — a
+    local :class:`~repro.peo.peats.PEATS`, a replicated shared space, or a
+    :class:`~repro.api.Space` from :func:`repro.api.connect` — so one lock
+    program runs unmodified over the in-process, replicated and sharded
+    deployments.
+    """
 
     def __init__(
         self,

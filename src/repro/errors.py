@@ -16,6 +16,8 @@ __all__ = [
     "PolicyEvaluationError",
     "AccessDeniedError",
     "TupleSpaceError",
+    "OperationTimeoutError",
+    "BlockingReadTimeout",
     "PendingOperationError",
     "ConsensusError",
     "TerminationError",
@@ -81,11 +83,31 @@ class TupleSpaceError(ReproError):
     """Base class for tuple-space errors."""
 
 
+class OperationTimeoutError(TupleSpaceError, TimeoutError):
+    """Raised when a blocking ``rd``/``in`` finds no match within its budget.
+
+    The one timeout exception of the unified API: every backend — the local
+    spaces (wall-clock seconds), the replicated client views and the
+    :mod:`repro.api` handles (simulated milliseconds) — raises this same
+    class, with the unmatched template in the message.  It derives from the
+    builtin :class:`TimeoutError`, so pre-existing ``except TimeoutError``
+    handlers (the deprecated spelling) keep working.
+    """
+
+
+#: Deprecated convenience alias (the unification previously surfaced the
+#: builtin :class:`TimeoutError`, which still catches via inheritance);
+#: new code should catch :class:`OperationTimeoutError`.
+BlockingReadTimeout = OperationTimeoutError
+
+
 class PendingOperationError(TupleSpaceError):
     """Raised when a process violates well-formedness (correct interaction).
 
     The paper assumes every process invokes a new operation only after the
-    previous one returned; the linearizable wrapper can enforce this.
+    previous one returned; the linearizable wrapper can enforce this.  The
+    unified API raises it likewise when a future's result is read while the
+    operation is still in flight.
     """
 
 

@@ -1,0 +1,122 @@
+"""Backend-agnostic operation futures.
+
+:class:`OperationFuture` represents one tuple-space operation in flight
+and is the currency of the unified :mod:`repro.api` layer: every backend's
+``submit_*`` methods return one, whether the operation resolves eagerly
+(the local in-process PEATS), through an ``f + 1`` reply vote (one
+replicated PBFT group), or through a cross-shard scatter-gather (the
+sharded cluster).
+
+The class generalises what used to be the replicated client's
+``PendingRequest``: the future mechanics — result/exception storage,
+latency accounting, completion callbacks — live here, and
+:class:`repro.replication.client.PendingRequest` extends them with the
+request/retransmission machinery only the networked client needs.
+
+Time units are backend time: the simulated backends stamp
+``submitted_at``/``completed_at`` with the network's virtual clock
+(milliseconds), the local backend with a wall-clock monotonic reading
+(seconds).  ``latency`` is therefore comparable only within one backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import PendingOperationError
+
+__all__ = ["OperationFuture"]
+
+
+class OperationFuture:
+    """A tuple-space operation in flight: a future with completion callbacks.
+
+    The resolved value is a reply-style payload — an ``("OK", value)`` or
+    ``("PEATS-DENIED", reason)`` pair — identical across backends, which is
+    what makes the conformance suite's observable-equivalence checks
+    possible.  Callbacks registered with :meth:`add_done_callback` fire
+    synchronously at completion (immediately when already done).
+    """
+
+    __slots__ = (
+        "operation",
+        "request_id",
+        "shard",
+        "submitted_at",
+        "completed_at",
+        "done",
+        "_result",
+        "_exception",
+        "_callbacks",
+    )
+
+    def __init__(
+        self,
+        operation: str = "",
+        submitted_at: float = 0.0,
+        *,
+        request_id: Optional[int] = None,
+    ) -> None:
+        #: The tuple-space operation this future resolves ("out", "rdp", ...).
+        self.operation = operation
+        #: Backend-assigned id of the underlying request (``None`` until one
+        #: exists — composite futures adopt their first sub-request's id).
+        self.request_id = request_id
+        #: Shard that answered the operation (``None`` when unsharded or
+        #: still in flight; a scatter-gather sets it to the winning shard).
+        self.shard: Optional[int] = None
+        self.submitted_at = submitted_at
+        self.completed_at: Optional[float] = None
+        self.done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["OperationFuture"], None]] = []
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Backend-time latency, or ``None`` while in flight."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def result(self) -> Any:
+        """The resolved payload; raises if failed or still in flight."""
+        if not self.done:
+            raise PendingOperationError(
+                f"operation {self.operation!r} (request {self.request_id!r}) "
+                "is still in flight"
+            )
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def add_done_callback(self, callback: Callable[["OperationFuture"], None]) -> None:
+        """Call ``callback(self)`` on completion (immediately if already done)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _complete(
+        self, now: float, result: Any = None, exception: BaseException | None = None
+    ) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.completed_at = now
+        self._result = result
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "in-flight"
+        return (
+            f"{type(self).__name__}(operation={self.operation!r}, "
+            f"request_id={self.request_id!r}, {state})"
+        )

@@ -31,7 +31,13 @@ from repro.policy.monitor import Decision, ReferenceMonitor
 from repro.policy.policy import AccessPolicy
 from repro.tspace.history import HistoryRecorder
 
-__all__ = ["DeniedResult", "PolicyEnforcedObject"]
+__all__ = ["DENIED", "DeniedResult", "PolicyEnforcedObject"]
+
+#: Marker used in serialised reply payloads for a denied invocation.  The
+#: replicated service puts it on the wire in ``ClientReply`` payloads, and
+#: the unified :mod:`repro.api` layer uses the same shape for every backend
+#: so denial payloads compare equal across deployment shapes.
+DENIED = "PEATS-DENIED"
 
 
 class DeniedResult:

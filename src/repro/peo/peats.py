@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Optional
 
 from repro.errors import AccessDeniedError
-from repro.peo.base import DeniedResult, PolicyEnforcedObject
+from repro.peo.base import DENIED, DeniedResult, PolicyEnforcedObject
 from repro.policy.policy import AccessPolicy
 from repro.tspace.augmented import AugmentedTupleSpace
 from repro.tspace.history import HistoryRecorder
@@ -127,6 +127,48 @@ class PEATS(PolicyEnforcedObject):
         if isinstance(result, DeniedResult):
             return result, None
         return result
+
+    # ------------------------------------------------------------------
+    # Payload-level execution (the unified-API request path)
+    # ------------------------------------------------------------------
+
+    def execute_operation(
+        self, operation: str, arguments: tuple, *, process: Any = None
+    ) -> tuple[str, Any]:
+        """Execute one non-blocking operation as a reply-style payload.
+
+        Returns the same ``("OK", value)`` / ``("PEATS-DENIED", reason)``
+        pairs a :class:`~repro.replication.replica.PEATSReplica` produces
+        for the replicated deployment, which is what lets the local backend
+        of :mod:`repro.api` present byte-identical observable results to
+        the networked ones (including distinguishing a denied ``rdp`` from
+        a no-match ``rdp``, which the plain :meth:`rdp` deliberately
+        collapses to ``None``).
+        """
+        if operation == "out":
+            result = self._guarded(
+                process, "out", arguments, lambda: self._space.out(arguments[0])
+            )
+        elif operation == "rdp":
+            result = self._guarded(
+                process, "rdp", arguments, lambda: self._space.rdp(arguments[0])
+            )
+        elif operation == "inp":
+            result = self._guarded(
+                process, "inp", arguments, lambda: self._space.inp(arguments[0])
+            )
+        elif operation == "cas":
+            result = self._guarded(
+                process,
+                "cas",
+                arguments,
+                lambda: self._space.cas(arguments[0], arguments[1]),
+            )
+        else:
+            return (DENIED, f"unsupported operation {operation!r}")
+        if isinstance(result, DeniedResult):
+            return (DENIED, result.reason)
+        return ("OK", result)
 
     # ------------------------------------------------------------------
     # Introspection (not policy mediated — used by tests and benchmarks;

@@ -34,34 +34,27 @@ import collections
 from typing import Any, Callable, Hashable, Optional
 
 from repro.errors import QuorumError, ReplicationError
+from repro.futures import OperationFuture
 from repro.replication.messages import ClientReply, ClientRequest, authenticate_request
 from repro.replication.network import SimulatedNetwork, Timer
 
 __all__ = ["PendingRequest", "PEATSClient"]
 
 
-class PendingRequest:
+class PendingRequest(OperationFuture):
     """A request in flight: a future resolved by the ``f + 1`` reply vote.
 
-    Created by :meth:`PEATSClient.submit`.  Completion callbacks registered
-    with :meth:`add_done_callback` fire (synchronously, inside the network
-    event loop) when the vote succeeds or the request is abandoned after
-    too many retransmissions.
+    Created by :meth:`PEATSClient.submit`.  The future mechanics (result,
+    exception, latency, completion callbacks) come from the backend-agnostic
+    :class:`~repro.futures.OperationFuture`; this subclass adds what only
+    the networked request path needs — the authenticated request itself,
+    its target replica group, and the retransmission timer.  Completion
+    callbacks fire (synchronously, inside the network event loop) when the
+    vote succeeds or the request is abandoned after too many
+    retransmissions.
     """
 
-    __slots__ = (
-        "request",
-        "submitted_at",
-        "completed_at",
-        "attempts",
-        "done",
-        "targets",
-        "shard",
-        "_result",
-        "_exception",
-        "_callbacks",
-        "_timer",
-    )
+    __slots__ = ("request", "attempts", "targets", "_timer")
 
     def __init__(
         self,
@@ -70,63 +63,26 @@ class PendingRequest:
         *,
         targets: tuple[Hashable, ...] = (),
     ) -> None:
+        super().__init__(
+            operation=request.operation,
+            submitted_at=submitted_at,
+            request_id=request.request_id,
+        )
         self.request = request
-        self.submitted_at = submitted_at
-        self.completed_at: Optional[float] = None
         self.attempts = 0
-        self.done = False
         #: The replica group this request was addressed (and retransmitted) to.
         self.targets = targets
-        #: Shard index the request was routed to (``None`` when unsharded).
-        self.shard: Optional[int] = None
-        self._result: Any = None
-        self._exception: Optional[BaseException] = None
-        self._callbacks: list[Callable[["PendingRequest"], None]] = []
         self._timer: Optional[Timer] = None
 
     @property
     def key(self) -> tuple:
         return self.request.key
 
-    @property
-    def exception(self) -> Optional[BaseException]:
-        return self._exception
-
-    @property
-    def latency(self) -> Optional[float]:
-        """Virtual-time latency (ms), or ``None`` while in flight."""
-        if self.completed_at is None:
-            return None
-        return self.completed_at - self.submitted_at
-
-    def result(self) -> Any:
-        """The voted result; raises if the request failed or is in flight."""
-        if not self.done:
-            raise ReplicationError(f"request {self.key} is still in flight")
-        if self._exception is not None:
-            raise self._exception
-        return self._result
-
-    def add_done_callback(self, callback: Callable[["PendingRequest"], None]) -> None:
-        """Call ``callback(self)`` on completion (immediately if already done)."""
-        if self.done:
-            callback(self)
-        else:
-            self._callbacks.append(callback)
-
     def _complete(self, now: float, result: Any = None, exception: BaseException | None = None) -> None:
-        if self.done:
-            return
-        self.done = True
-        self.completed_at = now
-        self._result = result
-        self._exception = exception
-        if self._timer is not None:
+        if not self.done and self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        super()._complete(now, result=result, exception=exception)
 
     def __repr__(self) -> str:
         state = "done" if self.done else "in-flight"

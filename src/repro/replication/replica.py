@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.peo.base import DENIED
 from repro.policy.invocation import Invocation
 from repro.policy.monitor import ReferenceMonitor
 from repro.policy.policy import AccessPolicy
@@ -37,10 +38,7 @@ from repro.replication.messages import ClientRequest
 from repro.tspace.augmented import AugmentedTupleSpace
 from repro.tuples import Entry, Template
 
-__all__ = ["PEATSReplica", "ExecutionResult"]
-
-#: Marker used in serialised results for a denied invocation.
-DENIED = "PEATS-DENIED"
+__all__ = ["DENIED", "PEATSReplica", "ExecutionResult"]
 
 
 class ExecutionResult:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterable, Optional, Sequence
 
-from repro.errors import AccessDeniedError, ReplicationError
+from repro.errors import AccessDeniedError, OperationTimeoutError, ReplicationError
 from repro.peo.base import DeniedResult
 from repro.policy.monitor import Decision
 from repro.policy.invocation import Invocation
@@ -278,8 +278,9 @@ class ReplicatedClientView(TupleSpaceInterface):
         Mirroring the local :class:`~repro.peo.peats.PEATS`, a policy denial
         raises :class:`~repro.errors.AccessDeniedError` immediately (it is
         checked on the first probe, not retried until the timeout).  When no
-        match appears within the budget, raises :class:`TimeoutError` like
-        the local :class:`~repro.tspace.space.TupleSpace` — but note the
+        match appears within the budget, raises
+        :class:`~repro.errors.OperationTimeoutError` like the local
+        :class:`~repro.tspace.space.TupleSpace` — but note the
         unit: ``timeout``/``poll_interval`` are **simulated milliseconds**
         on the deployment's virtual clock, whereas the local spaces wait in
         wall-clock seconds.
@@ -298,7 +299,7 @@ class ReplicatedClientView(TupleSpaceInterface):
                 return value
             remaining = deadline - network.now
             if remaining <= 0:
-                raise TimeoutError(
+                raise OperationTimeoutError(
                     f"no tuple matching {template!r} appeared within {budget} simulated ms"
                 )
             network.run_for(min(interval, remaining))

@@ -41,8 +41,10 @@ from repro.sim.clients import (
     is_denied,
     ok_value,
     op_cas,
+    op_in,
     op_inp,
     op_out,
+    op_rd,
     op_rdp,
 )
 from repro.sim.engine import (
@@ -74,6 +76,8 @@ __all__ = [
     "op_rdp",
     "op_inp",
     "op_cas",
+    "op_rd",
+    "op_in",
     "ok_value",
     "is_denied",
     "FaultEvent",

@@ -4,10 +4,16 @@ A *client program* is a plain Python generator: it ``yield``s the steps it
 wants to take and receives each step's outcome back as the value of the
 ``yield`` expression.  Two step kinds exist:
 
-* :class:`Op` — submit one tuple-space operation through the client's
-  non-blocking request path.  The generator resumes — when the ``f + 1``
-  reply vote succeeds — with the unwrapped reply payload, an
-  ``("OK", value)`` or ``("DENIED", reason)`` pair.
+* :class:`Op` — submit one tuple-space operation through the engine's
+  unified :class:`~repro.api.Space` handle (the future-first request
+  path).  The generator resumes — when the operation's
+  :class:`~repro.futures.OperationFuture` resolves — with the reply
+  payload, an ``("OK", value)`` or ``("DENIED", reason)`` pair.  Besides
+  the probes (``out``/``rdp``/``inp``/``cas``) a program may yield the
+  blocking reads ``rd``/``in`` (with per-step ``timeout``/
+  ``poll_interval``), which the Space emulates as probe chains on the
+  virtual clock — and, on a sharded cluster, wildcard-name ``rdp``/``inp``
+  steps, which scatter-gather across every replica group.
 * :class:`Pause` — sleep for some virtual milliseconds (a network timer).
 
 Because the generator suspends at every ``yield`` and the engine resumes
@@ -32,8 +38,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Generator, Hashable, Optional, Union
 
+from repro.api.space import BLOCKING_OPERATIONS, PROBE_OPERATIONS
 from repro.errors import ReproError, SimulationError
-from repro.replication.client import PendingRequest
+from repro.futures import OperationFuture
 from repro.replication.replica import DENIED
 from repro.tuples import Entry, Template
 
@@ -44,23 +51,37 @@ __all__ = [
     "op_rdp",
     "op_inp",
     "op_cas",
+    "op_rd",
+    "op_in",
     "ok_value",
     "is_denied",
     "ClientProgram",
     "ClientRunner",
 ]
 
-
 @dataclasses.dataclass(frozen=True)
 class Op:
-    """One tuple-space operation to submit to the replicated service."""
+    """One tuple-space operation to submit through the unified Space.
+
+    ``timeout``/``poll_interval`` (virtual ms) apply only to the blocking
+    reads ``rd``/``in``.
+    """
 
     operation: str
     arguments: tuple
+    timeout: Optional[float] = None
+    poll_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.operation not in ("out", "rdp", "inp", "cas"):
+        if self.operation not in PROBE_OPERATIONS + BLOCKING_OPERATIONS:
             raise SimulationError(f"unsupported simulated operation {self.operation!r}")
+        if self.operation not in BLOCKING_OPERATIONS and (
+            self.timeout is not None or self.poll_interval is not None
+        ):
+            raise SimulationError(
+                f"timeout/poll_interval only apply to blocking reads, "
+                f"not {self.operation!r}"
+            )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,6 +115,24 @@ def op_cas(template: Template, entry: Entry) -> Op:
     return Op("cas", (template, entry))
 
 
+def op_rd(
+    template: Template,
+    *,
+    timeout: Optional[float] = None,
+    poll_interval: Optional[float] = None,
+) -> Op:
+    return Op("rd", (template,), timeout=timeout, poll_interval=poll_interval)
+
+
+def op_in(
+    template: Template,
+    *,
+    timeout: Optional[float] = None,
+    poll_interval: Optional[float] = None,
+) -> Op:
+    return Op("in", (template,), timeout=timeout, poll_interval=poll_interval)
+
+
 def ok_value(payload: Any) -> Any:
     """The value of an ``("OK", value)`` reply; ``None`` when denied."""
     if isinstance(payload, tuple) and len(payload) == 2 and payload[0] != DENIED:
@@ -106,24 +145,34 @@ def is_denied(payload: Any) -> bool:
 
 
 class ClientRunner:
-    """Drives one client program over one authenticated PEATS client.
+    """Drives one client program over the engine's unified Space handle.
 
     The runner owns the generator: it submits each yielded :class:`Op`
-    through :meth:`PEATSClient.submit` and resumes the generator from the
-    request's completion callback, or schedules a network timer for a
-    :class:`Pause`.  Everything happens inside the network event loop, so
-    the engine never blocks on any individual client.
+    through :meth:`repro.api.Space.submit` (which authenticates the
+    process's client identity, routes on a sharded cluster, and
+    scatter-gathers wildcard probes) and resumes the generator from the
+    operation future's completion callback, or schedules a network timer
+    for a :class:`Pause`.  Everything happens inside the network event
+    loop, so the engine never blocks on any individual client.
     """
 
     def __init__(self, engine: Any, process: Hashable, program: ClientProgram) -> None:
         self.engine = engine
         self.process = process
         self.program = program
-        self.client = engine.service.client(process)
         self.done = False
         self.failed: Optional[BaseException] = None
         self.result: Any = None
         self.operations_issued = 0
+
+    @property
+    def client(self):
+        """The process's authenticated client (memoized on the service).
+
+        Submission goes through the engine's unified Space, which resolves
+        the same client; this accessor exists for statistics inspection.
+        """
+        return self.engine.service.client(self.process)
 
     # ------------------------------------------------------------------
     # Generator driving
@@ -158,10 +207,16 @@ class ClientRunner:
     def _submit(self, step: Op) -> None:
         self.operations_issued += 1
         try:
-            pending = self.client.submit(step.operation, step.arguments)
+            pending = self.engine.space.submit(
+                step.operation,
+                step.arguments,
+                process=self.process,
+                timeout=step.timeout,
+                poll_interval=step.poll_interval,
+            )
         except ReproError as error:
-            # Submission itself can fail — e.g. the sharded client rejects
-            # a wildcard-name template with CrossShardError.  A program bug
+            # Submission itself can fail — e.g. the sharded backend rejects
+            # a wildcard-name cas with CrossShardError.  A program bug
             # must fail this one client, not crash the whole scenario.
             self.engine.metrics.record_failure(
                 self.engine.network.now,
@@ -176,14 +231,14 @@ class ClientRunner:
             self.engine.network.now,
             self.process,
             step.operation,
-            pending.request.request_id,
+            pending.request_id,
             shard=pending.shard,
         )
         pending.add_done_callback(lambda done: self._on_complete(step, done))
 
-    def _on_complete(self, step: Op, pending: PendingRequest) -> None:
+    def _on_complete(self, step: Op, pending: OperationFuture) -> None:
         now = self.engine.network.now
-        request_id = pending.request.request_id
+        request_id = pending.request_id
         if pending.exception is not None:
             self.engine.metrics.record_failure(
                 now,

@@ -35,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Hashable, Mapping, Optional, Sequence, Union
 
+from repro.api import connect
 from repro.cluster.routing import RoutingPolicy
 from repro.cluster.service import ShardedPEATS
 from repro.errors import SimulationError
@@ -81,6 +82,10 @@ class ScenarioEngine:
         metrics: SimMetrics | None = None,
     ) -> None:
         self.service = service
+        #: The unified API handle every client program submits through —
+        #: which is what lets programs yield blocking-read and wildcard
+        #: scatter-gather steps regardless of the deployment shape.
+        self.space = connect(service=service)
         self.metrics = metrics or SimMetrics()
         self._runners: list[ClientRunner] = []
         self._fault_events: list[FaultEvent] = []

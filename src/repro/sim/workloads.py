@@ -25,7 +25,10 @@ evaluate):
 * :func:`queue_producer_consumer` — producers ``out`` jobs, consumers
   ``inp`` them until a quota is met;
 * :func:`multi_shard_kv` — a kv mix whose tuple names are spread over a
-  sharded cluster, with a tunable home-shard locality.
+  sharded cluster, with a tunable home-shard locality;
+* :func:`wildcard_probe_mix` — a read mix with a *match-locality* knob:
+  reads that do not know their tuple's name become wildcard-name probes,
+  which a sharded cluster scatter-gathers across every replica group.
 
 Sharded clusters route operations by the tuple *name* (first field), so
 the single-name workloads above would land entirely on one shard.  The
@@ -60,6 +63,7 @@ __all__ = [
     "queue_producer_consumer",
     "write_burst",
     "multi_shard_kv",
+    "wildcard_probe_mix",
 ]
 
 Workload = list[tuple[Hashable, Callable[[], ClientProgram]]]
@@ -338,3 +342,52 @@ def multi_shard_kv(
         return program
 
     return [(f"ms-{index:02d}", factory(index)) for index in range(n_clients)]
+
+
+def wildcard_probe_mix(
+    n_clients: int,
+    *,
+    spread: int = 4,
+    ops_per_client: int = 6,
+    locality: float = 1.0,
+    seed: int = 0,
+) -> Workload:
+    """A read mix with a *match-locality* knob for the scatter-gather cost.
+
+    Each client first ``out``s one ``("ITEM-{home}", index, step)`` tuple
+    to its home name family, then issues ``ops_per_client`` reads.  With
+    probability ``locality`` a read *knows* the tuple name it wants
+    (a concrete ``rdp``, routed to one replica group); otherwise it only
+    knows the payload shape and issues a **wildcard-name** ``rdp``
+    (``template(ANY, ANY, ANY)``), which a sharded cluster must
+    scatter-gather across every group.  ``locality=1.0`` is the fully
+    partitioned best case; lowering it converts reads into cross-shard
+    probes one for one, so the sweep in ``bench_sim_scenarios.py`` shows
+    the read cost of imperfect partitioning directly.
+
+    Names stay concrete on the write path, so the workload also runs on a
+    single replica group (where wildcard probes are ordinary reads).
+    """
+    if spread < 1:
+        raise ValueError("wildcard_probe_mix needs at least one name family")
+
+    def factory(index: int) -> Callable[[], ClientProgram]:
+        home = index % spread
+
+        def program() -> ClientProgram:
+            rng = random.Random((seed << 24) ^ (index * 104729))
+            yield op_out(entry(f"ITEM-{home}", index, 0))
+            local = wild = 0
+            for _ in range(ops_per_client):
+                if rng.random() < locality:
+                    family = rng.randrange(spread)
+                    yield op_rdp(template(f"ITEM-{family}", ANY, ANY))
+                    local += 1
+                else:
+                    yield op_rdp(template(ANY, ANY, ANY))
+                    wild += 1
+            return ("probed", local, wild)
+
+        return program
+
+    return [(f"wp-{index:02d}", factory(index)) for index in range(n_clients)]

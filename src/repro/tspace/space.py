@@ -18,7 +18,7 @@ import collections
 import threading
 from typing import Any, Callable, Iterable, Iterator, Optional
 
-from repro.errors import TupleSpaceError
+from repro.errors import OperationTimeoutError, TupleSpaceError
 from repro.tuples import Entry, Template, is_defined, matches
 from repro.tspace.interface import TupleSpaceInterface
 
@@ -152,7 +152,7 @@ class TupleSpace(TupleSpaceInterface):
                         self._remove(entry_id, stored)
                     return stored
                 if not self._condition.wait(timeout=timeout):
-                    raise TimeoutError(
+                    raise OperationTimeoutError(
                         f"no tuple matching {template!r} appeared within {timeout} seconds"
                     )
 

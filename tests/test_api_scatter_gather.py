@@ -1,0 +1,189 @@
+"""Cross-shard scatter-gather: wildcard-name ``rdp``/``inp`` on a cluster.
+
+The tentpole capability of the unified API: templates whose name field is
+a wildcard/formal have no single owning shard, so the sharded backend
+broadcasts the probe to every replica group (each answer is that group's
+``f + 1``-voted reply), deterministically answers from the lowest shard
+id with a match, and — for ``inp`` — performs the removal on the winning
+shard only.  Wildcard ``cas`` stays out of scope and must say so usefully.
+"""
+
+import pytest
+
+from repro.api import connect
+from repro.cluster.routing import ExplicitRouting
+from repro.errors import CrossShardError, OperationTimeoutError
+from repro.sim import Scenario, run_scenario
+from repro.sim.clients import ok_value, op_inp, op_out, op_rdp
+from repro.sim.workloads import wildcard_probe_mix
+from repro.policy.policy import AccessPolicy
+from repro.policy.rules import Rule
+from repro.tuples import ANY, Formal, entry, template
+
+
+def open_policy() -> AccessPolicy:
+    return AccessPolicy(
+        [Rule(op, op) for op in ("out", "rdp", "inp", "cas")], name="scatter-open"
+    )
+
+
+def four_shard_space(**options):
+    routing = ExplicitRouting({f"N{i}": i for i in range(4)})
+    return connect(
+        "sharded", policy=open_policy(), shards=4, routing=routing, **options
+    )
+
+
+class TestWildcardRdp:
+    def test_no_match_returns_none(self):
+        view = four_shard_space().bind("p1")
+        assert view.rdp(template(ANY, ANY)) is None
+
+    def test_lowest_matching_shard_wins(self):
+        space = four_shard_space()
+        view = space.bind("p1")
+        view.out(entry("N3", "c"))
+        view.out(entry("N1", "a"))
+        view.out(entry("N2", "b"))
+        assert view.rdp(template(ANY, ANY)) == entry("N1", "a")
+        future = view.submit_rdp(template(ANY, ANY))
+        space.network.run_until(lambda: future.done)
+        assert future.result() == ("OK", entry("N1", "a"))
+        assert future.shard == 1
+
+    def test_formal_name_fields_scatter_too(self):
+        view = four_shard_space().bind("p1")
+        view.out(entry("N2", 7))
+        match = view.rdp(template(Formal("name"), 7))
+        assert match == entry("N2", 7)
+
+    def test_read_is_not_destructive(self):
+        space = four_shard_space()
+        view = space.bind("p1")
+        view.out(entry("N2", "b"))
+        assert view.rdp(template(ANY, ANY)) == entry("N2", "b")
+        assert len(space.snapshot()) == 1
+
+
+class TestWildcardInp:
+    def test_removes_from_winning_shard_only(self):
+        space = four_shard_space()
+        view = space.bind("p1")
+        for shard in (1, 2, 3):
+            view.out(entry(f"N{shard}", shard))
+        taken = view.inp(template(ANY, ANY))
+        assert taken == entry("N1", 1)
+        # The other shards' tuples are untouched: removal never spans shards.
+        remaining = set(space.snapshot())
+        assert remaining == {entry("N2", 2), entry("N3", 3)}
+
+    def test_drains_in_deterministic_shard_order(self):
+        view = four_shard_space().bind("p1")
+        for shard in (3, 0, 2, 1):
+            view.out(entry(f"N{shard}", shard))
+        drained = [view.inp(template(ANY, ANY)) for _ in range(5)]
+        assert drained == [
+            entry("N0", 0),
+            entry("N1", 1),
+            entry("N2", 2),
+            entry("N3", 3),
+            None,
+        ]
+
+    def test_concurrent_wildcard_takes_remove_exactly_once(self):
+        space = four_shard_space()
+        writer = space.bind("writer")
+        writer.out(entry("N2", "only"))
+        first = space.submit_inp(template(ANY, "only"), process="taker-1")
+        second = space.submit_inp(template(ANY, "only"), process="taker-2")
+        space.network.run_until(lambda: first.done and second.done)
+        values = [ok_value(first.result()), ok_value(second.result())]
+        assert sorted(values, key=repr) == sorted(
+            [entry("N2", "only"), None], key=repr
+        )
+        assert len(space.snapshot()) == 0
+
+    def test_blocking_wildcard_reads_work_and_time_out(self):
+        view = four_shard_space().bind("p1")
+        view.out(entry("N3", "late"))
+        assert view.rd(template(ANY, "late"), timeout=500.0) == entry("N3", "late")
+        assert view.in_(template(ANY, "late"), timeout=500.0) == entry("N3", "late")
+        probe = template(ANY, "gone")
+        with pytest.raises(OperationTimeoutError) as excinfo:
+            view.in_(probe, timeout=40.0)
+        assert repr(probe) in str(excinfo.value)
+
+
+class TestWildcardCasStaysOut:
+    def test_view_level_cas_raises_actionable_cross_shard_error(self):
+        space = four_shard_space()
+        view = space.service.client_view("p1")
+        with pytest.raises(CrossShardError) as excinfo:
+            view.cas(template(ANY, ANY), entry("N0", 0))
+        message = str(excinfo.value)
+        assert "rdp/inp" in message
+        assert "repro.api" in message
+
+    def test_api_level_cas_raises_the_same_error(self):
+        view = four_shard_space().bind("p1")
+        with pytest.raises(CrossShardError) as excinfo:
+            view.cas(template(Formal("n"), ANY), entry("N0", 0))
+        assert "scatter-gather" in str(excinfo.value)
+
+
+class TestDeterministicReplay:
+    def _run(self, seed: int):
+        space = four_shard_space(network_config=None)
+        view = space.bind("p1")
+        transcript = []
+        for shard in (2, 1, 3):
+            view.out(entry(f"N{shard}", shard))
+        for _ in range(4):
+            future = space.submit_inp(template(ANY, ANY), process="p1")
+            space.network.run_until(lambda: future.done)
+            transcript.append((ok_value(future.result()), future.shard))
+        return transcript
+
+    def test_wildcard_results_replay_identically(self):
+        first = self._run(seed=0)
+        second = self._run(seed=0)
+        assert first == second
+        assert [shard for _, shard in first[:3]] == [1, 2, 3]
+
+    def test_scenario_with_wildcard_workload_replays_byte_identically(self):
+        scenario = Scenario(
+            name="scatter-replay",
+            clients=wildcard_probe_mix(8, spread=4, ops_per_client=4, locality=0.5),
+            shards=4,
+            routing=ExplicitRouting({f"ITEM-{i}": i for i in range(4)}),
+            seed=23,
+        )
+        result = run_scenario(scenario)
+        assert result.completed
+        replay = run_scenario(scenario)
+        assert result.metrics.trace_text() == replay.metrics.trace_text()
+
+    def test_program_level_wildcard_steps_complete(self):
+        def producer():
+            yield op_out(entry("N1", "job"))
+            return "produced"
+
+        def consumer():
+            payload = None
+            for _ in range(40):
+                payload = yield op_inp(template(ANY, "job"))
+                if ok_value(payload) is not None:
+                    break
+                yield op_rdp(template(ANY, ANY))
+            return ok_value(payload)
+
+        scenario = Scenario(
+            name="scatter-program",
+            clients=[("prod", producer), ("cons", consumer)],
+            shards=4,
+            routing=ExplicitRouting({f"N{i}": i for i in range(4)}),
+            seed=3,
+        )
+        result = run_scenario(scenario)
+        assert result.completed
+        assert result.client_results()["cons"] == entry("N1", "job")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import QuorumError, SimulationError
+from repro.errors import OperationTimeoutError, QuorumError, SimulationError
 from repro.replication import NetworkConfig, ReplicatedPEATS, SimulatedNetwork
 from repro.replication.pbft import ReplicaFaultMode
 from repro.sim import (
@@ -12,7 +12,9 @@ from repro.sim import (
     ScenarioEngine,
     SimMetrics,
     ok_value,
+    op_in,
     op_out,
+    op_rd,
     op_rdp,
     open_sim_policy,
     run_scenario,
@@ -155,6 +157,41 @@ class TestScenarioEngine:
         engine.add_client("p", program())
         engine.run()
         assert times[1] - times[0] == pytest.approx(40.0)
+
+    def test_blocking_read_steps_resolve_across_clients(self):
+        # A program may yield rd/in steps: the engine's unified Space
+        # emulates them as probe chains on the virtual clock, so a reader
+        # blocks until another client's out lands — no polling loop in
+        # the program itself.
+        service = ReplicatedPEATS(open_sim_policy(), f=1)
+        engine = ScenarioEngine(service)
+
+        def producer():
+            yield Pause(60.0)
+            yield op_out(entry("HANDOFF", "payload"))
+            return "sent"
+
+        def consumer():
+            payload = yield op_in(template("HANDOFF", ANY), timeout=500.0)
+            return ok_value(payload)
+
+        engine.add_client("producer", producer())
+        consumer_runner = engine.add_client("consumer", consumer())
+        engine.run()
+        assert not engine.unfinished_clients()
+        assert consumer_runner.result == entry("HANDOFF", "payload")
+        assert len(service.snapshot()) == 0
+
+    def test_blocking_read_step_timeout_fails_only_that_client(self):
+        service = ReplicatedPEATS(open_sim_policy(), f=1)
+        engine = ScenarioEngine(service)
+
+        def starved():
+            yield op_rd(template("NEVER", ANY), timeout=30.0)
+
+        runner = engine.add_client("starved", starved())
+        engine.run()
+        assert isinstance(runner.failed, OperationTimeoutError)
 
     def test_bad_yield_value_fails_the_client_not_the_engine(self):
         service = ReplicatedPEATS(open_sim_policy(), f=1)
