@@ -1,0 +1,192 @@
+"""Calibration — the sim's message-cost model vs. the real asyncio loopback.
+
+The virtual-time experiments hinge on one knob: the simulated network's
+per-message ``processing_time``.  This benchmark gives that knob an
+empirical anchor.  It runs the same consensus-storm workload twice:
+
+* on the **simulation**, sweeping ``processing_time`` across two orders
+  of magnitude and recording the predicted throughput at each point;
+* on the **asyncio loopback transport** (real reactors, wall-clock
+  time), measuring actual throughput and per-operation latency.
+
+:func:`repro.net.calibration.calibrate_processing_time` then picks the
+sweep point whose prediction best matches the measurement, and the whole
+comparison lands in the machine-readable ``BENCH_net_calibration.json``
+at the repository root — the perf trajectory future PRs diff against.
+
+Runs standalone (``python benchmarks/bench_net_calibration.py``) or
+under pytest (the CI job uploads the JSON as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # standalone: make src/ importable
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from benchmarks._output import emit, emit_table
+from repro.api import connect
+from repro.net.calibration import calibrate_processing_time, latency_summary
+from repro.policy import AccessPolicy, Rule
+from repro.sim import Scenario, run_scenario
+from repro.sim.workloads import consensus_storm
+from repro.tuples import Formal, entry, template
+
+#: Where the machine-readable trajectory lands (repository root).
+OUTPUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_net_calibration.json"
+
+#: Clients racing in the storm, on both substrates.
+STORM_CLIENTS = 16
+#: cas+rdp rounds each loopback client performs (distinct decision names).
+LOOPBACK_ROUNDS = 3
+#: The swept per-message processing costs (simulated ms).
+PROCESSING_TIMES = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5)
+
+
+def open_policy() -> AccessPolicy:
+    return AccessPolicy(
+        [Rule(op, op) for op in ("out", "rdp", "inp", "cas")], name="calibration"
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulated side: predicted throughput per processing_time
+# ----------------------------------------------------------------------
+
+
+def simulate_storm_sweep() -> list[dict]:
+    rows = []
+    for processing_time in PROCESSING_TIMES:
+        scenario = Scenario(
+            name=f"storm-pt-{processing_time}",
+            clients=consensus_storm(STORM_CLIENTS),
+            processing_time=processing_time,
+        )
+        result = run_scenario(scenario)
+        assert result.completed, f"{scenario.name}: unfinished clients"
+        summary = result.metrics.summary()
+        latency = result.metrics.latency
+        rows.append(
+            {
+                "processing_time": processing_time,
+                "ops": summary["ops"],
+                "virtual_ms": summary["virtual_ms"],
+                # The sim's prediction, in ops per *virtual* second — the
+                # quantity the wall-clock measurement is matched against.
+                "ops_per_sec": summary["ops_per_vsec"],
+                "messages": summary["messages"],
+                "latency_p50": round(latency.percentile(50), 3),
+                "latency_p99": round(latency.percentile(99), 3),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Real side: the same storm on the asyncio loopback
+# ----------------------------------------------------------------------
+
+
+def measure_loopback_storm() -> dict:
+    """The consensus-storm access pattern on real reactors.
+
+    Mirrors :func:`repro.sim.workloads.consensus_storm`: every client
+    races a ``cas`` on one decision name, then reads the winner back with
+    ``rdp``.  One request per client identity is in flight at a time (the
+    PBFT retransmission-cache rule); concurrency comes from the sixteen
+    identities racing, exactly as in the simulated scenario.
+    """
+    space = connect("replicated", policy=open_policy(), f=1, transport="asyncio")
+    try:
+        views = [space.bind(f"storm-{index:02d}") for index in range(STORM_CLIENTS)]
+        latencies: list[float] = []
+        operations = 0
+        started = time.monotonic()
+        for round_index in range(LOOPBACK_ROUNDS):
+            name = f"DECISION-{round_index}"
+            for step in ("cas", "rdp"):
+                futures = []
+                for index, view in enumerate(views):
+                    if step == "cas":
+                        futures.append(
+                            view.submit_cas(
+                                template(name, Formal("d")), entry(name, f"v{index}")
+                            )
+                        )
+                    else:
+                        futures.append(view.submit_rdp(template(name, Formal("d"))))
+                for future in futures:
+                    assert future.wait(30.0), "loopback storm request stalled"
+                    future.result()  # raise on failure
+                    latencies.append(future.latency)
+                    operations += 1
+        elapsed_s = time.monotonic() - started
+        statistics = space.network.statistics
+    finally:
+        space.close()
+    summary = latency_summary(latencies)
+    return {
+        "transport": "asyncio-loopback",
+        "clients": STORM_CLIENTS,
+        "ops": operations,
+        "elapsed_ms": round(elapsed_s * 1000.0, 3),
+        "ops_per_sec": round(operations / elapsed_s, 3) if elapsed_s > 0 else 0.0,
+        "messages": statistics["delivered"],
+        "latency_p50": round(summary["p50"], 3),
+        "latency_p99": round(summary["p99"], 3),
+        "latency_mean": round(summary["mean"], 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# The benchmark
+# ----------------------------------------------------------------------
+
+
+def run_calibration() -> dict:
+    sim_rows = simulate_storm_sweep()
+    measured = measure_loopback_storm()
+    calibration = calibrate_processing_time(measured["ops_per_sec"], sim_rows)
+    report = {
+        "benchmark": "net_calibration",
+        "workload": f"consensus_storm({STORM_CLIENTS})",
+        "sim_sweep": sim_rows,
+        "loopback": measured,
+        "calibration": calibration,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    emit_table(
+        sim_rows,
+        title=f"Calibration — simulated storm sweep ({STORM_CLIENTS} clients)",
+    )
+    emit_table([measured], title="Calibration — measured asyncio loopback storm")
+    emit(
+        "calibrated processing_time: "
+        f"{calibration['processing_time']} ms/msg "
+        f"(predicted {calibration['predicted_ops_per_sec']:.0f} ops/s vs "
+        f"measured {calibration['measured_ops_per_sec']:.0f} ops/s)"
+    )
+    emit(f"wrote {OUTPUT_PATH.name}")
+    return report
+
+
+def test_net_calibration_writes_trajectory():
+    report = run_calibration()
+    assert OUTPUT_PATH.exists()
+    on_disk = json.loads(OUTPUT_PATH.read_text())
+    assert on_disk["calibration"]["processing_time"] in PROCESSING_TIMES
+    assert on_disk["loopback"]["ops"] == STORM_CLIENTS * LOOPBACK_ROUNDS * 2
+    assert on_disk["loopback"]["ops_per_sec"] > 0
+    # The sweep must actually bracket reality coarsely: heavier simulated
+    # message costs may never predict *more* throughput.
+    throughputs = [row["ops_per_sec"] for row in report["sim_sweep"]]
+    assert all(a >= b for a, b in zip(throughputs, throughputs[1:])), throughputs
+    assert report["loopback"]["latency_p50"] <= report["loopback"]["latency_p99"]
+
+
+if __name__ == "__main__":
+    run_calibration()

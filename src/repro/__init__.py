@@ -53,6 +53,7 @@ from repro.policy import (
 from repro.api import OperationFuture, Space, connect
 from repro.cluster import ShardedPEATS
 from repro.errors import OperationTimeoutError
+from repro.net import AsyncioLoopbackTransport, TcpTransport, Transport
 from repro.policy.library import BOTTOM
 from repro.replication import ReplicatedPEATS
 from repro.tspace import AugmentedTupleSpace, LinearizableTupleSpace
@@ -112,4 +113,8 @@ __all__ = [
     "Space",
     "OperationFuture",
     "OperationTimeoutError",
+    # real-network substrates
+    "Transport",
+    "AsyncioLoopbackTransport",
+    "TcpTransport",
 ]

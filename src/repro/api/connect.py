@@ -8,13 +8,17 @@
     space = connect("replicated", policy=my_policy, f=1)
     space = connect("sharded", policy=my_policy, shards=4)
 
+    # real concurrency instead of the virtual-time simulation:
+    space = connect("replicated", policy=my_policy, transport="asyncio")
+    space = connect("sharded", policy=my_policy, shards=4, transport="tcp")
+
     # or wrap a deployment that already exists:
     space = connect(service=ShardedPEATS(my_policy, shards=4))
 
 Every call returns a :class:`~repro.api.space.Space` with identical
 semantics — blocking and ``submit_*`` operation forms, one timeout and
 exception model, ``bind(process)`` views — so the same coordination
-program runs unmodified against any backend.
+program runs unmodified against any backend *and* any transport.
 """
 
 from __future__ import annotations
@@ -28,15 +32,24 @@ from repro.api.sharded import ShardedSpace
 from repro.api.space import Space
 from repro.cluster.routing import RoutingPolicy
 from repro.cluster.service import ShardedPEATS
+from repro.net import AsyncioLoopbackTransport, TcpTransport, Transport
 from repro.peo.peats import PEATS
 from repro.policy.policy import AccessPolicy
 from repro.replication.network import NetworkConfig
 from repro.replication.service import ReplicatedPEATS
 
-__all__ = ["connect", "BACKENDS"]
+__all__ = ["connect", "BACKENDS", "TRANSPORTS"]
 
 #: The deployment shapes ``connect`` can build or wrap.
 BACKENDS = ("local", "replicated", "sharded")
+
+#: The named substrates a simulated backend can be built on.  ``"sim"``
+#: is the default virtual-time :class:`~repro.replication.network.
+#: SimulatedNetwork`; ``"asyncio"`` (alias ``"loopback"``) is the
+#: in-process real-concurrency transport; ``"tcp"`` runs length-prefixed
+#: frames over localhost sockets.  A ready-made
+#: :class:`~repro.net.Transport` instance is accepted too.
+TRANSPORTS = ("sim", "asyncio", "loopback", "tcp")
 
 
 def connect(
@@ -48,6 +61,7 @@ def connect(
     shards: int = 2,
     routing: RoutingPolicy | None = None,
     network_config: NetworkConfig | None = None,
+    transport: Union[str, Transport, None] = None,
     replica_faults: Mapping[Any, Any] | None = None,
     view_change_timeout: float = 50.0,
     max_batch_size: int = 8,
@@ -65,12 +79,27 @@ def connect(
     inferred; a ``backend`` given alongside ``service`` must agree with
     the inferred one.
 
+    ``transport`` picks the substrate of a *built* networked deployment
+    (one of :data:`TRANSPORTS`, or a :class:`~repro.net.Transport`
+    instance).  The default stays the deterministic virtual-time
+    simulation; ``"asyncio"`` and ``"tcp"`` run the same protocol stack
+    on real event loops — a sharded deployment then gets one reactor per
+    replica group.  Real-transport handles should be
+    :meth:`~repro.api.space.Space.close`\\ d (or used as context
+    managers) to stop their reactor threads.
+
     The remaining keywords configure the built deployment and are ignored
     where they do not apply (``f``/``network_config`` for the simulated
     backends, ``shards``/``routing``/``max_inp_rounds`` for the sharded
     one).
     """
     if service is not None:
+        if transport is not None:
+            raise TupleSpaceError(
+                "connect(service=...) wraps an existing deployment, which "
+                "already owns its transport; transport= only applies when "
+                "building one"
+            )
         inferred = _infer_backend(service)
         if backend is not None and backend != inferred:
             raise TupleSpaceError(
@@ -87,32 +116,75 @@ def connect(
     if policy is None:
         raise TupleSpaceError(f"connect({backend!r}) needs a policy= to build")
     if backend == "local":
+        if transport not in (None, "sim"):
+            raise TupleSpaceError(
+                "the local backend is in-process and takes no transport"
+            )
         return LocalSpace(PEATS(policy))
-    if backend == "replicated":
-        return ReplicatedSpace(
-            ReplicatedPEATS(
+    if transport not in (None, "sim") and network_config is not None:
+        raise TupleSpaceError(
+            "network_config configures the simulated network; pass either "
+            "it or a real transport, not both"
+        )
+    network = _build_transport(transport, reactors=shards if backend == "sharded" else 1)
+    try:
+        if backend == "replicated":
+            return ReplicatedSpace(
+                ReplicatedPEATS(
+                    policy,
+                    f=f,
+                    network_config=network_config,
+                    network=network,
+                    replica_faults=dict(replica_faults) if replica_faults else None,
+                    view_change_timeout=view_change_timeout,
+                    max_batch_size=max_batch_size,
+                    checkpoint_interval=checkpoint_interval,
+                )
+            )
+        return ShardedSpace(
+            ShardedPEATS(
                 policy,
+                shards=shards,
                 f=f,
+                routing=routing,
                 network_config=network_config,
+                network=network,
                 replica_faults=dict(replica_faults) if replica_faults else None,
                 view_change_timeout=view_change_timeout,
                 max_batch_size=max_batch_size,
                 checkpoint_interval=checkpoint_interval,
-            )
+            ),
+            max_inp_rounds=max_inp_rounds,
         )
-    return ShardedSpace(
-        ShardedPEATS(
-            policy,
-            shards=shards,
-            f=f,
-            routing=routing,
-            network_config=network_config,
-            replica_faults=dict(replica_faults) if replica_faults else None,
-            view_change_timeout=view_change_timeout,
-            max_batch_size=max_batch_size,
-            checkpoint_interval=checkpoint_interval,
-        ),
-        max_inp_rounds=max_inp_rounds,
+    except BaseException:
+        # A deployment that failed to build must not leak the reactor
+        # threads of a transport we created for it.
+        close = getattr(network, "close", None)
+        if close is not None:
+            close()
+        raise
+
+
+def _build_transport(
+    transport: Union[str, Transport, None], *, reactors: int
+) -> Optional[Transport]:
+    """Resolve the ``transport=`` argument to a network, or ``None`` for
+    the default simulated one."""
+    if transport is None or transport == "sim":
+        return None
+    if isinstance(transport, str):
+        if transport in ("asyncio", "loopback"):
+            return AsyncioLoopbackTransport(reactors=reactors)
+        if transport == "tcp":
+            return TcpTransport(reactors=reactors)
+        raise TupleSpaceError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS} "
+            "or a Transport instance"
+        )
+    if isinstance(transport, Transport):
+        return transport
+    raise TupleSpaceError(
+        f"connect() cannot use a {type(transport).__name__} as a transport"
     )
 
 

@@ -31,6 +31,11 @@ class ReplicatedSpace(Space):
 
     def __init__(self, service: ReplicatedPEATS) -> None:
         self._service = service
+        # On a real transport (repro.net) the deployment's clock is the
+        # wall clock; label timeouts accordingly (same numeric defaults —
+        # a millisecond is a millisecond on either clock).
+        if not getattr(service.network, "virtual_time", True):
+            self.time_unit = service.network.time_unit
 
     @property
     def service(self) -> ReplicatedPEATS:

@@ -59,6 +59,11 @@ class ShardedSpace(Space):
         self._service = service
         if max_inp_rounds is not None:
             self.max_inp_rounds = max_inp_rounds
+        # On a real transport (repro.net) the deployment's clock is the
+        # wall clock; label timeouts accordingly (same numeric defaults —
+        # a millisecond is a millisecond on either clock).
+        if not getattr(service.network, "virtual_time", True):
+            self.time_unit = service.network.time_unit
 
     @property
     def service(self) -> ShardedPEATS:

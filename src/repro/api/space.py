@@ -76,6 +76,17 @@ class Space(TupleSpaceInterface):
     default_blocking_timeout: float = 1_000.0
     #: Default spacing between polls of an emulated blocking read.
     default_poll_interval: float = 10.0
+    #: Backoff between successive unsuccessful re-probe rounds of one
+    #: blocking read: each round multiplies the wait by this factor, so a
+    #: tuple that stays absent costs ever fewer probes (on the sharded
+    #: backend each wildcard probe round is a whole scatter-gather across
+    #: every replica group — the cost the ROADMAP flagged).  The delay is
+    #: capped at :attr:`poll_backoff_cap` times the base interval, and a
+    #: fresh read always starts back at the base interval.
+    poll_backoff: float = 2.0
+    #: Ceiling of the backed-off poll delay, as a multiple of the base
+    #: poll interval.
+    poll_backoff_cap: float = 8.0
 
     # ------------------------------------------------------------------
     # Backend hooks
@@ -186,8 +197,10 @@ class Space(TupleSpaceInterface):
         probe_operation = "rdp" if operation == "rd" else "inp"
         budget = self.default_blocking_timeout if timeout is None else timeout
         interval = self.default_poll_interval if poll_interval is None else poll_interval
+        max_interval = interval * self.poll_backoff_cap
         future = OperationFuture(operation=operation, submitted_at=self._now())
         deadline = self._now() + budget
+        rounds = 0
 
         def attempt() -> None:
             if future.done:
@@ -198,6 +211,7 @@ class Space(TupleSpaceInterface):
             probe.add_done_callback(resolve)
 
         def resolve(probe: OperationFuture) -> None:
+            nonlocal rounds
             if future.done:
                 return
             now = self._now()
@@ -226,7 +240,13 @@ class Space(TupleSpaceInterface):
                     ),
                 )
                 return
-            self._schedule(min(interval, deadline - now), attempt)
+            # Capped exponential backoff: each empty round doubles the
+            # wait (up to the cap and never past the deadline), so an
+            # absent tuple stops costing a full probe — or, sharded, a
+            # full cross-shard scatter — every base interval.
+            delay = min(interval * (self.poll_backoff**rounds), max_interval)
+            rounds += 1
+            self._schedule(min(delay, deadline - now), attempt)
 
         attempt()
         return future
@@ -314,6 +334,30 @@ class Space(TupleSpaceInterface):
     def bind(self, process: Hashable) -> "BoundSpace":
         """A view through which ``process`` issues its operations."""
         return BoundSpace(self, process)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (idempotent).
+
+        The in-process and simulated backends hold none — this is a
+        no-op there.  On a real transport (:mod:`repro.net`) it stops
+        the reactor threads, so handles built with
+        ``connect(..., transport="asyncio"/"tcp")`` should be closed (or
+        used as context managers) when done.
+        """
+        network = getattr(self, "network", None)
+        close = getattr(network, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Space":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(backend={self.backend!r})"

@@ -22,7 +22,7 @@ its group, so the groups coexist on one network without cross-talk.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Mapping, Union
+from typing import Any, Hashable, Mapping, TYPE_CHECKING, Union
 
 from repro.errors import ReplicationError
 from repro.policy.policy import AccessPolicy
@@ -32,6 +32,9 @@ from repro.replication.service import ReplicatedPEATS
 from repro.cluster.client import ShardedClient, ShardedClientView
 from repro.cluster.routing import RoutingPolicy, ShardMap
 from repro.tuples import Entry
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.net.transport import Transport
 
 __all__ = ["ShardedPEATS"]
 
@@ -47,6 +50,7 @@ class ShardedPEATS:
         f: int = 1,
         routing: RoutingPolicy | None = None,
         network_config: NetworkConfig | None = None,
+        network: "Transport | None" = None,
         replica_faults: Mapping[Union[int, tuple[int, int]], ReplicaFaultMode] | None = None,
         view_change_timeout: float = 50.0,
         max_batch_size: int = 8,
@@ -54,14 +58,33 @@ class ShardedPEATS:
     ) -> None:
         """``replica_faults`` keys may be ``(shard, index)`` pairs or flat
         node indexes (``shard = index // (3f + 1)``), matching how the
-        fault schedules address nodes."""
+        fault schedules address nodes.
+
+        ``network`` swaps the substrate: by default the cluster builds a
+        fresh :class:`SimulatedNetwork`, but any
+        :class:`~repro.net.transport.Transport` drops in.  On a real
+        multi-reactor transport each shard's replicas are pinned to
+        reactor ``shard % reactor_count`` **before** the groups register,
+        so every replica group runs on its own event loop and the
+        cluster's parallelism does not funnel through one reactor.
+        """
         if shards < 1:
             raise ReplicationError("a cluster needs at least one shard")
+        if network is not None and network_config is not None:
+            raise ReplicationError(
+                "pass either a shared network or a network_config, not both"
+            )
         self.f = f
         self._policy = policy
         self._shard_map = ShardMap(shards, routing)
-        self._network = SimulatedNetwork(network_config or NetworkConfig())
+        self._network = network or SimulatedNetwork(network_config or NetworkConfig())
         group_size = 3 * f + 1
+        pin = getattr(self._network, "pin", None)
+        reactor_count = getattr(self._network, "reactor_count", 1)
+        if pin is not None and reactor_count > 1:
+            for shard in range(shards):
+                for index in range(group_size):
+                    pin(f"shard-{shard}:replica-{index}", shard % reactor_count)
         per_group: list[dict[int, ReplicaFaultMode]] = [{} for _ in range(shards)]
         for key, mode in (replica_faults or {}).items():
             if isinstance(key, tuple):
@@ -98,7 +121,7 @@ class ShardedPEATS:
         return self._policy
 
     @property
-    def network(self) -> SimulatedNetwork:
+    def network(self) -> "Transport":
         return self._network
 
     @property

@@ -17,10 +17,18 @@ Time units are backend time: the simulated backends stamp
 ``submitted_at``/``completed_at`` with the network's virtual clock
 (milliseconds), the local backend with a wall-clock monotonic reading
 (seconds).  ``latency`` is therefore comparable only within one backend.
+
+On the real transports (:mod:`repro.net`) operations complete on
+background reactor threads, so the future doubles as a cross-thread
+waiter: :meth:`OperationFuture.wait` blocks a plain thread until
+completion, and :meth:`OperationFuture.as_asyncio` mirrors the future
+into an :class:`asyncio.Future` on a caller-chosen event loop.
 """
 
 from __future__ import annotations
 
+import asyncio
+import threading
 from typing import Any, Callable, Optional
 
 from repro.errors import PendingOperationError
@@ -48,6 +56,7 @@ class OperationFuture:
         "_result",
         "_exception",
         "_callbacks",
+        "_mutex",
     )
 
     def __init__(
@@ -71,6 +80,10 @@ class OperationFuture:
         self._result: Any = None
         self._exception: Optional[BaseException] = None
         self._callbacks: list[Callable[["OperationFuture"], None]] = []
+        # Guards the done/callback handshake: on the real transports a
+        # future completes on a reactor thread while another thread may be
+        # registering a waiter.  Uncontended on the single-threaded sim.
+        self._mutex = threading.Lock()
 
     @property
     def exception(self) -> Optional[BaseException]:
@@ -96,23 +109,83 @@ class OperationFuture:
 
     def add_done_callback(self, callback: Callable[["OperationFuture"], None]) -> None:
         """Call ``callback(self)`` on completion (immediately if already done)."""
+        with self._mutex:
+            if not self.done:
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block the calling thread until the operation completes.
+
+        Returns whether the future is done (``False`` on timeout, which is
+        in **wall-clock seconds** like :meth:`threading.Event.wait`).  Only
+        meaningful on backends that progress in the background (the real
+        transports); on the virtual-time simulation nothing advances while
+        a thread sleeps, so drive the network instead.
+        """
         if self.done:
-            callback(self)
-        else:
-            self._callbacks.append(callback)
+            return True
+        event = threading.Event()
+        self.add_done_callback(lambda _future: event.set())
+        event.wait(timeout)
+        return self.done
+
+    def as_asyncio(
+        self, loop: asyncio.AbstractEventLoop | None = None
+    ) -> "asyncio.Future[Any]":
+        """An :class:`asyncio.Future` mirroring this operation on ``loop``.
+
+        The mirror resolves (threadsafely) with the same result or
+        exception; cancelling the mirror detaches it — the tuple-space
+        operation itself is already in flight and cannot be recalled, so
+        cancellation only means "stop telling me about it".  ``loop``
+        defaults to the running loop.
+        """
+        target = loop if loop is not None else asyncio.get_running_loop()
+        mirror: asyncio.Future[Any] = target.create_future()
+
+        def resolve(future: "OperationFuture") -> None:
+            def apply() -> None:
+                if mirror.cancelled():
+                    return
+                if future._exception is not None:
+                    mirror.set_exception(future._exception)
+                else:
+                    mirror.set_result(future._result)
+
+            target.call_soon_threadsafe(apply)
+
+        self.add_done_callback(resolve)
+        return mirror
 
     def _complete(
         self, now: float, result: Any = None, exception: BaseException | None = None
     ) -> None:
-        if self.done:
-            return
-        self.done = True
-        self.completed_at = now
-        self._result = result
-        self._exception = exception
-        callbacks, self._callbacks = self._callbacks, []
+        with self._mutex:
+            if self.done:
+                return
+            # Publish the payload before the ``done`` flag: lock-free
+            # readers (``result()`` from another thread) check ``done``
+            # first, so the flag must come last.
+            self.completed_at = now
+            self._result = result
+            self._exception = exception
+            self.done = True
+            callbacks, self._callbacks = self._callbacks, []
+        # Every callback runs even when an earlier one raises — a bad
+        # callback must not strand a later-registered waiter (wait()'s
+        # event, an as_asyncio mirror).  The first exception is re-raised
+        # afterwards so resolvers still see it.
+        error: BaseException | None = None
         for callback in callbacks:
-            callback(self)
+            try:
+                callback(self)
+            except BaseException as exc:  # noqa: BLE001 - isolate, then re-raise
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
 
     def __repr__(self) -> str:
         state = "done" if self.done else "in-flight"

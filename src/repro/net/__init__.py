@@ -1,0 +1,44 @@
+"""repro.net — real-network substrates behind the simulation's contract.
+
+The deployment ladder of the reproduction, bottom to top:
+
+1. :class:`~repro.replication.network.SimulatedNetwork` — virtual time,
+   one thread, seeded; every deterministic test and scenario runs here.
+2. :class:`AsyncioLoopbackTransport` — the same contract on real asyncio
+   event loops (daemon-thread reactors) with wall-clock timers and
+   in-memory delivery; the calibration target for the sim's
+   ``processing_time`` model.
+3. :class:`TcpTransport` — length-prefixed msgpack/JSON frames over
+   ``asyncio.start_server`` for multi-process deployment.
+
+All three implement the :class:`Transport` protocol, so the PBFT
+ordering layer, the replica application, the voting client, the sharded
+cluster and the unified API run unmodified on any of them::
+
+    from repro.api import connect
+
+    space = connect("replicated", policy=policy, transport="asyncio")
+    space = connect("sharded", policy=policy, shards=4, transport="tcp")
+
+A sharded deployment on a real transport gets **one reactor per replica
+group** (see :meth:`~repro.net.transport.RealTransport.pin`), so the
+cluster's parallelism is real, not just simulated.
+"""
+
+from repro.net.transport import NetTimer, Reactor, RealTransport, Transport
+from repro.net.loopback import AsyncioLoopbackTransport
+from repro.net.tcp import TcpTransport
+from repro.net.codec import CodecError
+from repro.net.calibration import calibrate_processing_time, latency_summary
+
+__all__ = [
+    "Transport",
+    "NetTimer",
+    "Reactor",
+    "RealTransport",
+    "AsyncioLoopbackTransport",
+    "TcpTransport",
+    "CodecError",
+    "calibrate_processing_time",
+    "latency_summary",
+]

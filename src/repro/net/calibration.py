@@ -1,0 +1,79 @@
+"""Fitting the simulation's message-cost model to a real transport.
+
+The simulated network charges every delivery a per-receiver
+``processing_time`` (simulated milliseconds) — the serial CPU cost of
+authenticating and handling one message, the resource request batching
+amortises.  A *real* transport has an actual such cost; this module
+turns measurements of it into the sim's knob, so virtual-time
+experiments predict real-concurrency behaviour:
+
+* :func:`latency_summary` condenses a wall-clock latency sample into
+  the percentiles the calibration benchmark reports;
+* :func:`calibrate_processing_time` picks, from a swept family of
+  simulated runs, the ``processing_time`` whose predicted throughput
+  best matches the measured one (log-scale nearest match, since the
+  sweep spans decades).
+
+``benchmarks/bench_net_calibration.py`` uses both to emit the
+machine-readable ``BENCH_net_calibration.json`` perf trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = ["latency_summary", "calibrate_processing_time"]
+
+
+def latency_summary(latencies_ms: Sequence[float]) -> dict[str, float]:
+    """p50/p99/mean/max of a latency sample (milliseconds)."""
+    if not latencies_ms:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+    ordered = sorted(latencies_ms)
+
+    def percentile(q: float) -> float:
+        index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[index]
+
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": percentile(0.50),
+        "p99": percentile(0.99),
+        "max": ordered[-1],
+    }
+
+
+def calibrate_processing_time(
+    measured_ops_per_sec: float,
+    sim_sweep: Sequence[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """The sweep point whose simulated throughput best matches reality.
+
+    ``sim_sweep`` rows need ``processing_time`` and ``ops_per_sec`` keys
+    (any extra keys ride along into the result).  Matching happens in
+    log-throughput space: the sweep typically spans orders of magnitude,
+    and a linear nearest-neighbour would collapse onto the fastest point.
+    """
+    if not sim_sweep:
+        raise SimulationError("cannot calibrate against an empty sweep")
+    if measured_ops_per_sec <= 0:
+        raise SimulationError("measured throughput must be positive")
+
+    def distance(row: Mapping[str, Any]) -> float:
+        predicted = float(row["ops_per_sec"])
+        if predicted <= 0:
+            return math.inf
+        return abs(math.log(predicted) - math.log(measured_ops_per_sec))
+
+    best = min(sim_sweep, key=distance)
+    predicted = float(best["ops_per_sec"])
+    return {
+        "processing_time": float(best["processing_time"]),
+        "predicted_ops_per_sec": predicted,
+        "measured_ops_per_sec": measured_ops_per_sec,
+        "prediction_ratio": predicted / measured_ops_per_sec,
+    }

@@ -1,0 +1,294 @@
+"""TCP transport: length-prefixed frames over ``asyncio.start_server``.
+
+:class:`TcpTransport` is the multi-process rung of the deployment
+ladder.  Every registered node gets its own frame server (one listening
+socket per node, started on the node's pinned reactor), senders keep one
+lazily-opened connection per (reactor, receiver) pair, and payloads
+travel as the :mod:`repro.net.codec` frames — serialised once at the
+sender, MAC'd over the exact bytes, verified and decoded on the
+receiving node's own reactor.
+
+Within one process the transport discovers its own listening ports and
+is zero-configuration (the conformance suite runs whole replica groups
+over localhost sockets this way).  Across processes, pass ``addresses``
+— a ``{node: (host, port)}`` map for the remote peers — and pick fixed
+ports per node via ``port_of``; :meth:`TcpTransport.address_of` tells
+you what to put in the other processes' maps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import struct
+from typing import Any, Callable, Hashable, Mapping, Optional
+
+from repro.errors import SimulationError
+from repro.net import codec
+from repro.net.transport import Reactor, RealTransport
+from repro.replication.crypto import KeyStore
+
+__all__ = ["TcpTransport"]
+
+_HEADER_SIZE = struct.calcsize(codec.FRAME_HEADER)
+
+
+class _Outbound:
+    """One sender-side connection: a frame backlog drained by a pump task."""
+
+    __slots__ = ("frames", "event", "task")
+
+    def __init__(self) -> None:
+        self.frames: collections.deque[bytes] = collections.deque()
+        self.event = asyncio.Event()
+        self.task: Optional[asyncio.Task] = None
+
+
+class TcpTransport(RealTransport):
+    """Authenticated length-prefixed frames over localhost/remote TCP."""
+
+    def __init__(
+        self,
+        *,
+        reactors: int = 1,
+        host: str = "127.0.0.1",
+        keystore: KeyStore | None = None,
+        addresses: Mapping[Hashable, tuple[str, int]] | None = None,
+        port_of: Callable[[Hashable], int] | None = None,
+        default_wait_timeout: float = 30_000.0,
+        connect_retries: int = 5,
+    ) -> None:
+        """``addresses`` seeds endpoints for *remote* nodes (other
+        processes); ``port_of`` assigns fixed listening ports to local
+        nodes (default: ephemeral, self-discovered)."""
+        super().__init__(
+            reactors=reactors,
+            keystore=keystore,
+            default_wait_timeout=default_wait_timeout,
+            name="tcp",
+        )
+        self._host = host
+        self._addresses: dict[Hashable, tuple[str, int]] = dict(addresses or {})
+        self._port_of = port_of
+        self._connect_retries = connect_retries
+        self._servers: dict[Hashable, asyncio.base_events.Server] = {}
+        self._outbound: dict[tuple[int, Hashable], _Outbound] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def has_node(self, node: Hashable) -> bool:
+        """Local nodes *and* configured remote peers are reachable."""
+        return node in self._handlers or node in self._addresses
+
+    def address_of(self, node: Hashable) -> tuple[str, int]:
+        """The ``(host, port)`` other processes should use for ``node``."""
+        address = self._addresses.get(node)
+        if address is None:
+            raise SimulationError(f"no address known for node {node!r}")
+        return address
+
+    # ------------------------------------------------------------------
+    # Node lifecycle: one frame server per node
+    # ------------------------------------------------------------------
+
+    def _attach(self, node: Hashable) -> None:
+        reactor = self.reactor_of(node)
+        port = 0 if self._port_of is None else self._port_of(node)
+
+        async def start() -> asyncio.base_events.Server:
+            def on_connection(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+                return self._serve_connection(node, reader, writer)
+
+            return await asyncio.start_server(on_connection, host=self._host, port=port)
+
+        server = reactor.run_coroutine(start())
+        self._servers[node] = server
+        bound_port = server.sockets[0].getsockname()[1]
+        self._addresses[node] = (self._host, bound_port)
+
+    def _detach(self, node: Hashable) -> None:
+        server = self._servers.pop(node, None)
+        if server is None:
+            return
+
+        async def shutdown() -> None:
+            server.close()
+            try:
+                await server.wait_closed()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+        try:
+            self.reactor_of(node).run_coroutine(shutdown(), timeout=2.0)
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+    async def _serve_connection(
+        self, node: Hashable, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Read frames for ``node`` until the peer hangs up.
+
+        Runs on ``node``'s reactor, so the handler call needs no further
+        marshalling — the node's messages are serialised on its own loop
+        exactly as with the loopback and simulated transports.
+        """
+        try:
+            while True:
+                header = await reader.readexactly(_HEADER_SIZE)
+                (length,) = struct.unpack(codec.FRAME_HEADER, header)
+                if length > codec.MAX_FRAME_BYTES:
+                    self._count("rejected")
+                    break
+                body = await reader.readexactly(length)
+                self._deliver_frame(node, body)
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown drain: end the task *normally* — asyncio.streams'
+            # connection callback calls task.exception(), which would
+            # re-raise on a task left in the cancelled state.
+            pass
+        finally:
+            writer.close()
+
+    def _deliver_frame(self, node: Hashable, body: bytes) -> None:
+        try:
+            sender, receiver, payload_bytes, mac = codec.decode_frame(body)
+        except codec.CodecError:
+            self._count("rejected")
+            return
+        if receiver != node:
+            # A frame addressed elsewhere landed on this node's socket —
+            # misrouted or forged; never hand it to the handler.
+            self._count("dropped")
+            return
+        if not self._authenticator.verify(sender, receiver, payload_bytes, mac):
+            self._count("rejected")
+            return
+        try:
+            payload = codec.decode_payload(payload_bytes)
+        except codec.CodecError:
+            self._count("rejected")
+            return
+        handler = self._handlers.get(node)
+        if handler is None:  # pragma: no cover - register precedes serving
+            self._count("dropped")
+            return
+        self._count("delivered")
+        self._guarded(lambda: handler(sender, payload))()
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            if counter == "delivered":
+                self._delivered += 1
+            elif counter == "dropped":
+                self._dropped += 1
+            else:
+                self._rejected += 1
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, sender: Hashable, receiver: Hashable, payload: Any) -> None:
+        """Serialise once, MAC the bytes, enqueue on the sender's reactor."""
+        if self._closed:
+            return
+        if not self.has_node(receiver):
+            raise SimulationError(f"unknown receiver {receiver!r}")
+        payload_bytes = codec.encode_payload(payload)
+        mac = self._authenticator.mac(sender, receiver, payload_bytes)
+        frame = codec.encode_frame(sender, receiver, payload_bytes, mac)
+        reactor = self.reactor_of(sender if sender in self._handlers else receiver)
+        reactor.call_soon(lambda: self._enqueue(reactor, receiver, frame))
+
+    def _dispatch(self, sender: Hashable, receiver: Hashable, payload: Any, mac: str) -> None:
+        raise AssertionError("TcpTransport.send never delegates to _dispatch")  # pragma: no cover
+
+    def _enqueue(self, reactor: Reactor, receiver: Hashable, frame: bytes) -> None:
+        """Append to the (reactor, receiver) backlog; runs on the reactor."""
+        key = (id(reactor), receiver)
+        out = self._outbound.get(key)
+        if out is None:
+            out = _Outbound()
+            self._outbound[key] = out
+            out.task = reactor.loop.create_task(self._pump(out, receiver))
+        out.frames.append(frame)
+        out.event.set()
+
+    #: Write attempts (each over a fresh connection) per head-of-line
+    #: frame before the whole backlog is conceded as dropped.
+    WRITE_ATTEMPTS = 3
+
+    async def _pump(self, out: _Outbound, receiver: Hashable) -> None:
+        """Drain one backlog over one (re)connecting stream."""
+        writer: Optional[asyncio.StreamWriter] = None
+        attempts = 0
+        try:
+            while True:
+                await out.event.wait()
+                out.event.clear()
+                while out.frames:
+                    frame = out.frames[0]
+                    if writer is None:
+                        writer = await self._connect(receiver)
+                        if writer is None:
+                            with self._lock:
+                                self._dropped += len(out.frames)
+                            out.frames.clear()
+                            attempts = 0
+                            break
+                    try:
+                        writer.write(frame)
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError, OSError):
+                        # The peer dropped the stream: reconnect and retry
+                        # this frame a bounded number of times (a peer that
+                        # accepts connections but resets every write must
+                        # not spin the reactor forever), then concede and
+                        # drop the backlog like an unreachable peer.
+                        writer = None
+                        attempts += 1
+                        if attempts >= self.WRITE_ATTEMPTS:
+                            with self._lock:
+                                self._dropped += len(out.frames)
+                            out.frames.clear()
+                            attempts = 0
+                            break
+                        continue
+                    out.frames.popleft()
+                    attempts = 0
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def _connect(self, receiver: Hashable) -> Optional[asyncio.StreamWriter]:
+        address = self._addresses.get(receiver)
+        if address is None:
+            return None
+        for attempt in range(self._connect_retries):
+            try:
+                _, writer = await asyncio.open_connection(*address)
+                return writer
+            except OSError:
+                await asyncio.sleep(0.02 * (attempt + 1))
+        return None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        # The base close detaches every node's server; the pump and
+        # server-connection tasks are then cancelled (and their writers
+        # closed) by each reactor's drain before its loop stops.
+        self._outbound.clear()
+        super().close()
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpTransport(host={self._host!r}, reactors={len(self._reactors)}, "
+            f"nodes={len(self._handlers)}, delivered={self._delivered})"
+        )

@@ -1,0 +1,495 @@
+"""The transport contract, and the real-concurrency base transport.
+
+Every layer of the replicated PEATS — the PBFT ordering nodes, the
+replica application, the voting client, the sharded cluster and the
+unified ``repro.api`` — talks to the network through the small surface
+that :class:`~repro.replication.network.SimulatedNetwork` happens to
+implement: register a handler, send/broadcast authenticated payloads,
+schedule cancellable timers, read a clock, and drive the system until a
+condition holds.  :class:`Transport` names that surface explicitly, so
+the protocol stack is written against the *interface* and the simulated
+network becomes one implementation among several:
+
+================  ===============  ==========================  =========
+implementation    time             concurrency                 wire
+================  ===============  ==========================  =========
+SimulatedNetwork  virtual ms       single-threaded, seeded     in-memory
+AsyncioLoopback   wall-clock ms    asyncio reactors (threads)  in-memory
+TcpTransport      wall-clock ms    asyncio reactors (threads)  TCP frames
+================  ===============  ==========================  =========
+
+:class:`RealTransport` is the shared machinery of the two real
+implementations: a pool of **reactors** (one daemon thread running one
+asyncio event loop each), node→reactor pinning so a sharded cluster can
+give every replica group its own loop, HMAC authentication identical to
+the simulated network's, wall-clock timers (:class:`NetTimer`), and
+blocking ``run_until``/``run_for`` that *wait* for the background
+reactors instead of pumping a queue.  Subclasses only provide
+:meth:`RealTransport._dispatch` (how an authenticated payload reaches
+the receiving node) plus optional attach/detach hooks.
+
+Threading model
+---------------
+
+Each registered node is pinned to exactly one reactor and its handler is
+only ever invoked on that reactor's loop, so — exactly as in the
+simulation — a node never observes two of its own messages concurrently.
+Timers created *inside* a handler fire on the same reactor (the node's
+serial context); timers created from a plain thread fire on reactor 0,
+which is also where client identities live by default.  Handler
+exceptions are caught and counted (``statistics["handler_errors"]``)
+so one bad message cannot kill a reactor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Callable, Hashable, Iterable, Optional, Protocol, runtime_checkable
+
+from repro.errors import SimulationError
+from repro.replication.crypto import KeyStore, MessageAuthenticator
+
+__all__ = ["Transport", "NetTimer", "Reactor", "RealTransport"]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """The network contract the replication stack is written against.
+
+    Extracted from :class:`~repro.replication.network.SimulatedNetwork`
+    (which implements it structurally, unchanged); the real transports in
+    this package implement the same surface over asyncio.  ``timeout``/
+    ``delay`` values are **milliseconds of the transport's own clock** —
+    virtual for the simulation, wall-clock for the real transports; the
+    :attr:`virtual_time` flag and :attr:`time_unit` label tell callers
+    which one they are holding.
+    """
+
+    #: ``True`` when the clock is simulated (single-threaded, seeded).
+    virtual_time: bool
+    #: Human-readable unit of ``now``/timeouts (e.g. ``"wall-clock ms"``).
+    time_unit: str
+
+    @property
+    def authenticator(self) -> MessageAuthenticator: ...
+
+    @property
+    def now(self) -> float: ...
+
+    def register(self, node: Hashable, handler: Callable[[Hashable, Any], None]) -> None: ...
+
+    def has_node(self, node: Hashable) -> bool: ...
+
+    def nodes(self) -> tuple[Hashable, ...]: ...
+
+    def send(self, sender: Hashable, receiver: Hashable, payload: Any) -> None: ...
+
+    def broadcast(
+        self, sender: Hashable, receivers: Iterable[Hashable], payload: Any
+    ) -> None: ...
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> Any: ...
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> Any: ...
+
+    def run_until(
+        self, condition: Callable[[], bool], *, max_events: int = 1_000_000
+    ) -> bool: ...
+
+    def run_for(self, duration: float, *, max_events: int = 1_000_000) -> int: ...
+
+    @property
+    def statistics(self) -> dict[str, float]: ...
+
+
+class NetTimer:
+    """A cancellable wall-clock timer armed on one reactor's loop.
+
+    The real-transport counterpart of the simulation's
+    :class:`~repro.replication.network.Timer`: same ``cancel()`` surface,
+    but backed by ``loop.call_later``.  Arming from a foreign thread is
+    marshalled onto the loop; ``cancel()`` is safe from any thread (the
+    ``cancelled`` flag is checked at fire time, so a cancel always wins
+    even when it races the arming hop).
+    """
+
+    __slots__ = ("when", "callback", "cancelled", "_loop", "_handle")
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        when: float,
+        delay_ms: float,
+        callback: Callable[[], None],
+        on_fire: Callable[[Callable[[], None]], None],
+    ) -> None:
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+        self._loop = loop
+        self._handle: Optional[asyncio.TimerHandle] = None
+
+        def fire() -> None:
+            self._handle = None
+            if not self.cancelled:
+                on_fire(callback)
+
+        def arm() -> None:
+            if not self.cancelled:
+                self._handle = loop.call_later(max(delay_ms, 0.0) / 1000.0, fire)
+
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            arm()
+        else:
+            loop.call_soon_threadsafe(arm)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        handle = self._handle
+        if handle is not None:
+            try:
+                self._loop.call_soon_threadsafe(handle.cancel)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "armed"
+        return f"NetTimer(when={self.when:.3f}, {state})"
+
+
+class Reactor:
+    """One daemon thread running one asyncio event loop forever."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+        self._started.wait()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(self._started.set)
+        self.loop.run_forever()
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        """Schedule ``callback()`` on this reactor from any thread.
+
+        A no-op once the loop is closed (shutdown races lose quietly).
+        """
+        try:
+            self.loop.call_soon_threadsafe(callback)
+        except RuntimeError:
+            pass
+
+    def run_coroutine(self, coroutine: Any, *, timeout: float = 10.0) -> Any:
+        """Run ``coroutine`` on this reactor and wait for its result."""
+        return asyncio.run_coroutine_threadsafe(coroutine, self.loop).result(timeout)
+
+    def stop(self) -> None:
+        if self.loop.is_closed():
+            return
+        try:
+            self.run_coroutine(self._drain(), timeout=2.0)
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=5.0)
+        if not self._thread.is_alive():
+            self.loop.close()
+
+    @staticmethod
+    async def _drain() -> None:
+        """Cancel and await every task so the loop closes without orphans."""
+        current = asyncio.current_task()
+        tasks = [task for task in asyncio.all_tasks() if task is not current]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Reactor({self.name!r}, running={self._thread.is_alive()})"
+
+
+class RealTransport:
+    """Shared base of the asyncio-backed transports.
+
+    Implements the whole :class:`Transport` contract except the actual
+    payload movement: subclasses provide :meth:`_dispatch` (deliver one
+    authenticated payload towards ``receiver``) and may override the
+    :meth:`_attach`/:meth:`_detach` node lifecycle hooks (the TCP
+    transport starts one frame server per node there).
+    """
+
+    virtual_time = False
+    time_unit = "wall-clock ms"
+
+    def __init__(
+        self,
+        *,
+        reactors: int = 1,
+        keystore: KeyStore | None = None,
+        default_wait_timeout: float = 30_000.0,
+        name: str = "net",
+    ) -> None:
+        if reactors < 1:
+            raise SimulationError("a real transport needs at least one reactor")
+        self._authenticator = MessageAuthenticator(keystore or KeyStore())
+        self._reactors = tuple(
+            Reactor(f"repro-{name}-reactor-{index}") for index in range(reactors)
+        )
+        self._handlers: dict[Hashable, Callable[[Hashable, Any], None]] = {}
+        self._pins: dict[Hashable, int] = {}
+        self._epoch = time.monotonic()
+        self._default_wait_timeout = default_wait_timeout
+        self._lock = threading.Lock()
+        self._closed = False
+        self._delivered = 0
+        self._dropped = 0
+        self._rejected = 0
+        self._timers_fired = 0
+        self._handler_errors = 0
+        self._last_handler_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Reactors and pinning
+    # ------------------------------------------------------------------
+
+    @property
+    def reactor_count(self) -> int:
+        return len(self._reactors)
+
+    def pin(self, node: Hashable, reactor: int) -> None:
+        """Pin ``node`` (registered or not yet) to one reactor.
+
+        The sharded cluster pins every replica of shard ``k`` to reactor
+        ``k % reactor_count`` so each replica group runs on its own event
+        loop; unpinned nodes (clients, single-group replicas) live on
+        reactor 0.
+        """
+        if not 0 <= reactor < len(self._reactors):
+            raise SimulationError(
+                f"no reactor {reactor!r} (transport has {len(self._reactors)})"
+            )
+        self._pins[node] = reactor
+
+    def reactor_of(self, node: Hashable) -> Reactor:
+        return self._reactors[self._pins.get(node, 0)]
+
+    def post(self, node: Hashable, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` on ``node``'s reactor as soon as possible.
+
+        This is how cross-thread pokes (the client's view-change nudge)
+        reach a node without racing its message handler: everything that
+        touches the node's state funnels through its own loop.
+        """
+        self.reactor_of(node).call_soon(self._guarded(callback))
+
+    def _guarded(self, callback: Callable[[], None]) -> Callable[[], None]:
+        def run() -> None:
+            try:
+                callback()
+            except Exception as error:  # noqa: BLE001 - reactor must survive
+                with self._lock:
+                    self._handler_errors += 1
+                    self._last_handler_error = error
+
+        return run
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    @property
+    def authenticator(self) -> MessageAuthenticator:
+        return self._authenticator
+
+    def register(self, node: Hashable, handler: Callable[[Hashable, Any], None]) -> None:
+        if self._closed:
+            raise SimulationError("transport is closed")
+        if node in self._handlers:
+            raise SimulationError(f"node {node!r} is already registered")
+        self._handlers[node] = handler
+        self._attach(node)
+
+    def nodes(self) -> tuple[Hashable, ...]:
+        return tuple(self._handlers)
+
+    def has_node(self, node: Hashable) -> bool:
+        return node in self._handlers
+
+    def _attach(self, node: Hashable) -> None:
+        """Subclass hook: the node was registered (start servers, ...)."""
+
+    def _detach(self, node: Hashable) -> None:
+        """Subclass hook: the transport is closing (stop servers, ...)."""
+
+    # ------------------------------------------------------------------
+    # Clock and timers
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Milliseconds of wall-clock time since the transport started."""
+        return (time.monotonic() - self._epoch) * 1000.0
+
+    def _timer_loop(self) -> asyncio.AbstractEventLoop:
+        """The loop a new timer belongs to: the current reactor if the
+        caller is running on one, reactor 0 otherwise."""
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            return self._reactors[0].loop
+        for reactor in self._reactors:
+            if reactor.loop is running:
+                return running
+        return self._reactors[0].loop  # pragma: no cover - foreign loop caller
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> NetTimer:
+        if delay < 0:
+            raise SimulationError("timer delay cannot be negative")
+
+        def fire(fn: Callable[[], None]) -> None:
+            with self._lock:
+                self._timers_fired += 1
+            self._guarded(fn)()
+
+        return NetTimer(self._timer_loop(), self.now + delay, delay, callback, fire)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> NetTimer:
+        return self.schedule_after(max(when - self.now, 0.0), callback)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, sender: Hashable, receiver: Hashable, payload: Any) -> None:
+        """Authenticate and dispatch ``payload`` towards ``receiver``.
+
+        Mirrors the simulated network's surface: unknown receivers raise,
+        the payload travels with an HMAC under the sender↔receiver shared
+        key, and verification happens on the receiving side before the
+        handler sees the message.
+        """
+        if self._closed:
+            return
+        if not self.has_node(receiver):
+            raise SimulationError(f"unknown receiver {receiver!r}")
+        mac = self._authenticator.mac(sender, receiver, payload)
+        self._dispatch(sender, receiver, payload, mac)
+
+    def broadcast(self, sender: Hashable, receivers: Iterable[Hashable], payload: Any) -> None:
+        for receiver in receivers:
+            if receiver != sender:
+                self.send(sender, receiver, payload)
+
+    def _dispatch(self, sender: Hashable, receiver: Hashable, payload: Any, mac: str) -> None:
+        raise NotImplementedError
+
+    def _handle_delivery(self, sender: Hashable, receiver: Hashable, payload: Any, mac: str) -> None:
+        """Verify and deliver on the receiver's reactor (call it there)."""
+        handler = self._handlers.get(receiver)
+        if handler is None:
+            with self._lock:
+                self._dropped += 1
+            return
+        if not self._authenticator.verify(sender, receiver, payload, mac):
+            with self._lock:
+                self._rejected += 1
+            return
+        with self._lock:
+            self._delivered += 1
+        self._guarded(lambda: handler(sender, payload))()
+
+    # ------------------------------------------------------------------
+    # Driving (wall-clock waiting, not event pumping)
+    # ------------------------------------------------------------------
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        *,
+        max_events: int = 1_000_000,
+        timeout: float | None = None,
+    ) -> bool:
+        """Wait (wall clock) until ``condition()`` holds.
+
+        The reactors make progress on their own threads; this just blocks
+        the calling thread, polling the condition.  Returns the final
+        truth value — ``False`` when the wait timed out (default budget:
+        the transport's ``default_wait_timeout``), which callers treat
+        exactly like the simulation's "queue drained without the
+        condition holding".  ``max_events`` is accepted for signature
+        parity and ignored.
+        """
+        budget_ms = self._default_wait_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget_ms / 1000.0
+        wait = 0.0002
+        while not condition():
+            if time.monotonic() >= deadline:
+                return bool(condition())
+            time.sleep(wait)
+            wait = min(wait * 2, 0.005)
+        return True
+
+    def run_for(self, duration: float, *, max_events: int = 1_000_000) -> int:
+        """Let the reactors run for ``duration`` wall-clock milliseconds."""
+        if duration < 0:
+            raise SimulationError("duration cannot be negative")
+        time.sleep(duration / 1000.0)
+        return 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle and statistics
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every reactor (idempotent).  Nodes cannot be re-registered."""
+        if self._closed:
+            return
+        self._closed = True
+        for node in list(self._handlers):
+            self._detach(node)
+        for reactor in self._reactors:
+            reactor.stop()
+
+    def __enter__(self) -> "RealTransport":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def last_handler_error(self) -> Optional[BaseException]:
+        return self._last_handler_error
+
+    @property
+    def statistics(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "now": self.now,
+                "delivered": self._delivered,
+                "dropped": self._dropped,
+                "rejected": self._rejected,
+                "timers_fired": self._timers_fired,
+                "handler_errors": self._handler_errors,
+                "pending": 0,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(reactors={len(self._reactors)}, "
+            f"nodes={len(self._handlers)}, delivered={self._delivered})"
+        )

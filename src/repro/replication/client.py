@@ -31,12 +31,15 @@ many client identities, not from pipelining one.
 from __future__ import annotations
 
 import collections
-from typing import Any, Callable, Hashable, Optional
+import threading
+from typing import Any, Callable, Hashable, Optional, TYPE_CHECKING
 
 from repro.errors import QuorumError, ReplicationError
 from repro.futures import OperationFuture
 from repro.replication.messages import ClientReply, ClientRequest, authenticate_request
-from repro.replication.network import SimulatedNetwork, Timer
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.net.transport import Transport
 
 __all__ = ["PendingRequest", "PEATSClient"]
 
@@ -72,7 +75,10 @@ class PendingRequest(OperationFuture):
         self.attempts = 0
         #: The replica group this request was addressed (and retransmitted) to.
         self.targets = targets
-        self._timer: Optional[Timer] = None
+        #: The armed retransmission timer — a cancellable handle from
+        #: whichever transport carries the request (the simulation's
+        #: ``Timer`` or a real transport's ``NetTimer``).
+        self._timer: Optional[Any] = None
 
     @property
     def key(self) -> tuple:
@@ -97,7 +103,7 @@ class PEATSClient:
         client_id: Hashable,
         replica_ids: tuple[Hashable, ...],
         f: int,
-        network: SimulatedNetwork,
+        network: "Transport",
         *,
         nudge_timeouts: Any = None,
         max_retransmissions: int = 20,
@@ -110,6 +116,12 @@ class PEATSClient:
         self.f = f
         self.network = network
         self._next_request_id = 0
+        # Request-id minting must be atomic: on a real transport a probe
+        # chain can call submit() on a reactor thread while the caller's
+        # thread submits through the same client identity.  Two requests
+        # sharing one id would collide on the pending key (one future
+        # never resolves) and defeat the replicas' per-client dedup.
+        self._mint_lock = threading.Lock()
         self._replies: dict[tuple, dict[Hashable, ClientReply]] = collections.defaultdict(dict)
         self._pending: dict[tuple, PendingRequest] = {}
         self._nudge_timeouts = nudge_timeouts
@@ -252,8 +264,9 @@ class PEATSClient:
         reaches them relayed inside the primary's ``PRE-PREPARE`` batch.
         """
         targets = tuple(replica_ids) if replica_ids is not None else self.replica_ids
-        request_id = self._next_request_id
-        self._next_request_id += 1
+        with self._mint_lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
         request = ClientRequest(
             client=self.client_id,
             request_id=request_id,

@@ -23,6 +23,14 @@ retransmission path are built on.
 
 Everything is driven by one thread; determinism comes from the seeded RNG
 and the strict ``(time, sequence)`` ordering of the event queue.
+
+This class is the reference implementation of the
+:class:`~repro.net.transport.Transport` protocol — the contract the
+whole replication stack (ordering nodes, clients, cluster, unified API)
+is written against.  The real-concurrency implementations live in
+:mod:`repro.net` (asyncio loopback and TCP); they share this surface but
+run on wall-clock time, so only the simulation offers ``step``/
+``run_until_time``/``advance_time`` and the fault-injection hooks.
 """
 
 from __future__ import annotations
@@ -95,6 +103,11 @@ class Timer:
 
 class SimulatedNetwork:
     """Discrete-event network with authenticated point-to-point channels."""
+
+    #: Protocol markers (see :class:`repro.net.transport.Transport`): this
+    #: transport's clock is virtual and single-threaded.
+    virtual_time = True
+    time_unit = "virtual ms"
 
     def __init__(self, config: NetworkConfig | None = None, *, keystore: KeyStore | None = None) -> None:
         self._config = config or NetworkConfig()

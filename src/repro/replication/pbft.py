@@ -68,7 +68,7 @@ to clients (caught by the client's ``f + 1`` matching-reply vote).
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional, TYPE_CHECKING
 
 from repro.errors import ReplicationError
 from repro.replication.crypto import digest
@@ -88,8 +88,10 @@ from repro.replication.messages import (
     null_batch,
     request_auth_payload,
 )
-from repro.replication.network import SimulatedNetwork
 from repro.replication.replica import PEATSReplica
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.net.transport import Transport
 
 __all__ = ["ReplicaFaultMode", "OrderingNode"]
 
@@ -112,7 +114,7 @@ class OrderingNode:
         replica_ids: tuple[Hashable, ...],
         f: int,
         application: PEATSReplica,
-        network: SimulatedNetwork,
+        network: "Transport",
         *,
         view_change_timeout: float = 50.0,
         fault_mode: ReplicaFaultMode = ReplicaFaultMode.CORRECT,

@@ -28,7 +28,7 @@ clock.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Optional, Sequence
+from typing import Any, Hashable, Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import AccessDeniedError, OperationTimeoutError, ReplicationError
 from repro.peo.base import DeniedResult
@@ -42,6 +42,9 @@ from repro.replication.replica import DENIED, PEATSReplica
 from repro.tspace.interface import TupleSpaceInterface
 from repro.tuples import Entry, Template
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.net.transport import Transport
+
 __all__ = ["ReplicatedPEATS", "ReplicatedClientView"]
 
 
@@ -54,7 +57,7 @@ class ReplicatedPEATS:
         *,
         f: int = 1,
         network_config: NetworkConfig | None = None,
-        network: SimulatedNetwork | None = None,
+        network: "Transport | None" = None,
         group: str | None = None,
         replica_faults: dict[int, ReplicaFaultMode] | None = None,
         view_change_timeout: float = 50.0,
@@ -64,11 +67,17 @@ class ReplicatedPEATS:
         """``network``/``group`` let several replica groups share one clock.
 
         A sharded deployment (:class:`~repro.cluster.ShardedPEATS`) passes
-        the same :class:`SimulatedNetwork` to every group and gives each a
-        distinct ``group`` name, which prefixes the replica ids
+        the same network to every group and gives each a distinct
+        ``group`` name, which prefixes the replica ids
         (``shard-0:replica-1``) so four groups' replicas and primaries
         coexist on one network without identity collisions or message
         cross-talk — each group only ever multicasts to its own id set.
+
+        ``network`` may be any :class:`~repro.net.transport.Transport`:
+        the default is a fresh :class:`SimulatedNetwork`, and the real
+        substrates of :mod:`repro.net` (asyncio loopback, TCP) drop in
+        unchanged — the protocol stack only ever touches the shared
+        contract.
         """
         if f < 0:
             raise ReplicationError("f must be non-negative")
@@ -112,7 +121,7 @@ class ReplicatedPEATS:
         return self._policy
 
     @property
-    def network(self) -> SimulatedNetwork:
+    def network(self) -> "Transport":
         return self._network
 
     @property
@@ -127,9 +136,22 @@ class ReplicatedPEATS:
         return [node for node in self._nodes if node.fault_mode is ReplicaFaultMode.CORRECT]
 
     def check_timeouts(self) -> None:
-        """Fire the view-change timers of every replica (simulated time)."""
-        for node in self._nodes:
-            node.check_timeouts()
+        """Fire the view-change timers of every replica.
+
+        On the simulation this is a synchronous sweep (the caller *is*
+        the event loop).  On a real transport every node is pinned to a
+        reactor and only ever touched on it, so the sweep is marshalled
+        through :meth:`~repro.net.transport.RealTransport.post` — the
+        nudge typically arrives from a client's retransmission timer
+        running on a different loop.
+        """
+        post = getattr(self._network, "post", None)
+        if post is None:
+            for node in self._nodes:
+                node.check_timeouts()
+        else:
+            for node in self._nodes:
+                post(node.replica_id, node.check_timeouts)
 
     # ------------------------------------------------------------------
     # Clients

@@ -1,0 +1,324 @@
+"""Transport conformance: one program, three substrates, equal results.
+
+The acceptance bar of the ``repro.net`` subsystem: the lock-recipe
+program from ``examples/unified_api_tour.py`` must produce observably
+equivalent results on the deterministic :class:`SimulatedNetwork`, the
+in-process :class:`AsyncioLoopbackTransport` and the localhost
+:class:`TcpTransport` — for both the single replicated group and the
+sharded cluster (two groups, one reactor per group).  Alongside the
+conformance matrix, this file pins the transport contract itself:
+timers, MAC authentication on the wire, reactor pinning, the cross-
+thread future bridge, and lifecycle/teardown behaviour.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.api import connect
+from repro.errors import OperationTimeoutError, SimulationError
+from repro.net import AsyncioLoopbackTransport, TcpTransport, Transport, codec
+from repro.net.transport import RealTransport
+from repro.policy import AccessPolicy, Rule
+from repro.replication.network import SimulatedNetwork
+from repro.tuples import ANY, entry, template
+
+#: Wall-clock guard for every wait in this file (milliseconds).
+WAIT_MS = 20_000.0
+
+
+def open_policy() -> AccessPolicy:
+    return AccessPolicy(
+        [Rule(op, op) for op in ("out", "rdp", "inp", "cas")], name="net-open"
+    )
+
+
+def lock_program(space, timeout: float) -> tuple:
+    """The unified-API tour's mutex-token recipe, backend-agnostic."""
+    alice, bob = space.bind("alice"), space.bind("bob")
+    alice.out(entry("LOCK", "free"))
+    first_take = alice.inp(template("LOCK", "free"))
+    blocked = bob.inp(template("LOCK", "free"))
+    alice.out(entry("LOCK", "free"))
+    token = bob.in_(template("LOCK", ANY), timeout=timeout)
+    try:
+        bob.rd(template("NEVER", ANY), timeout=min(timeout, 250.0))
+    except OperationTimeoutError:
+        timed_out = True
+    else:
+        timed_out = False
+    return (
+        first_take is not None,
+        blocked is None,
+        token.fields[1],
+        timed_out,
+    )
+
+
+def build_space(backend: str, transport):
+    if backend == "replicated":
+        return connect("replicated", policy=open_policy(), f=1, transport=transport)
+    return connect(
+        "sharded", policy=open_policy(), shards=2, f=1, transport=transport
+    )
+
+
+@pytest.mark.parametrize("backend", ["replicated", "sharded"])
+def test_lock_recipe_equivalent_on_all_transports(backend):
+    reference = None
+    for transport in (None, "asyncio", "tcp"):
+        space = build_space(backend, transport)
+        try:
+            outcome = lock_program(space, timeout=1_000.0)
+        finally:
+            space.close()
+        if reference is None:
+            reference = outcome
+        assert outcome == reference, (
+            f"{backend} on {transport or 'sim'}: {outcome} != {reference}"
+        )
+    assert reference == (True, True, "free", True)
+
+
+def test_sharded_cluster_gets_one_reactor_per_group():
+    space = build_space("sharded", "asyncio")
+    try:
+        net = space.network
+        assert net.reactor_count == 2
+        shard0 = {net.reactor_of(f"shard-0:replica-{i}") for i in range(4)}
+        shard1 = {net.reactor_of(f"shard-1:replica-{i}") for i in range(4)}
+        assert len(shard0) == 1 and len(shard1) == 1
+        assert shard0 != shard1, "replica groups must not share a reactor"
+        # Clients stay on reactor 0 (their handlers serialise there).
+        assert net.reactor_of("alice") is next(iter(shard0))
+    finally:
+        space.close()
+
+
+def test_scatter_gather_runs_on_real_transport():
+    space = build_space("sharded", "asyncio")
+    try:
+        view = space.bind("p1")
+        view.out(entry("A", 1))
+        view.out(entry("B", 2))
+        probe = view.submit_rdp(template(ANY, ANY))
+        assert probe.wait(WAIT_MS / 1000.0)
+        status, value = probe.result()
+        assert status == "OK" and value is not None
+        assert probe.shard in (0, 1)
+        take = view.inp(template(ANY, ANY))
+        assert take is not None
+    finally:
+        space.close()
+
+
+# ----------------------------------------------------------------------
+# The Transport contract itself
+# ----------------------------------------------------------------------
+
+
+def test_simulated_network_satisfies_the_protocol():
+    assert isinstance(SimulatedNetwork(), Transport)
+    assert SimulatedNetwork.virtual_time is True
+
+
+def test_real_transports_satisfy_the_protocol():
+    for transport in (AsyncioLoopbackTransport(), TcpTransport()):
+        try:
+            assert isinstance(transport, Transport)
+            assert transport.virtual_time is False
+        finally:
+            transport.close()
+
+
+def test_loopback_delivers_authenticated_messages():
+    with AsyncioLoopbackTransport() as net:
+        received = []
+        net.register("a", lambda sender, payload: None)
+        net.register("b", lambda sender, payload: received.append((sender, payload)))
+        net.send("a", "b", ("hello", 1))
+        assert net.run_until(lambda: len(received) == 1, timeout=WAIT_MS)
+        assert received == [("a", ("hello", 1))]
+        assert net.statistics["delivered"] == 1
+
+
+def test_duplicate_registration_and_unknown_receiver_raise():
+    with AsyncioLoopbackTransport() as net:
+        net.register("a", lambda s, p: None)
+        with pytest.raises(SimulationError):
+            net.register("a", lambda s, p: None)
+        with pytest.raises(SimulationError):
+            net.send("a", "ghost", "payload")
+
+
+def test_timers_fire_and_cancel():
+    with AsyncioLoopbackTransport() as net:
+        fired = []
+        net.schedule_after(10.0, lambda: fired.append("kept"))
+        cancelled = net.schedule_after(10.0, lambda: fired.append("cancelled"))
+        cancelled.cancel()
+        assert net.run_until(lambda: "kept" in fired, timeout=WAIT_MS)
+        time.sleep(0.05)
+        assert fired == ["kept"]
+        with pytest.raises(SimulationError):
+            net.schedule_after(-1.0, lambda: None)
+
+
+def test_run_until_times_out_to_false():
+    with AsyncioLoopbackTransport() as net:
+        start = time.monotonic()
+        assert net.run_until(lambda: False, timeout=50.0) is False
+        assert time.monotonic() - start < 5.0
+
+
+def test_post_runs_on_the_nodes_reactor():
+    with AsyncioLoopbackTransport(reactors=2) as net:
+        net.pin("n", 1)
+        net.register("n", lambda s, p: None)
+        seen = []
+
+        def probe() -> None:
+            import asyncio
+
+            seen.append(asyncio.get_running_loop())
+
+        net.post("n", probe)
+        assert net.run_until(lambda: seen, timeout=WAIT_MS)
+        assert seen[0] is net.reactor_of("n").loop
+
+
+def test_handler_exceptions_do_not_kill_the_reactor():
+    with AsyncioLoopbackTransport() as net:
+        def explode(sender, payload):
+            raise RuntimeError("boom")
+
+        arrived = []
+        net.register("bad", explode)
+        net.register("ok", lambda s, p: arrived.append(p))
+        net.register("src", lambda s, p: None)
+        net.send("src", "bad", 1)
+        net.send("src", "ok", 2)
+        assert net.run_until(lambda: arrived, timeout=WAIT_MS)
+        assert net.statistics["handler_errors"] == 1
+        assert isinstance(net.last_handler_error, RuntimeError)
+
+
+def test_forged_tcp_frame_is_rejected_before_the_handler():
+    """An attacker with a raw socket but no keys cannot inject messages."""
+    with TcpTransport() as net:
+        received = []
+        net.register("victim", lambda s, p: received.append(p))
+        net.register("peer", lambda s, p: None)
+        host, port = net.address_of("victim")
+        payload_bytes = codec.encode_payload(("evil", 666))
+        frame = codec.encode_frame("peer", "victim", payload_bytes, mac="00" * 32)
+        with socket.create_connection((host, port)) as sock:
+            sock.sendall(frame)
+            time.sleep(0.2)
+        assert received == []
+        assert net.statistics["rejected"] >= 1
+        # A genuine send still goes through afterwards.
+        net.send("peer", "victim", ("legit", 1))
+        assert net.run_until(lambda: received, timeout=WAIT_MS)
+        assert received == [("legit", 1)]
+
+
+def test_oversized_tcp_frame_is_cut_off():
+    with TcpTransport() as net:
+        received = []
+        net.register("victim", lambda s, p: received.append(p))
+        host, port = net.address_of("victim")
+        with socket.create_connection((host, port)) as sock:
+            sock.sendall(struct.pack(codec.FRAME_HEADER, codec.MAX_FRAME_BYTES + 1))
+            sock.sendall(b"x" * 64)
+            time.sleep(0.2)
+        assert received == []
+        assert net.statistics["rejected"] >= 1
+
+
+def test_close_is_idempotent_and_quiesces_sends():
+    net = AsyncioLoopbackTransport()
+    net.register("a", lambda s, p: None)
+    net.register("b", lambda s, p: None)
+    net.close()
+    net.close()
+    net.send("a", "b", "after-close")  # silently quiesced, never raises
+    with pytest.raises(SimulationError):
+        net.register("c", lambda s, p: None)
+
+
+def test_connect_failure_does_not_leak_reactor_threads():
+    import threading
+
+    from repro.errors import ReplicationError, TupleSpaceError
+    from repro.replication.network import NetworkConfig
+
+    before = threading.active_count()
+    # Conflicting options are rejected before any transport is built …
+    with pytest.raises(TupleSpaceError):
+        connect(
+            "replicated",
+            policy=open_policy(),
+            transport="asyncio",
+            network_config=NetworkConfig(),
+        )
+    # … and a deployment constructor failing closes the built transport.
+    with pytest.raises(ReplicationError):
+        connect("replicated", policy=open_policy(), f=-1, transport="asyncio")
+    assert threading.active_count() == before
+
+
+def test_future_bridge_waits_across_threads():
+    space = build_space("replicated", "asyncio")
+    try:
+        future = space.bind("alice").submit_out(entry("JOB", 1))
+        assert future.wait(WAIT_MS / 1000.0)
+        status, _ = future.result()
+        assert status == "OK"
+        assert future.latency is not None and future.latency >= 0.0
+    finally:
+        space.close()
+
+
+def test_time_unit_reflects_the_transport():
+    sim_space = build_space("replicated", None)
+    assert sim_space.time_unit == "simulated ms"
+    real_space = build_space("replicated", "asyncio")
+    try:
+        assert real_space.time_unit == "wall-clock ms"
+    finally:
+        real_space.close()
+
+
+class _CheckTimeoutsSpy(RealTransport):
+    """Loopback variant recording post() targets (nudge marshalling)."""
+
+    def __init__(self) -> None:
+        super().__init__(reactors=1, name="spy")
+        self.posted = []
+
+    def _dispatch(self, sender, receiver, payload, mac):
+        self.reactor_of(receiver).call_soon(
+            lambda: self._handle_delivery(sender, receiver, payload, mac)
+        )
+
+    def post(self, node, callback) -> None:
+        self.posted.append(node)
+        super().post(node, callback)
+
+
+def test_view_change_nudges_are_marshalled_through_post():
+    from repro.replication.service import ReplicatedPEATS
+
+    net = _CheckTimeoutsSpy()
+    try:
+        service = ReplicatedPEATS(open_policy(), f=1, network=net)
+        service.check_timeouts()
+        assert net.run_until(lambda: len(net.posted) == 4, timeout=WAIT_MS)
+        assert set(net.posted) == set(service.replica_ids)
+    finally:
+        net.close()
