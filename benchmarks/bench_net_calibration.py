@@ -25,8 +25,9 @@ import pathlib
 import sys
 import time
 
-if __name__ == "__main__":  # standalone: make src/ importable
+if __name__ == "__main__":  # standalone: make src/ and benchmarks/ importable
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
 from benchmarks._output import emit, emit_table
 from repro.api import connect

@@ -16,9 +16,17 @@ Two questions:
    factor of the raw one (microseconds, not milliseconds).
 """
 
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # standalone: make src/ importable
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
 import pytest
 
-from benchmarks._output import emit_table
+from benchmarks._output import emit, emit_table, write_bench_json
 from repro.model.faults import attack_peats
 from repro.peo import PEATS
 from repro.policy import (
@@ -101,3 +109,89 @@ def test_e5_raw_operations_baseline(benchmark):
         _consensus_round_on(space, enforced=False)
 
     benchmark(raw_round)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable trajectory (BENCH_policy_enforcement.json)
+# ----------------------------------------------------------------------
+
+#: Consensus rounds timed per side of the enforcement ablation.
+OVERHEAD_ROUNDS = 400
+
+
+def measure_enforcement_overhead(rounds: int = OVERHEAD_ROUNDS) -> dict:
+    """Wall-clock cost of one consensus round with the monitor on vs off.
+
+    Each round includes space construction (matching the pytest-benchmark
+    cases above, which rebuild per round so ``cas`` always races a fresh
+    decision slot).  The per-round microsecond numbers are machine-bound
+    and informational; the enforced/raw **ratio** is what the regression
+    gate watches — it is a same-machine comparison, stable across hosts.
+    """
+
+    def enforced_round() -> None:
+        space = PEATS(strong_consensus_policy(PROCESSES, 1))
+        space.out(entry("PROPOSE", 1, 1), process=1)
+        _consensus_round_on(space, enforced=True)
+
+    def raw_round() -> None:
+        space = AugmentedTupleSpace()
+        space.out(entry("PROPOSE", 1, 1))
+        _consensus_round_on(space, enforced=False)
+
+    def timed(fn) -> float:
+        for _ in range(rounds // 10):  # warm-up
+            fn()
+        started = time.perf_counter()
+        for _ in range(rounds):
+            fn()
+        return (time.perf_counter() - started) / rounds * 1e6
+
+    enforced_us = timed(enforced_round)
+    raw_us = timed(raw_round)
+    return {
+        "rounds": rounds,
+        "enforced_us_per_round": round(enforced_us, 3),
+        "raw_us_per_round": round(raw_us, 3),
+        "overhead_factor": round(enforced_us / raw_us, 3) if raw_us > 0 else 0.0,
+    }
+
+
+def run_policy_bench() -> dict:
+    """Run the attack battery and the enforcement ablation; emit the JSON."""
+    attack_rows = run_attack_battery()
+    overhead = measure_enforcement_overhead()
+    report = {
+        "benchmark": "policy_enforcement",
+        "attack_battery": [
+            {**row, "denied_pct": round(row["denied_pct"], 1)} for row in attack_rows
+        ],
+        "enforcement_overhead": overhead,
+    }
+    emit_table(
+        report["attack_battery"],
+        title="E5 — Byzantine attack battery vs the paper's access policies",
+    )
+    emit_table([overhead], title="E5 — enforcement overhead (monitor on vs off)")
+    write_bench_json("policy_enforcement", report)
+    return report
+
+
+def test_e5_emits_bench_json():
+    from benchmarks._output import bench_json_path
+
+    report = run_policy_bench()
+    assert bench_json_path("policy_enforcement").exists()
+    assert all(
+        row["denied"] == row["attacks"] for row in report["attack_battery"]
+    ), "a canonical policy let an attack through"
+    overhead = report["enforcement_overhead"]
+    assert overhead["overhead_factor"] > 0
+    emit(
+        f"enforcement overhead: {overhead['overhead_factor']}x "
+        f"({overhead['enforced_us_per_round']} vs {overhead['raw_us_per_round']} us/round)"
+    )
+
+
+if __name__ == "__main__":
+    run_policy_bench()

@@ -1,0 +1,312 @@
+"""Bench-regression gate: diff fresh ``BENCH_*.json`` runs against the
+committed trajectory and fail CI when a gated metric regresses.
+
+The committed ``BENCH_*.json`` files at the repository root are the perf
+trajectory of record.  CI snapshots them, regenerates each benchmark, and
+runs::
+
+    python benchmarks/compare.py --baseline .bench-baseline --threshold 0.25
+
+Metrics come in two classes:
+
+* **gated** — deterministic virtual-time results (the simulation's
+  ops-per-virtual-second predictions, denial percentages) and
+  same-machine ratios (enforcement overhead factor).  These are stable
+  across hosts, so a >threshold move is a real regression and the gate
+  exits non-zero.
+* **informational** — wall-clock measurements (loopback throughput,
+  microseconds per round).  These swing with the runner's hardware and
+  load; they are reported in the diff but never fail the gate.
+
+``--inject FACTOR`` degrades every gated metric of the fresh run by
+``FACTOR`` before comparing — paired with ``--expect-regression`` it
+proves in CI that the gate actually trips (exit 0 **iff** a regression
+was detected).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Callable, Iterable, Mapping, NamedTuple, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Default regression threshold: fail on a >25% move against the metric's
+#: good direction.
+DEFAULT_THRESHOLD = 0.25
+
+
+class Metric(NamedTuple):
+    """One comparable number extracted from a BENCH payload."""
+
+    name: str
+    value: float
+    #: ``True``: bigger is better (throughput); ``False``: smaller is
+    #: better (overhead factors, latency).
+    higher_is_better: bool
+    #: Gated metrics fail the build on regression; informational ones
+    #: only appear in the diff report.
+    gated: bool
+
+
+# ----------------------------------------------------------------------
+# Extractors: BENCH file name -> metrics
+# ----------------------------------------------------------------------
+
+
+def _net_calibration(payload: Mapping[str, Any]) -> Iterable[Metric]:
+    for row in payload.get("sim_sweep", ()):
+        # The sim sweep is seeded virtual time: byte-stable per host, so a
+        # throughput drop is a real model/protocol regression.
+        yield Metric(
+            f"sim_sweep[pt={row['processing_time']}].ops_per_sec",
+            float(row["ops_per_sec"]),
+            higher_is_better=True,
+            gated=True,
+        )
+    loopback = payload.get("loopback")
+    if loopback:
+        yield Metric(
+            "loopback.ops_per_sec",
+            float(loopback["ops_per_sec"]),
+            higher_is_better=True,
+            gated=False,
+        )
+        yield Metric(
+            "loopback.latency_p50",
+            float(loopback["latency_p50"]),
+            higher_is_better=False,
+            gated=False,
+        )
+    calibration = payload.get("calibration")
+    if calibration:
+        yield Metric(
+            "calibration.prediction_ratio",
+            float(calibration["prediction_ratio"]),
+            higher_is_better=False,
+            gated=False,
+        )
+
+
+def _policy_enforcement(payload: Mapping[str, Any]) -> Iterable[Metric]:
+    for row in payload.get("attack_battery", ()):
+        yield Metric(
+            f"attack_battery[{row['policy']}].denied_pct",
+            float(row["denied_pct"]),
+            higher_is_better=True,
+            gated=True,
+        )
+    overhead = payload.get("enforcement_overhead")
+    if overhead:
+        # The enforced/raw ratio compares two loops on the *same* machine
+        # in the same run, so it is gateable even though its inputs are
+        # wall-clock.
+        yield Metric(
+            "enforcement_overhead.overhead_factor",
+            float(overhead["overhead_factor"]),
+            higher_is_better=False,
+            gated=True,
+        )
+        yield Metric(
+            "enforcement_overhead.enforced_us_per_round",
+            float(overhead["enforced_us_per_round"]),
+            higher_is_better=False,
+            gated=False,
+        )
+
+
+EXTRACTORS: dict[str, Callable[[Mapping[str, Any]], Iterable[Metric]]] = {
+    "BENCH_net_calibration.json": _net_calibration,
+    "BENCH_policy_enforcement.json": _policy_enforcement,
+}
+
+
+def extract_metrics(filename: str, payload: Mapping[str, Any]) -> list[Metric]:
+    extractor = EXTRACTORS.get(filename)
+    if extractor is None:
+        return []
+    return list(extractor(payload))
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+
+
+def _load_dir(directory: pathlib.Path) -> dict[str, Mapping[str, Any]]:
+    payloads: dict[str, Mapping[str, Any]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        payloads[path.name] = json.loads(path.read_text())
+    return payloads
+
+
+def _degrade(metric: Metric, factor: float) -> Metric:
+    """Make ``metric`` worse by ``factor`` (for --inject self-tests)."""
+    if not metric.gated:
+        return metric
+    value = metric.value * factor if metric.higher_is_better else metric.value / factor
+    return metric._replace(value=value)
+
+
+def compare_payloads(
+    baseline: Mapping[str, Mapping[str, Any]],
+    fresh: Mapping[str, Mapping[str, Any]],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    inject: Optional[float] = None,
+) -> dict[str, Any]:
+    """Diff two {filename: payload} maps into a regression report.
+
+    A gated metric regresses when it moves more than ``threshold`` against
+    its good direction (relative to baseline).  A benchmark file present
+    in the baseline but missing from the fresh run is itself a gate
+    failure — losing coverage must not pass silently.
+    """
+    rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    for filename in sorted(set(baseline) | set(fresh)):
+        if filename not in fresh:
+            rows.append({"file": filename, "status": "missing-fresh"})
+            regressions.append(f"{filename}: fresh run missing")
+            continue
+        if filename not in baseline:
+            rows.append({"file": filename, "status": "new"})
+            continue
+        base_metrics = {m.name: m for m in extract_metrics(filename, baseline[filename])}
+        fresh_metrics = {m.name: m for m in extract_metrics(filename, fresh[filename])}
+        for name, base in base_metrics.items():
+            current = fresh_metrics.get(name)
+            if current is None:
+                rows.append({"file": filename, "metric": name, "status": "missing-metric"})
+                if base.gated:
+                    regressions.append(f"{filename}: metric {name} disappeared")
+                continue
+            if inject is not None:
+                current = _degrade(current, inject)
+            row: dict[str, Any] = {
+                "file": filename,
+                "metric": name,
+                "baseline": base.value,
+                "fresh": current.value,
+                "gated": base.gated,
+                "direction": "higher" if base.higher_is_better else "lower",
+            }
+            if base.value == 0:
+                row["status"] = "ok" if current.value == 0 else "changed-from-zero"
+                rows.append(row)
+                continue
+            ratio = current.value / base.value
+            row["ratio"] = round(ratio, 4)
+            # Fractional move against the good direction.
+            loss = 1.0 - ratio if base.higher_is_better else ratio - 1.0
+            row["regression_pct"] = round(loss * 100.0, 2)
+            if base.gated and loss > threshold:
+                row["status"] = "regression"
+                regressions.append(
+                    f"{filename}: {name} {'fell' if base.higher_is_better else 'rose'} "
+                    f"{loss * 100.0:.1f}% ({base.value:g} -> {current.value:g})"
+                )
+            elif loss < -threshold:
+                row["status"] = "improved"
+            else:
+                row["status"] = "ok"
+            rows.append(row)
+    return {
+        "threshold": threshold,
+        "injected_factor": inject,
+        "rows": rows,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def render_report(report: Mapping[str, Any]) -> str:
+    lines = [
+        f"bench-regression gate (threshold {report['threshold'] * 100:.0f}%"
+        + (
+            f", injected degradation x{report['injected_factor']}"
+            if report.get("injected_factor")
+            else ""
+        )
+        + ")"
+    ]
+    for row in report["rows"]:
+        if "metric" not in row:
+            lines.append(f"  {row['status']:>12}  {row['file']}")
+            continue
+        gate = "gated" if row.get("gated") else "info "
+        detail = ""
+        if "ratio" in row:
+            detail = f"{row['baseline']:g} -> {row['fresh']:g} (x{row['ratio']})"
+        lines.append(
+            f"  {row['status']:>12}  [{gate}] {row['file']}: {row['metric']} {detail}"
+        )
+    if report["regressions"]:
+        lines.append("REGRESSIONS:")
+        lines.extend(f"  - {item}" for item in report["regressions"])
+    else:
+        lines.append("no gated regressions")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=REPO_ROOT,
+        help="directory holding the baseline BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=pathlib.Path,
+        default=REPO_ROOT,
+        help="directory holding the freshly generated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional loss that fails the gate (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--report", type=pathlib.Path, default=None, help="write the JSON diff here"
+    )
+    parser.add_argument(
+        "--inject",
+        type=float,
+        default=None,
+        help="degrade fresh gated metrics by this factor (gate self-test)",
+    )
+    parser.add_argument(
+        "--expect-regression",
+        action="store_true",
+        help="invert the exit code: succeed only if the gate tripped",
+    )
+    args = parser.parse_args(argv)
+    baseline = _load_dir(args.baseline)
+    fresh = _load_dir(args.fresh)
+    if not baseline:
+        print(f"no BENCH_*.json found in {args.baseline}", file=sys.stderr)
+        return 2
+    report = compare_payloads(
+        baseline, fresh, threshold=args.threshold, inject=args.inject
+    )
+    print(render_report(report))
+    if args.report is not None:
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.report}")
+    if args.expect_regression:
+        if report["ok"]:
+            print("expected the gate to trip, but no regression was detected", file=sys.stderr)
+            return 1
+        print("gate self-test passed: injected regression was detected")
+        return 0
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,6 +67,7 @@ def connect(
     max_batch_size: int = 8,
     checkpoint_interval: int = 8,
     max_inp_rounds: Optional[int] = None,
+    obs: Any = None,
 ) -> Space:
     """Build (or wrap) a deployment and return its unified :class:`Space`.
 
@@ -100,6 +101,12 @@ def connect(
                 "already owns its transport; transport= only applies when "
                 "building one"
             )
+        if obs is not None:
+            raise TupleSpaceError(
+                "connect(service=...) wraps an existing deployment, which "
+                "already owns its observability; pass obs= to the service "
+                "constructor (or to connect() when building one)"
+            )
         inferred = _infer_backend(service)
         if backend is not None and backend != inferred:
             raise TupleSpaceError(
@@ -120,13 +127,15 @@ def connect(
             raise TupleSpaceError(
                 "the local backend is in-process and takes no transport"
             )
-        return LocalSpace(PEATS(policy))
+        return LocalSpace(PEATS(policy, obs=obs))
     if transport not in (None, "sim") and network_config is not None:
         raise TupleSpaceError(
             "network_config configures the simulated network; pass either "
             "it or a real transport, not both"
         )
-    network = _build_transport(transport, reactors=shards if backend == "sharded" else 1)
+    network = _build_transport(
+        transport, reactors=shards if backend == "sharded" else 1, obs=obs
+    )
     try:
         if backend == "replicated":
             return ReplicatedSpace(
@@ -139,6 +148,7 @@ def connect(
                     view_change_timeout=view_change_timeout,
                     max_batch_size=max_batch_size,
                     checkpoint_interval=checkpoint_interval,
+                    obs=obs,
                 )
             )
         return ShardedSpace(
@@ -153,6 +163,7 @@ def connect(
                 view_change_timeout=view_change_timeout,
                 max_batch_size=max_batch_size,
                 checkpoint_interval=checkpoint_interval,
+                obs=obs,
             ),
             max_inp_rounds=max_inp_rounds,
         )
@@ -166,7 +177,7 @@ def connect(
 
 
 def _build_transport(
-    transport: Union[str, Transport, None], *, reactors: int
+    transport: Union[str, Transport, None], *, reactors: int, obs: Any = None
 ) -> Optional[Transport]:
     """Resolve the ``transport=`` argument to a network, or ``None`` for
     the default simulated one."""
@@ -174,9 +185,9 @@ def _build_transport(
         return None
     if isinstance(transport, str):
         if transport in ("asyncio", "loopback"):
-            return AsyncioLoopbackTransport(reactors=reactors)
+            return AsyncioLoopbackTransport(reactors=reactors, obs=obs)
         if transport == "tcp":
-            return TcpTransport(reactors=reactors)
+            return TcpTransport(reactors=reactors, obs=obs)
         raise TupleSpaceError(
             f"unknown transport {transport!r}; expected one of {TRANSPORTS} "
             "or a Transport instance"

@@ -139,5 +139,8 @@ class LocalSpace(Space):
     def snapshot(self) -> tuple[Entry, ...]:
         return self._peats.snapshot()
 
+    def _stats_extra(self) -> dict:
+        return {"tuples": len(self._peats), "policy": self._peats.policy.name}
+
     def __repr__(self) -> str:
         return f"LocalSpace(policy={self._peats.policy.name!r}, size={len(self._peats)})"

@@ -70,5 +70,10 @@ class ReplicatedSpace(Space):
     def snapshot(self) -> tuple[Entry, ...]:
         return self._service.snapshot()
 
+    def _stats_extra(self) -> dict:
+        return {
+            "nodes": {node.replica_id: node.statistics for node in self._service.nodes}
+        }
+
     def __repr__(self) -> str:
         return f"ReplicatedSpace(f={self._service.f}, replicas={self._service.n_replicas})"

@@ -64,6 +64,15 @@ class ShardedSpace(Space):
         # a millisecond is a millisecond on either clock).
         if not getattr(service.network, "virtual_time", True):
             self.time_unit = service.network.time_unit
+        registry = service.obs.registry
+        self._obs_scatter_rounds = registry.counter(
+            "cluster_scatter_rounds_total",
+            "Wildcard-probe rounds fanned out across every shard",
+        ).labels()
+        self._obs_scatter_probes = registry.counter(
+            "cluster_scatter_probes_total",
+            "Individual per-group probes issued by scatter-gather rounds",
+        ).labels()
 
     @property
     def service(self) -> ShardedPEATS:
@@ -107,6 +116,9 @@ class ShardedSpace(Space):
     def snapshot(self) -> tuple[Entry, ...]:
         return self._service.snapshot()
 
+    def _stats_extra(self) -> dict:
+        return {"shards": self._service.shard_statistics()}
+
     def __repr__(self) -> str:
         return (
             f"ShardedSpace(shards={self._service.n_shards}, f={self._service.f})"
@@ -149,6 +161,8 @@ class _ScatterGather:
 
     def _probe_round(self) -> None:
         self._answers = {}
+        self.space._obs_scatter_rounds.inc()
+        self.space._obs_scatter_probes.inc(float(self.space.n_shards))
         for shard, group in enumerate(self.space.service.groups):
             probe = self.client.submit(
                 "rdp", (self.template,), replica_ids=group.replica_ids

@@ -35,6 +35,7 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.errors import AccessDeniedError, OperationTimeoutError, TupleSpaceError
 from repro.futures import OperationFuture
+from repro.obs import NULL_OBS
 from repro.peo.base import DENIED, DeniedResult
 from repro.policy.invocation import Invocation
 from repro.policy.monitor import Decision
@@ -334,6 +335,50 @@ class Space(TupleSpaceInterface):
     def bind(self, process: Hashable) -> "BoundSpace":
         """A view through which ``process`` issues its operations."""
         return BoundSpace(self, process)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def observability(self) -> Any:
+        """The deployment's observability bundle (``NULL_OBS`` when none).
+
+        Every backend stores the bundle on its service object; the handle
+        just surfaces it so callers can reach the metrics registry and the
+        request tracer without knowing the deployment shape.
+        """
+        service = getattr(self, "service", None)
+        return getattr(service, "obs", NULL_OBS)
+
+    def stats(self) -> dict[str, Any]:
+        """One deployment-wide statistics snapshot, uniform across backends.
+
+        Always contains ``backend`` and ``time_unit``; adds ``network``
+        (the transport's counter dict, with ``handler_errors`` defaulted
+        so the key exists on every transport), ``metrics``/``tracing``
+        when an observability bundle is attached, and whatever the
+        backend's :meth:`_stats_extra` contributes (tuple counts, per-node
+        ordering progress, per-shard statistics).
+        """
+        report: dict[str, Any] = {"backend": self.backend, "time_unit": self.time_unit}
+        network = getattr(self, "network", None)
+        if network is not None:
+            net = dict(network.statistics)
+            # SimulatedNetwork predates the handler-error counter; a real
+            # transport counts them.  Either way the key is reachable here.
+            net.setdefault("handler_errors", 0)
+            report["network"] = net
+        obs = self.observability
+        if obs.enabled:
+            report["metrics"] = obs.registry.snapshot()
+            report["tracing"] = obs.tracer.statistics()
+        report.update(self._stats_extra())
+        return report
+
+    def _stats_extra(self) -> dict[str, Any]:
+        """Backend-specific additions to :meth:`stats` (override freely)."""
+        return {}
 
     # ------------------------------------------------------------------
     # Lifecycle

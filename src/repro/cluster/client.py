@@ -21,7 +21,7 @@ callers until they ask for a cross-shard read.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 from repro.replication.client import PEATSClient, PendingRequest
 from repro.replication.service import ReplicatedClientView
@@ -42,8 +42,13 @@ class ShardedClient(PEATSClient):
             service.f,
             service.network,
             nudge_timeouts=service.check_timeouts,
+            obs=service.obs,
         )
         self._service = service
+        self._obs_routed = self.obs.registry.counter(
+            "cluster_routed_total", "Requests routed to their owning shard"
+        )
+        self._obs_shard_children: dict[int, Any] = {}
 
     @property
     def service(self) -> "ShardedPEATS":
@@ -80,6 +85,14 @@ class ShardedClient(PEATSClient):
             replica_ids=self._service.group(shard).replica_ids,
         )
         pending.shard = shard
+        counter = self._obs_shard_children.get(shard)
+        if counter is None:
+            counter = self._obs_shard_children[shard] = self._obs_routed.labels(
+                shard=str(shard)
+            )
+        counter.inc()
+        if self._tracer.enabled:
+            self._tracer.record("route", pending.key, f"shard-{shard}", self.network.now)
         return pending
 
     def __repr__(self) -> str:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Hashable, Mapping, TYPE_CHECKING, Union
 
 from repro.errors import ReplicationError
+from repro.obs import NULL_OBS
 from repro.policy.policy import AccessPolicy
 from repro.replication.network import NetworkConfig, SimulatedNetwork
 from repro.replication.pbft import OrderingNode, ReplicaFaultMode
@@ -55,6 +56,7 @@ class ShardedPEATS:
         view_change_timeout: float = 50.0,
         max_batch_size: int = 8,
         checkpoint_interval: int = 8,
+        obs: Any = None,
     ) -> None:
         """``replica_faults`` keys may be ``(shard, index)`` pairs or flat
         node indexes (``shard = index // (3f + 1)``), matching how the
@@ -78,6 +80,8 @@ class ShardedPEATS:
         self._policy = policy
         self._shard_map = ShardMap(shards, routing)
         self._network = network or SimulatedNetwork(network_config or NetworkConfig())
+        #: Observability bundle shared by every shard's replica group.
+        self.obs = NULL_OBS if obs is None else obs
         group_size = 3 * f + 1
         pin = getattr(self._network, "pin", None)
         reactor_count = getattr(self._network, "reactor_count", 1)
@@ -107,6 +111,7 @@ class ShardedPEATS:
                 view_change_timeout=view_change_timeout,
                 max_batch_size=max_batch_size,
                 checkpoint_interval=checkpoint_interval,
+                obs=self.obs,
             )
             for shard in range(shards)
         )

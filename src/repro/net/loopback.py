@@ -35,12 +35,14 @@ class AsyncioLoopbackTransport(RealTransport):
         reactors: int = 1,
         keystore: KeyStore | None = None,
         default_wait_timeout: float = 30_000.0,
+        obs: Any = None,
     ) -> None:
         super().__init__(
             reactors=reactors,
             keystore=keystore,
             default_wait_timeout=default_wait_timeout,
             name="loopback",
+            obs=obs,
         )
 
     def _dispatch(self, sender: Hashable, receiver: Hashable, payload: Any, mac: str) -> None:

@@ -57,6 +57,7 @@ class TcpTransport(RealTransport):
         port_of: Callable[[Hashable], int] | None = None,
         default_wait_timeout: float = 30_000.0,
         connect_retries: int = 5,
+        obs: Any = None,
     ) -> None:
         """``addresses`` seeds endpoints for *remote* nodes (other
         processes); ``port_of`` assigns fixed listening ports to local
@@ -66,6 +67,7 @@ class TcpTransport(RealTransport):
             keystore=keystore,
             default_wait_timeout=default_wait_timeout,
             name="tcp",
+            obs=obs,
         )
         self._host = host
         self._addresses: dict[Hashable, tuple[str, int]] = dict(addresses or {})
@@ -154,6 +156,9 @@ class TcpTransport(RealTransport):
             writer.close()
 
     def _deliver_frame(self, node: Hashable, body: bytes) -> None:
+        with self._lock:
+            self._bytes_received += len(body) + _HEADER_SIZE
+            self._obs_bytes_received.inc(float(len(body) + _HEADER_SIZE))
         try:
             sender, receiver, payload_bytes, mac = codec.decode_frame(body)
         except codec.CodecError:
@@ -183,10 +188,13 @@ class TcpTransport(RealTransport):
         with self._lock:
             if counter == "delivered":
                 self._delivered += 1
+                self._obs_frames_delivered.inc()
             elif counter == "dropped":
                 self._dropped += 1
+                self._obs_frames_dropped.inc()
             else:
                 self._rejected += 1
+                self._obs_mac_rejects.inc()
 
     # ------------------------------------------------------------------
     # Sending
@@ -201,6 +209,11 @@ class TcpTransport(RealTransport):
         payload_bytes = codec.encode_payload(payload)
         mac = self._authenticator.mac(sender, receiver, payload_bytes)
         frame = codec.encode_frame(sender, receiver, payload_bytes, mac)
+        with self._lock:
+            self._frames_sent += 1
+            self._bytes_sent += len(frame)
+            self._obs_frames_sent.inc()
+            self._obs_bytes_sent.inc(float(len(frame)))
         reactor = self.reactor_of(sender if sender in self._handlers else receiver)
         reactor.call_soon(lambda: self._enqueue(reactor, receiver, frame))
 

@@ -49,6 +49,7 @@ import time
 from typing import Any, Callable, Hashable, Iterable, Optional, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
+from repro.obs import NULL_OBS
 from repro.replication.crypto import KeyStore, MessageAuthenticator
 
 __all__ = ["Transport", "NetTimer", "Reactor", "RealTransport"]
@@ -239,6 +240,7 @@ class RealTransport:
         keystore: KeyStore | None = None,
         default_wait_timeout: float = 30_000.0,
         name: str = "net",
+        obs: Any = None,
     ) -> None:
         if reactors < 1:
             raise SimulationError("a real transport needs at least one reactor")
@@ -257,7 +259,34 @@ class RealTransport:
         self._rejected = 0
         self._timers_fired = 0
         self._handler_errors = 0
+        self._frames_sent = 0
+        self._bytes_sent = 0
+        self._bytes_received = 0
         self._last_handler_error: Optional[BaseException] = None
+        self.obs = NULL_OBS if obs is None else obs
+        registry = self.obs.registry
+        labels = {"transport": name}
+        self._obs_frames_sent = registry.counter(
+            "net_frames_sent_total", "Frames authenticated and dispatched"
+        ).labels(**labels)
+        self._obs_frames_delivered = registry.counter(
+            "net_frames_delivered_total", "Frames verified and handed to a handler"
+        ).labels(**labels)
+        self._obs_frames_dropped = registry.counter(
+            "net_frames_dropped_total", "Frames discarded (no handler / misrouted)"
+        ).labels(**labels)
+        self._obs_mac_rejects = registry.counter(
+            "net_mac_rejects_total", "Frames rejected by MAC/codec verification"
+        ).labels(**labels)
+        self._obs_handler_errors = registry.counter(
+            "net_handler_errors_total", "Exceptions raised by node handlers"
+        ).labels(**labels)
+        self._obs_bytes_sent = registry.counter(
+            "net_bytes_sent_total", "Wire bytes written (0 for in-memory transports)"
+        ).labels(**labels)
+        self._obs_bytes_received = registry.counter(
+            "net_bytes_received_total", "Wire bytes read (0 for in-memory transports)"
+        ).labels(**labels)
 
     # ------------------------------------------------------------------
     # Reactors and pinning
@@ -301,6 +330,7 @@ class RealTransport:
                 with self._lock:
                     self._handler_errors += 1
                     self._last_handler_error = error
+                    self._obs_handler_errors.inc()
 
         return run
 
@@ -384,6 +414,9 @@ class RealTransport:
         if not self.has_node(receiver):
             raise SimulationError(f"unknown receiver {receiver!r}")
         mac = self._authenticator.mac(sender, receiver, payload)
+        with self._lock:
+            self._frames_sent += 1
+            self._obs_frames_sent.inc()
         self._dispatch(sender, receiver, payload, mac)
 
     def broadcast(self, sender: Hashable, receivers: Iterable[Hashable], payload: Any) -> None:
@@ -400,13 +433,16 @@ class RealTransport:
         if handler is None:
             with self._lock:
                 self._dropped += 1
+                self._obs_frames_dropped.inc()
             return
         if not self._authenticator.verify(sender, receiver, payload, mac):
             with self._lock:
                 self._rejected += 1
+                self._obs_mac_rejects.inc()
             return
         with self._lock:
             self._delivered += 1
+            self._obs_frames_delivered.inc()
         self._guarded(lambda: handler(sender, payload))()
 
     # ------------------------------------------------------------------
@@ -485,6 +521,9 @@ class RealTransport:
                 "rejected": self._rejected,
                 "timers_fired": self._timers_fired,
                 "handler_errors": self._handler_errors,
+                "frames_sent": self._frames_sent,
+                "bytes_sent": self._bytes_sent,
+                "bytes_received": self._bytes_received,
                 "pending": 0,
             }
 

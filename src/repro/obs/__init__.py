@@ -1,0 +1,109 @@
+"""repro.obs — observability for every deployment shape.
+
+The package bundles two passive instruments:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — labelled counters,
+  gauges and histograms with deterministic iteration order and three
+  exporters (plain dicts, JSON lines, Prometheus text);
+* :class:`~repro.obs.trace.Tracer` — per-request lifecycle spans keyed
+  by the ``(client, request_id)`` correlation id already on the wire,
+  assembled into phase timelines and a "where did the time go" report.
+
+:class:`Observability` carries both through ``connect(obs=...)`` /
+``Scenario(obs=...)`` into every layer.  Components default to the
+shared :data:`NULL_OBS` (a disabled registry + tracer whose operations
+are no-ops), so instrumentation costs ~nothing until someone attaches a
+real bundle.  Neither instrument reads a clock or an RNG — enabling
+observability never perturbs the seeded simulation, so same-seed replays
+stay byte-identical (the determinism tests pin this down).
+
+Quick start::
+
+    from repro.api import connect
+    from repro.obs import Observability
+
+    obs = Observability()
+    space = connect("replicated", policy=policy, obs=obs)
+    ... run a workload ...
+    print(space.stats()["metrics"]["peats_operations_total"])
+    for row in obs.tracer.phase_report():
+        print(row)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.trace import PHASES, NullTracer, Tracer, NULL_TRACER
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "PHASES",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Observability",
+    "NULL_OBS",
+]
+
+
+class Observability:
+    """One registry + one tracer, handed to every layer of a deployment."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "metrics": self.registry.snapshot(),
+            "tracing": self.tracer.statistics(),
+        }
+
+    def __repr__(self) -> str:
+        return f"Observability(registry={self.registry!r}, tracer={self.tracer!r})"
+
+
+class _NullObservability:
+    """The disabled bundle every component defaults to."""
+
+    enabled = False
+    registry = NULL_REGISTRY
+    tracer = NULL_TRACER
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"metrics": {}, "tracing": NULL_TRACER.statistics()}
+
+    def __repr__(self) -> str:
+        return "NULL_OBS"
+
+
+#: Shared disabled bundle (``enabled`` is False; all operations no-op).
+NULL_OBS = _NullObservability()
+
+
+def resolve_obs(obs: Any) -> Any:
+    """Normalise an ``obs=`` argument: ``None`` → :data:`NULL_OBS`."""
+    return NULL_OBS if obs is None else obs

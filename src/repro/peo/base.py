@@ -26,6 +26,7 @@ import threading
 from typing import Any, Callable, Sequence
 
 from repro.errors import AccessDeniedError
+from repro.obs import NULL_OBS
 from repro.policy.invocation import Invocation
 from repro.policy.monitor import Decision, ReferenceMonitor
 from repro.policy.policy import AccessPolicy
@@ -86,11 +87,24 @@ class PolicyEnforcedObject:
         history: HistoryRecorder | None = None,
         raise_on_deny: bool = False,
         audit: bool = False,
+        obs: Any = None,
     ) -> None:
         self._monitor = ReferenceMonitor(policy, audit=audit)
         self._history = history
         self._raise_on_deny = raise_on_deny
         self._lock = threading.RLock()
+        #: Observability bundle (defaults to the shared no-op NULL_OBS).
+        self.obs = NULL_OBS if obs is None else obs
+        registry = self.obs.registry
+        self._obs_operations = registry.counter(
+            "peats_operations_total", "Invocations the reference monitor authorized"
+        )
+        self._obs_denials = registry.counter(
+            "peats_denials_total", "Invocations the reference monitor denied, by reason"
+        )
+        # Per-operation bound children, created on first use so the hot
+        # path is one dict hit + one no-arg inc (a no-op when disabled).
+        self._obs_op_children: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -119,6 +133,7 @@ class PolicyEnforcedObject:
         with self._lock:
             decision = self._monitor.authorize(invocation, self._policy_state())
             if not decision.allowed:
+                self._obs_denials.labels(operation=operation, reason=decision.reason).inc()
                 if self._history is not None:
                     self._history.record(
                         process=process,
@@ -132,6 +147,12 @@ class PolicyEnforcedObject:
                         decision.reason, process=process, operation=operation
                     )
                 return DeniedResult(decision)
+            counter = self._obs_op_children.get(operation)
+            if counter is None:
+                counter = self._obs_op_children[operation] = self._obs_operations.labels(
+                    operation=operation
+                )
+            counter.inc()
             result = execute()
             if self._history is not None:
                 self._history.record(

@@ -52,9 +52,10 @@ class PEATS(PolicyEnforcedObject):
         history: HistoryRecorder | None = None,
         raise_on_deny: bool = False,
         audit: bool = False,
+        obs: Any = None,
     ) -> None:
         super().__init__(
-            policy, history=history, raise_on_deny=raise_on_deny, audit=audit
+            policy, history=history, raise_on_deny=raise_on_deny, audit=audit, obs=obs
         )
         self._space = AugmentedTupleSpace(initial)
 

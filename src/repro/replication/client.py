@@ -36,6 +36,7 @@ from typing import Any, Callable, Hashable, Optional, TYPE_CHECKING
 
 from repro.errors import QuorumError, ReplicationError
 from repro.futures import OperationFuture
+from repro.obs import NULL_OBS
 from repro.replication.messages import ClientReply, ClientRequest, authenticate_request
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -110,6 +111,7 @@ class PEATSClient:
         retransmit_interval: float = 100.0,
         retransmit_backoff: float = 2.0,
         max_retransmit_interval: float = 1600.0,
+        obs: Any = None,
     ) -> None:
         self.client_id = client_id
         self.replica_ids = tuple(replica_ids)
@@ -130,6 +132,18 @@ class PEATSClient:
         self._retransmit_backoff = retransmit_backoff
         self._max_retransmit_interval = max_retransmit_interval
         self._statistics = {"requests": 0, "retransmissions": 0, "mismatched_replies": 0}
+        self.obs = NULL_OBS if obs is None else obs
+        registry = self.obs.registry
+        self._tracer = self.obs.tracer
+        self._obs_requests = registry.counter(
+            "client_requests_total", "Requests submitted by replicated-PEATS clients"
+        ).labels()
+        self._obs_retransmissions = registry.counter(
+            "client_retransmissions_total", "Request re-broadcasts after a stalled vote"
+        ).labels()
+        self._obs_quorum_failures = registry.counter(
+            "client_quorum_failures_total", "Requests abandoned without an f+1 reply vote"
+        ).labels()
         network.register(self._address, self._on_message)
 
     @property
@@ -190,6 +204,8 @@ class PEATSClient:
     def _resolve(self, pending: PendingRequest, result: Any) -> None:
         self._pending.pop(pending.key, None)
         self._replies.pop(pending.key, None)
+        if self._tracer.enabled:
+            self._tracer.record("complete", pending.key, self.client_id, self.network.now)
         pending._complete(self.network.now, result=result)
 
     def _fail(self, pending: PendingRequest, exception: BaseException) -> None:
@@ -203,6 +219,7 @@ class PEATSClient:
             return
         pending.attempts += 1
         if pending.attempts > self._max_retransmissions:
+            self._obs_quorum_failures.inc()
             self._fail(
                 pending,
                 QuorumError(
@@ -215,6 +232,7 @@ class PEATSClient:
         # nudge the replicas' view-change timers (virtual time has already
         # advanced to this timer's firing point) and retransmit.
         self._statistics["retransmissions"] += 1
+        self._obs_retransmissions.inc()
         if self._nudge_timeouts is not None:
             self._nudge_timeouts()
         self.network.broadcast(self._address, pending.targets, pending.request)
@@ -277,6 +295,9 @@ class PEATSClient:
         pending = PendingRequest(request, self.network.now, targets=targets)
         self._pending[request.key] = pending
         self._statistics["requests"] += 1
+        self._obs_requests.inc()
+        if self._tracer.enabled:
+            self._tracer.record("submit", request.key, self.client_id, self.network.now)
         if on_complete is not None:
             pending.add_done_callback(on_complete)
         self.network.broadcast(self._address, targets, request)

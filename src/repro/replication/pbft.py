@@ -71,6 +71,7 @@ import enum
 from typing import Any, Dict, Hashable, Optional, TYPE_CHECKING
 
 from repro.errors import ReplicationError
+from repro.obs import NULL_OBS
 from repro.replication.crypto import digest
 from repro.replication.messages import (
     NULL_REQUEST_CLIENT,
@@ -121,6 +122,7 @@ class OrderingNode:
         max_batch_size: int = 8,
         checkpoint_interval: int = 8,
         log_window: int | None = None,
+        obs: Any = None,
     ) -> None:
         if max_batch_size < 1:
             raise ReplicationError("max_batch_size must be at least 1")
@@ -206,7 +208,53 @@ class OrderingNode:
         # sequence ceiling below, so it holds at most ~log_window entries.
         self._out_of_window: Dict[int, tuple[Hashable, PrePrepare]] = {}
 
+        # Observability: pre-bound per-node metric children (no-ops when no
+        # bundle is attached) plus plain-int mirrors for ``statistics``.
+        self.obs = NULL_OBS if obs is None else obs
+        registry = self.obs.registry
+        self._tracer = self.obs.tracer
+        node = str(replica_id)
+        self._obs_batches = registry.counter(
+            "pbft_batches_total", "Consensus batches this node pre-prepared as primary"
+        ).labels(node=node)
+        self._obs_batch_size = registry.histogram(
+            "pbft_batch_size",
+            "Client requests packed per pre-prepared batch",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+        ).labels(node=node)
+        self._obs_pending_depth = registry.gauge(
+            "pbft_pending_depth", "Buffered client requests not yet assigned to a batch"
+        ).labels(node=node)
+        self._obs_view_changes = registry.counter(
+            "pbft_view_changes_total", "View changes this node started"
+        ).labels(node=node)
+        self._obs_checkpoints = registry.counter(
+            "pbft_checkpoints_total", "Checkpoints this node took"
+        ).labels(node=node)
+        self._obs_truncations = registry.counter(
+            "pbft_truncations_total", "Log truncations after a stable certificate"
+        ).labels(node=node)
+        self._obs_reply_cache_hits = registry.counter(
+            "pbft_reply_cache_hits_total", "Retransmissions answered from the reply cache"
+        ).labels(node=node)
+        self._obs_executed = registry.counter(
+            "pbft_executed_total", "Client requests executed in sequence order"
+        ).labels(node=node)
+        self._batches_proposed = 0
+        self._view_changes_started = 0
+        self._checkpoints_taken = 0
+        self._truncations = 0
+        self._reply_cache_hits = 0
+        self._requests_executed = 0
+
         network.register(replica_id, self.on_message)
+
+    def _trace_batch(self, phase: str, requests: tuple, now: float) -> None:
+        """Record ``phase`` for every real request of a batch (tracing on)."""
+        tracer = self._tracer
+        for request in requests:
+            if request.client != NULL_REQUEST_CLIENT:
+                tracer.record(phase, request.key, self.replica_id, now)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -332,6 +380,8 @@ class OrderingNode:
         if cached is not None:
             # Retransmission of the client's latest executed request:
             # resend the cached reply.
+            self._reply_cache_hits += 1
+            self._obs_reply_cache_hits.inc()
             self._reply(request, cached)
             return
         latest = self.application.last_request_id(request.client)
@@ -345,6 +395,7 @@ class OrderingNode:
         self._buffered_since.setdefault(request.key, self.network.now)
         self._unordered.setdefault(request.key, request)
         self._maybe_drain()
+        self._obs_pending_depth.set(len(self._unordered))
 
     def _maybe_drain(self) -> None:
         """Primary: drain unordered requests into batches within the window."""
@@ -366,6 +417,11 @@ class OrderingNode:
         sequence = self.next_sequence
         self.next_sequence += 1
         self._ordered_keys.update(batch.keys())
+        self._batches_proposed += 1
+        self._obs_batches.inc()
+        self._obs_batch_size.observe(float(len(batch.requests)))
+        if self._tracer.enabled:
+            self._trace_batch("pre-prepare", batch.requests, self.network.now)
         message = PrePrepare(
             view=self.view,
             sequence=sequence,
@@ -424,6 +480,8 @@ class OrderingNode:
             return
         self._pre_prepares[key] = message
         self._ordered_keys.update(message.batch.keys())
+        if self._tracer.enabled:
+            self._trace_batch("pre-prepare", message.batch.requests, self.network.now)
         for request in message.batch.requests:
             self._unordered.pop(request.key, None)
             if request.client != NULL_REQUEST_CLIENT:
@@ -477,6 +535,10 @@ class OrderingNode:
         if not self._prepared(view, sequence, batch_digest):
             return
         self._sent_commit.add(key)
+        if self._tracer.enabled:
+            self._trace_batch(
+                "prepare", self._pre_prepares[key].batch.requests, self.network.now
+            )
         self._multicast(
             Commit(
                 view=view,
@@ -513,6 +575,10 @@ class OrderingNode:
         if sequence <= self.last_executed or sequence in self._committed:
             return
         self._committed[sequence] = self._pre_prepares[key].batch
+        if self._tracer.enabled:
+            self._trace_batch(
+                "commit", self._pre_prepares[key].batch.requests, self.network.now
+            )
         self._execute_ready()
 
     def _execute_ready(self) -> None:
@@ -523,7 +589,13 @@ class OrderingNode:
             for request in batch.requests:
                 latest = self.application.last_request_id(request.client)
                 stale = latest is not None and latest > request.request_id
+                if self._tracer.enabled and request.client != NULL_REQUEST_CLIENT:
+                    self._tracer.record(
+                        "execute", request.key, self.replica_id, self.network.now
+                    )
                 result = self.application.execute(request)
+                self._requests_executed += 1
+                self._obs_executed.inc()
                 self._executed_keys.add(request.key)
                 self._executed_at[request.key] = sequence
                 self._buffered.pop(request.key, None)
@@ -544,6 +616,8 @@ class OrderingNode:
         if request.client == NULL_REQUEST_CLIENT:
             # Gap-filling no-ops have no real client to answer.
             return
+        if self._tracer.enabled:
+            self._tracer.record("reply", request.key, self.replica_id, self.network.now)
         if self.fault_mode is ReplicaFaultMode.LYING:
             # Each liar corrupts independently (the replica id is baked into
             # the lie), so colluding on an identical wrong answer — which
@@ -563,6 +637,8 @@ class OrderingNode:
     # ------------------------------------------------------------------
 
     def _take_checkpoint(self, sequence: int) -> None:
+        self._checkpoints_taken += 1
+        self._obs_checkpoints.inc()
         state = self.application.capture_state()
         self._checkpoint_states[sequence] = state
         message = Checkpoint(
@@ -639,6 +715,8 @@ class OrderingNode:
 
     def _truncate(self, sequence: int) -> None:
         """Garbage-collect all ordering state at or below ``sequence``."""
+        self._truncations += 1
+        self._obs_truncations.inc()
         self._pre_prepares = {
             key: value for key, value in self._pre_prepares.items() if key[1] > sequence
         }
@@ -964,6 +1042,8 @@ class OrderingNode:
 
     def _start_view_change(self, new_view: int) -> None:
         new_view = max(new_view, self.view + 1)
+        self._view_changes_started += 1
+        self._obs_view_changes.inc()
         self._view_changing = True
         self._view_change_started_at = self.network.now
         self._highest_vote = max(self._highest_vote, new_view)
@@ -1221,6 +1301,13 @@ class OrderingNode:
             "log_instances": len(self._pre_prepares),
             "state_transfers": self._state_transfers,
             "fault_mode": self.fault_mode.value,
+            "batches_proposed": self._batches_proposed,
+            "pending_unordered": len(self._unordered),
+            "view_changes_started": self._view_changes_started,
+            "checkpoints_taken": self._checkpoints_taken,
+            "truncations": self._truncations,
+            "reply_cache_hits": self._reply_cache_hits,
+            "requests_executed": self._requests_executed,
         }
 
     def __repr__(self) -> str:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.obs import NULL_OBS
 from repro.peo.base import DENIED
 from repro.policy.invocation import Invocation
 from repro.policy.monitor import ReferenceMonitor
@@ -70,7 +71,7 @@ class PEATSReplica:
     #: without a callback channel).
     SUPPORTED_OPERATIONS = ("out", "rdp", "inp", "cas")
 
-    def __init__(self, replica_id: Any, policy: AccessPolicy) -> None:
+    def __init__(self, replica_id: Any, policy: AccessPolicy, *, obs: Any = None) -> None:
         self.replica_id = replica_id
         self._policy = policy
         self._space = AugmentedTupleSpace()
@@ -78,6 +79,16 @@ class PEATSReplica:
         # Last executed (request_id, reply payload) per client: PBFT's
         # bounded reply cache (clients issue one request at a time).
         self._last_reply: dict[Any, tuple[int, Any]] = {}
+        self.obs = NULL_OBS if obs is None else obs
+        registry = self.obs.registry
+        self._obs_operations = registry.counter(
+            "peats_operations_total", "Invocations the reference monitor authorized"
+        )
+        self._obs_denials = registry.counter(
+            "peats_denials_total", "Invocations the reference monitor denied, by reason"
+        )
+        self._obs_node = str(replica_id)
+        self._obs_op_children: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Deterministic execution
@@ -121,7 +132,16 @@ class PEATSReplica:
         )
         decision = self._monitor.authorize(invocation, self._space)
         if not decision.allowed:
+            self._obs_denials.labels(
+                node=self._obs_node, operation=operation, reason=decision.reason
+            ).inc()
             return ExecutionResult(None, denied=True, reason=decision.reason)
+        counter = self._obs_op_children.get(operation)
+        if counter is None:
+            counter = self._obs_op_children[operation] = self._obs_operations.labels(
+                node=self._obs_node, operation=operation
+            )
+        counter.inc()
         if operation == "out":
             return ExecutionResult(self._space.out(arguments[0]))
         if operation == "rdp":

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Any, Hashable, Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import AccessDeniedError, OperationTimeoutError, ReplicationError
+from repro.obs import NULL_OBS
 from repro.peo.base import DeniedResult
 from repro.policy.monitor import Decision
 from repro.policy.invocation import Invocation
@@ -63,6 +64,7 @@ class ReplicatedPEATS:
         view_change_timeout: float = 50.0,
         max_batch_size: int = 8,
         checkpoint_interval: int = 8,
+        obs: Any = None,
     ) -> None:
         """``network``/``group`` let several replica groups share one clock.
 
@@ -90,6 +92,8 @@ class ReplicatedPEATS:
         self.group = group
         self._policy = policy
         self._network = network or SimulatedNetwork(network_config or NetworkConfig())
+        #: Observability bundle threaded into every replica, node and client.
+        self.obs = NULL_OBS if obs is None else obs
         prefix = f"{group}:" if group is not None else ""
         self._replica_ids = tuple(
             f"{prefix}replica-{index}" for index in range(self.n_replicas)
@@ -97,7 +101,7 @@ class ReplicatedPEATS:
         replica_faults = replica_faults or {}
         self._nodes: list[OrderingNode] = []
         for index, replica_id in enumerate(self._replica_ids):
-            application = PEATSReplica(replica_id, policy)
+            application = PEATSReplica(replica_id, policy, obs=self.obs)
             node = OrderingNode(
                 replica_id,
                 self._replica_ids,
@@ -108,6 +112,7 @@ class ReplicatedPEATS:
                 fault_mode=replica_faults.get(index, ReplicaFaultMode.CORRECT),
                 max_batch_size=max_batch_size,
                 checkpoint_interval=checkpoint_interval,
+                obs=self.obs,
             )
             self._nodes.append(node)
         self._clients: dict[Hashable, PEATSClient] = {}
@@ -166,6 +171,7 @@ class ReplicatedPEATS:
                 self.f,
                 self._network,
                 nudge_timeouts=self.check_timeouts,
+                obs=self.obs,
             )
         return self._clients[process]
 

@@ -230,6 +230,10 @@ class Scenario:
     #: Routing policy for the sharded cluster (None = hash routing).
     routing: Optional[RoutingPolicy] = None
     deadline: Optional[float] = None
+    #: An :class:`~repro.obs.Observability` bundle to instrument the run
+    #: with (``None`` = the zero-cost null bundle).  Purely passive —
+    #: attaching one must not change the trace digest of a seeded run.
+    obs: Any = None
 
     def network_config(self) -> NetworkConfig:
         return NetworkConfig(
@@ -277,6 +281,7 @@ def run_scenario(scenario: Scenario, *, metrics: SimMetrics | None = None) -> Sc
             view_change_timeout=scenario.view_change_timeout,
             max_batch_size=scenario.max_batch_size,
             checkpoint_interval=scenario.checkpoint_interval,
+            obs=scenario.obs,
         )
     else:
         # A shard-sweep reuses one fault spec across shard counts, so
@@ -302,6 +307,7 @@ def run_scenario(scenario: Scenario, *, metrics: SimMetrics | None = None) -> Sc
             view_change_timeout=scenario.view_change_timeout,
             max_batch_size=scenario.max_batch_size,
             checkpoint_interval=scenario.checkpoint_interval,
+            obs=scenario.obs,
         )
     engine = ScenarioEngine(service, metrics=metrics)
     for process, factory in scenario.clients:

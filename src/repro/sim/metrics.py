@@ -102,8 +102,11 @@ class SimMetrics:
     """
 
     def __init__(self, *, throughput_bucket: float = 100.0) -> None:
-        if throughput_bucket <= 0:
-            raise ValueError("throughput_bucket must be positive")
+        # Lazily computed throughput buckets, keyed by shard filter; one
+        # bucket pass per key per run, invalidated on new completions and
+        # on bucket-width changes (assigned before throughput_bucket so
+        # the invalidating setter finds it).
+        self._series_cache: dict[Any, list[tuple[float, int]]] = {}
         self.throughput_bucket = throughput_bucket
         self._trace: list[_TraceEvent] = []
         self._latency_total = LatencyStats()
@@ -111,9 +114,6 @@ class SimMetrics:
         self._latency_by_shard: dict[Any, LatencyStats] = {}
         self._completions: list[float] = []
         self._completion_shards: list[Any] = []
-        # Lazily computed throughput buckets, keyed by shard filter; one
-        # bucket pass per key per run, invalidated on new completions.
-        self._series_cache: dict[Any, list[tuple[float, int]]] = {}
         self._failures = 0
         self._denied = 0
         self._started_at: Optional[float] = None
@@ -227,18 +227,36 @@ class SimMetrics:
     def latency_of(self, operation: str) -> LatencyStats:
         return self._latency_by_op.setdefault(operation, LatencyStats())
 
+    @property
+    def throughput_bucket(self) -> float:
+        """Bucket width (virtual ms) of :meth:`throughput_series`.
+
+        Assigning a new width invalidates the cached series — the buckets
+        were computed for the old width and would be silently wrong.
+        """
+        return self._throughput_bucket
+
+    @throughput_bucket.setter
+    def throughput_bucket(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("throughput_bucket must be positive")
+        self._throughput_bucket = value
+        self._series_cache.clear()
+
     def throughput_series(self, shard: Optional[int] = None) -> list[tuple[float, int]]:
         """Completions per ``throughput_bucket`` of virtual time.
 
         ``shard`` filters to one shard's completions (samples recorded
         without a shard tag never match a filter).  Buckets are computed
         once per filter and cached, so alternating between the aggregate
-        view and per-shard views does not re-scan the completion list.
+        view and per-shard views does not re-scan the completion list;
+        callers always get a fresh list, so mutating a returned series
+        cannot corrupt the cache.
         """
         key = "__aggregate__" if shard is None else shard
         cached = self._series_cache.get(key)
         if cached is not None:
-            return cached
+            return list(cached)
         buckets: dict[int, int] = {}
         for when, sample_shard in zip(self._completions, self._completion_shards):
             if shard is not None and sample_shard != shard:
@@ -249,7 +267,7 @@ class SimMetrics:
             (index * self.throughput_bucket, buckets[index]) for index in sorted(buckets)
         ]
         self._series_cache[key] = series
-        return series
+        return list(series)
 
     def by_shard(self) -> dict[Any, dict[str, Any]]:
         """Per-shard headline numbers (ops, throughput, latency summary).

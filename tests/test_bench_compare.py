@@ -1,0 +1,182 @@
+"""benchmarks/compare.py — the bench-regression gate's decision logic."""
+
+from __future__ import annotations
+
+import copy
+import json
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.compare import (  # noqa: E402
+    compare_payloads,
+    extract_metrics,
+    main,
+    render_report,
+)
+
+CALIBRATION = {
+    "benchmark": "net_calibration",
+    "sim_sweep": [
+        {"processing_time": 0.0, "ops_per_sec": 2000.0},
+        {"processing_time": 0.2, "ops_per_sec": 700.0},
+    ],
+    "loopback": {"ops_per_sec": 650.0, "latency_p50": 21.0},
+    "calibration": {"prediction_ratio": 1.1},
+}
+
+POLICY = {
+    "benchmark": "policy_enforcement",
+    "attack_battery": [
+        {"policy": "weak", "attacks": 12, "denied": 12, "denied_pct": 100.0},
+    ],
+    "enforcement_overhead": {
+        "rounds": 400,
+        "enforced_us_per_round": 100.0,
+        "raw_us_per_round": 25.0,
+        "overhead_factor": 4.0,
+    },
+}
+
+
+def payloads():
+    return {
+        "BENCH_net_calibration.json": copy.deepcopy(CALIBRATION),
+        "BENCH_policy_enforcement.json": copy.deepcopy(POLICY),
+    }
+
+
+def test_extractors_classify_gated_vs_informational():
+    metrics = {m.name: m for m in extract_metrics("BENCH_net_calibration.json", CALIBRATION)}
+    assert metrics["sim_sweep[pt=0.0].ops_per_sec"].gated
+    assert not metrics["loopback.ops_per_sec"].gated
+    policy = {m.name: m for m in extract_metrics("BENCH_policy_enforcement.json", POLICY)}
+    assert policy["attack_battery[weak].denied_pct"].gated
+    assert policy["enforcement_overhead.overhead_factor"].gated
+    assert not policy["enforcement_overhead.enforced_us_per_round"].gated
+    assert extract_metrics("BENCH_unknown.json", {}) == []
+
+
+def test_identical_runs_pass():
+    report = compare_payloads(payloads(), payloads())
+    assert report["ok"] and not report["regressions"]
+    assert all(row["status"] in ("ok", "new") for row in report["rows"])
+
+
+def test_gated_throughput_drop_fails():
+    fresh = payloads()
+    fresh["BENCH_net_calibration.json"]["sim_sweep"][0]["ops_per_sec"] = 1400.0  # -30%
+    report = compare_payloads(payloads(), fresh, threshold=0.25)
+    assert not report["ok"]
+    assert any("sim_sweep[pt=0.0]" in item for item in report["regressions"])
+
+
+def test_informational_wallclock_drop_never_fails():
+    fresh = payloads()
+    fresh["BENCH_net_calibration.json"]["loopback"]["ops_per_sec"] = 100.0  # -85%
+    report = compare_payloads(payloads(), fresh, threshold=0.25)
+    assert report["ok"]
+
+
+def test_lower_is_better_metric_regresses_upward():
+    fresh = payloads()
+    fresh["BENCH_policy_enforcement.json"]["enforcement_overhead"]["overhead_factor"] = 6.0
+    report = compare_payloads(payloads(), fresh, threshold=0.25)
+    assert not report["ok"]
+    assert any("overhead_factor" in item for item in report["regressions"])
+
+
+def test_within_threshold_move_passes():
+    fresh = payloads()
+    fresh["BENCH_net_calibration.json"]["sim_sweep"][0]["ops_per_sec"] = 1600.0  # -20%
+    report = compare_payloads(payloads(), fresh, threshold=0.25)
+    assert report["ok"]
+
+
+def test_missing_fresh_file_fails_and_new_file_is_fine():
+    fresh = payloads()
+    del fresh["BENCH_policy_enforcement.json"]
+    report = compare_payloads(payloads(), fresh)
+    assert not report["ok"]
+    baseline = payloads()
+    del baseline["BENCH_policy_enforcement.json"]
+    report = compare_payloads(baseline, payloads())
+    assert report["ok"]
+    assert any(row.get("status") == "new" for row in report["rows"])
+
+
+def test_injected_degradation_trips_every_gated_metric():
+    report = compare_payloads(payloads(), payloads(), inject=0.6, threshold=0.25)
+    assert not report["ok"]
+    gated = [row for row in report["rows"] if row.get("gated")]
+    assert gated and all(row["status"] == "regression" for row in gated)
+    info = [row for row in report["rows"] if row.get("gated") is False]
+    assert all(row["status"] == "ok" for row in info)
+
+
+def test_render_report_mentions_regressions():
+    report = compare_payloads(payloads(), payloads(), inject=0.5)
+    text = render_report(report)
+    assert "REGRESSIONS:" in text
+    clean = render_report(compare_payloads(payloads(), payloads()))
+    assert "no gated regressions" in clean
+
+
+def test_cli_end_to_end(tmp_path):
+    baseline_dir = tmp_path / "baseline"
+    fresh_dir = tmp_path / "fresh"
+    baseline_dir.mkdir()
+    fresh_dir.mkdir()
+    for name, payload in payloads().items():
+        (baseline_dir / name).write_text(json.dumps(payload))
+        (fresh_dir / name).write_text(json.dumps(payload))
+    report_path = tmp_path / "diff.json"
+    assert (
+        main(
+            [
+                "--baseline", str(baseline_dir),
+                "--fresh", str(fresh_dir),
+                "--report", str(report_path),
+            ]
+        )
+        == 0
+    )
+    assert json.loads(report_path.read_text())["ok"]
+    # The self-test mode: exit 0 only when the injected regression trips.
+    assert (
+        main(
+            [
+                "--baseline", str(baseline_dir),
+                "--fresh", str(fresh_dir),
+                "--inject", "0.6",
+                "--expect-regression",
+            ]
+        )
+        == 0
+    )
+    # And a clean comparison with --expect-regression must fail.
+    assert (
+        main(["--baseline", str(baseline_dir), "--fresh", str(fresh_dir), "--expect-regression"])
+        == 1
+    )
+    # Empty baseline directory is a usage error.
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["--baseline", str(empty), "--fresh", str(fresh_dir)]) == 2
+
+
+def test_cli_detects_real_regression(tmp_path):
+    baseline_dir = tmp_path / "baseline"
+    fresh_dir = tmp_path / "fresh"
+    baseline_dir.mkdir()
+    fresh_dir.mkdir()
+    fresh = payloads()
+    fresh["BENCH_net_calibration.json"]["sim_sweep"][1]["ops_per_sec"] = 100.0
+    for name, payload in payloads().items():
+        (baseline_dir / name).write_text(json.dumps(payload))
+    for name, payload in fresh.items():
+        (fresh_dir / name).write_text(json.dumps(payload))
+    assert main(["--baseline", str(baseline_dir), "--fresh", str(fresh_dir)]) == 1
