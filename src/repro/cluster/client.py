@@ -87,6 +87,8 @@ class ShardedClient(PEATSClient):
         pending.shard = shard
         counter = self._obs_shard_children.get(shard)
         if counter is None:
+            # repro-lint: disable=RL006 — keyed by shard id, bounded by the
+            # cluster topology fixed at construction.
             counter = self._obs_shard_children[shard] = self._obs_routed.labels(
                 shard=str(shard)
             )

@@ -180,6 +180,9 @@ class ShardedPEATS:
         """The routing request/reply client for ``process`` (one network
         registration, shared by every shard)."""
         if process not in self._clients:
+            # repro-lint: disable=RL006 — one routing client per process
+            # identity; processes are the deployment's principals, not
+            # per-request state (each also holds a network registration).
             self._clients[process] = ShardedClient(process, self)
         return self._clients[process]
 

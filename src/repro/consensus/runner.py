@@ -20,6 +20,11 @@ Two runners are provided:
 
 from __future__ import annotations
 
+# repro-lint: disable-file=RL001 — run_consensus_threaded is the
+# real-concurrency harness by contract: it deliberately spawns OS threads
+# to exercise the linearizable PEATS outside the seeded-replay path.  The
+# deterministic runner (run_consensus) in this same module uses none of it.
+
 import dataclasses
 import threading
 from typing import Any, Callable, Generator, Hashable, Iterable, Mapping, Sequence

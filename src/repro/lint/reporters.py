@@ -1,0 +1,33 @@
+"""Violation reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.engine import Violation
+
+__all__ = ["text_report", "json_report"]
+
+
+def text_report(violations: Sequence[Violation]) -> str:
+    """One ``path:line: RULE message`` row per finding plus a summary."""
+    lines = [violation.render() for violation in violations]
+    if violations:
+        by_rule: dict[str, int] = {}
+        for violation in violations:
+            by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+        breakdown = ", ".join(f"{rule}×{count}" for rule, count in sorted(by_rule.items()))
+        lines.append(f"{len(violations)} violation(s) ({breakdown})")
+    else:
+        lines.append("0 violations")
+    return "\n".join(lines)
+
+
+def json_report(violations: Sequence[Violation]) -> str:
+    """A stable JSON document: ``{"violations": [...], "count": N}``."""
+    payload = {
+        "count": len(violations),
+        "violations": [violation.as_dict() for violation in violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,169 @@
+"""Runtime determinism sanitizer: tripwires on the ambient clock/RNG.
+
+The static rule RL001 proves the deterministic core *names* no ambient
+time or entropy source; this module proves it *dynamically*: inside a
+:func:`determinism_sanitizer` block every wall-clock and process-global
+RNG entry point is replaced by a tripwire that raises
+:class:`DeterminismViolation` with the offending call site, so a seeded
+simulation run that touches any of them fails loudly instead of silently
+becoming unreproducible.
+
+Usage::
+
+    from repro.lint.sanitizer import determinism_sanitizer, run_sanitized
+
+    with determinism_sanitizer():
+        result = run_scenario(scenario)      # trips on any time.time() etc.
+
+    result = run_sanitized(scenario)         # the same, as one call
+
+The patches cover exactly what a seeded simulation must never call:
+``time.time``/``monotonic``/``perf_counter``/``sleep`` (and their ``_ns``
+variants), the module-level functions of :mod:`random` (they all drive
+the hidden process-global generator), ``os.urandom`` and
+``uuid.uuid1``/``uuid.uuid4``.  Explicitly seeded ``random.Random(seed)``
+instances — the only randomness the core is allowed — are untouched, as
+is everything in :mod:`repro.net` *when run outside the block* (the real
+transports are wall-clock by design and must not be sanitized).
+
+Loaded as a pytest plugin (``pytest -p repro.lint.sanitizer``) the module
+also provides the ``determinism_guard`` fixture, which wraps one test in
+the sanitizer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+import sys
+import time
+import uuid
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+__all__ = [
+    "DeterminismViolation",
+    "determinism_sanitizer",
+    "run_sanitized",
+    "SANITIZED_TARGETS",
+]
+
+
+class DeterminismViolation(AssertionError):
+    """An ambient clock/RNG entry point was called in a sanitized section."""
+
+
+#: ``(module, attribute)`` pairs replaced by tripwires.  The key
+#: ``"module.attribute"`` is what :func:`determinism_sanitizer`'s
+#: ``allow=`` parameter names.
+SANITIZED_TARGETS: tuple[tuple[Any, str], ...] = (
+    (time, "time"),
+    (time, "time_ns"),
+    (time, "monotonic"),
+    (time, "monotonic_ns"),
+    (time, "perf_counter"),
+    (time, "perf_counter_ns"),
+    (time, "process_time"),
+    (time, "sleep"),
+    (random, "random"),
+    (random, "randint"),
+    (random, "randrange"),
+    (random, "choice"),
+    (random, "choices"),
+    (random, "shuffle"),
+    (random, "sample"),
+    (random, "uniform"),
+    (random, "gauss"),
+    (random, "getrandbits"),
+    (random, "randbytes"),
+    (random, "seed"),
+    (os, "urandom"),
+    (uuid, "uuid1"),
+    (uuid, "uuid4"),
+)
+
+
+def _caller_site(depth: int = 2) -> str:
+    frame = sys._getframe(depth)
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+def _tripwire(name: str) -> Callable[..., Any]:
+    def trip(*args: Any, **kwargs: Any) -> Any:
+        raise DeterminismViolation(
+            f"ambient {name}() called at {_caller_site()} inside a "
+            "determinism-sanitized section; the deterministic core must use "
+            "the transport clock / an explicitly seeded random.Random "
+            "(static rule RL001)"
+        )
+
+    trip.__name__ = f"__determinism_tripwire_{name.replace('.', '_')}__"
+    return trip
+
+
+@contextlib.contextmanager
+def determinism_sanitizer(
+    *, allow: Iterable[str] = ()
+) -> Iterator[None]:
+    """Replace every ambient clock/RNG entry point with a tripwire.
+
+    ``allow`` names targets to leave untouched (``"time.sleep"`` style),
+    for sections that legitimately pace themselves but must stay
+    entropy-free.  Restores every patched attribute on exit, even when
+    the body raises; nested sanitizers compose (the innermost restore
+    puts the outer tripwires back).
+    """
+    allowed = set(allow)
+    saved: list[tuple[Any, str, Any]] = []
+    try:
+        for module, attribute in SANITIZED_TARGETS:
+            key = f"{module.__name__}.{attribute}"
+            if key in allowed or not hasattr(module, attribute):
+                continue
+            saved.append((module, attribute, getattr(module, attribute)))
+            setattr(module, attribute, _tripwire(key))
+        yield
+    finally:
+        for module, attribute, original in reversed(saved):
+            setattr(module, attribute, original)
+
+
+def run_sanitized(scenario: Any, **kwargs: Any) -> Any:
+    """Run one sim :class:`~repro.sim.engine.Scenario` under the sanitizer.
+
+    The virtual-time engine never needs the wall clock, so a clean
+    scenario runs to completion unchanged; any workload body, fault hook
+    or instrumentation path that reaches for ambient time/entropy raises
+    :class:`DeterminismViolation` at the offending call site.  The client
+    driver isolates per-program exceptions (one buggy client must not
+    crash a scenario), so a violation trapped inside a client program is
+    re-raised here — a sanitized run never quietly returns a result that
+    touched the wall clock.
+    """
+    from repro.sim.engine import run_scenario
+
+    with determinism_sanitizer():
+        result = run_scenario(scenario, **kwargs)
+    for runner in getattr(result.engine, "runners", ()):
+        failed = getattr(runner, "failed", None)
+        if isinstance(failed, DeterminismViolation):
+            raise failed
+    return result
+
+
+# ----------------------------------------------------------------------
+# pytest plugin surface:  pytest -p repro.lint.sanitizer
+# ----------------------------------------------------------------------
+
+try:  # pragma: no cover - import guard, exercised implicitly by pytest
+    import pytest
+except ImportError:  # pragma: no cover - pytest-less deployments
+    pytest = None  # type: ignore[assignment]
+
+if pytest is not None:
+
+    @pytest.fixture
+    def determinism_guard() -> Iterator[None]:
+        """Wrap one test in the determinism sanitizer."""
+        with determinism_sanitizer():
+            yield

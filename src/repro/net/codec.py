@@ -43,7 +43,7 @@ from repro.tuples.tuple import Entry, Template
 try:  # Optional accelerator; the wheel's [net] extra pulls it in.
     import msgpack  # type: ignore[import-not-found]
 except ImportError:  # pragma: no cover - exercised on the JSON fallback path
-    msgpack = None
+    msgpack = None  # type: ignore[assignment]
 
 __all__ = [
     "CodecError",
@@ -66,7 +66,7 @@ class CodecError(ReplicationError):
 #: The dataclasses allowed on the wire (name → class).  Everything the
 #: replication stack sends is built from these plus plain data and the
 #: tuple-space value types.
-MESSAGE_CLASSES: dict[str, type] = {
+MESSAGE_CLASSES: dict[str, type[Any]] = {
     cls.__name__: cls
     for cls in (
         _messages.ClientRequest,
@@ -84,7 +84,7 @@ MESSAGE_CLASSES: dict[str, type] = {
 }
 
 #: Types a :class:`~repro.tuples.Formal` field may carry over the wire.
-_FORMAL_TYPES: dict[str, type] = {
+_FORMAL_TYPES: dict[str, type[Any]] = {
     "int": int,
     "float": float,
     "str": str,
@@ -206,7 +206,8 @@ def decode(tree: Any, *, _depth: int = 0) -> Any:
 
 def _pack(tree: Any) -> bytes:
     if msgpack is not None:
-        return b"M" + msgpack.packb(tree, use_bin_type=True)
+        packed: bytes = msgpack.packb(tree, use_bin_type=True)
+        return b"M" + packed
     return b"J" + json.dumps(tree, separators=(",", ":")).encode("utf-8")
 
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 import bisect
 import json
 import threading
-from typing import Any, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import Any, Iterator, Mapping, Optional, Sequence, Tuple, TypeVar, cast
 
 __all__ = [
     "Counter",
@@ -179,6 +179,9 @@ class _Family:
         return iter(items)
 
 
+_F = TypeVar("_F", bound=_Family)
+
+
 class Counter(_Family):
     """Monotone counter family.  ``labels(**kw)`` binds one sample."""
 
@@ -275,7 +278,7 @@ class MetricsRegistry:
             raise TypeError(f"metric {name!r} already registered as {metric.kind}")
         return metric
 
-    def _family(self, cls: type, name: str, help: str) -> Any:
+    def _family(self, cls: type[_F], name: str, help: str) -> _F:
         metric = self._metrics.get(name)
         if metric is None:
             with self._lock:
@@ -285,7 +288,7 @@ class MetricsRegistry:
                     self._metrics[name] = metric
         if type(metric) is not cls:
             raise TypeError(f"metric {name!r} already registered as {metric.kind}")
-        return metric
+        return cast(_F, metric)
 
     def families(self) -> Iterator[_Family]:
         with self._lock:
@@ -299,7 +302,7 @@ class MetricsRegistry:
         """Plain-dict view: ``{name: {kind, help, samples: [...]}}``."""
         out: dict[str, Any] = {}
         for family in self.families():
-            samples = []
+            samples: list[dict[str, Any]] = []
             for key, child in family.samples():
                 row: dict[str, Any] = {"labels": dict(key)}
                 if family.kind == "histogram":
@@ -314,7 +317,7 @@ class MetricsRegistry:
 
     def to_json_lines(self) -> str:
         """One compact JSON object per sample (easy to grep / load)."""
-        lines = []
+        lines: list[str] = []
         for name, family in self.snapshot().items():
             for sample in family["samples"]:
                 record = {"name": name, "kind": family["kind"], **sample}
@@ -353,25 +356,25 @@ class MetricsRegistry:
         """
         for family in other.families():
             if isinstance(family, Histogram):
-                mine: _Family = self.histogram(family.name, family.help, buckets=family.buckets)
-                if mine.buckets != family.buckets:
+                histogram = self.histogram(family.name, family.help, buckets=family.buckets)
+                if histogram.buckets != family.buckets:
                     raise ValueError(
                         f"histogram {family.name!r} bucket bounds differ; cannot merge"
                     )
                 for key, child in family.samples():
-                    target = mine._child_for(key)
+                    target = histogram._child_for(key)
                     for index, count in enumerate(child.counts):
                         target.counts[index] += count
                     target.sum += child.sum
                     target.count += child.count
             elif isinstance(family, Counter):
-                mine = self.counter(family.name, family.help)
+                counter = self.counter(family.name, family.help)
                 for key, child in family.samples():
-                    mine._child_for(key).inc(child.value)
+                    counter._child_for(key).inc(child.value)
             elif isinstance(family, Gauge):
-                mine = self.gauge(family.name, family.help)
+                gauge = self.gauge(family.name, family.help)
                 for key, child in family.samples():
-                    mine._child_for(key).set(child.value)
+                    gauge._child_for(key).set(child.value)
             else:  # pragma: no cover - no other kinds exist
                 raise TypeError(f"cannot merge metric kind {family.kind!r}")
 

@@ -147,6 +147,8 @@ class SimulatedNetwork:
         """Attach ``node`` to the network with its message handler."""
         if node in self._handlers:
             raise SimulationError(f"node {node!r} is already registered")
+        # repro-lint: disable=RL006 — the node registry: one entry per
+        # registered network identity, bounded by the deployment shape.
         self._handlers[node] = handler
 
     def nodes(self) -> tuple[Hashable, ...]:
@@ -210,6 +212,8 @@ class SimulatedNetwork:
                 max(deliver_at, self._busy_until.get(receiver, 0.0))
                 + self._config.processing_time
             )
+            # repro-lint: disable=RL006 — keyed by receiver node id, so at
+            # most one float per registered network identity.
             self._busy_until[receiver] = deliver_at
         envelope = Envelope(sender=sender, receiver=receiver, payload=payload, mac=mac)
         heapq.heappush(self._queue, (deliver_at, next(self._sequence), envelope))

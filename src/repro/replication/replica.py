@@ -138,6 +138,8 @@ class PEATSReplica:
             return ExecutionResult(None, denied=True, reason=decision.reason)
         counter = self._obs_op_children.get(operation)
         if counter is None:
+            # repro-lint: disable=RL006 — keyed by operation name, bounded
+            # by the PEATS operation vocabulary (out/rd/in/cas/...).
             counter = self._obs_op_children[operation] = self._obs_operations.labels(
                 node=self._obs_node, operation=operation
             )

@@ -165,6 +165,8 @@ class ReplicatedPEATS:
     def client(self, process: Hashable) -> PEATSClient:
         """The raw request/reply client for ``process`` (created on demand)."""
         if process not in self._clients:
+            # repro-lint: disable=RL006 — one client per process identity;
+            # processes are deployment principals, not per-request state.
             self._clients[process] = PEATSClient(
                 process,
                 self._replica_ids,
@@ -361,6 +363,8 @@ class SharedReplicatedSpace:
 
     def _view(self, process: Hashable) -> ReplicatedClientView:
         if process not in self._views:
+            # repro-lint: disable=RL006 — one view per process identity,
+            # mirroring the per-process client registry above.
             self._views[process] = self._service.client_view(process)
         return self._views[process]
 

@@ -37,7 +37,7 @@ class Wildcard:
     def __hash__(self) -> int:
         return hash("repro.tuples.ANY")
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type["Wildcard"], tuple[Any, ...]]:
         # Preserve singleton identity across pickling (used by the
         # simulated network, which serialises messages).
         return (Wildcard, ())
@@ -65,7 +65,7 @@ class Formal:
 
     __slots__ = ("name", "type_")
 
-    def __init__(self, name: str, type_: type | None = None):
+    def __init__(self, name: str, type_: type[Any] | None = None) -> None:
         if not isinstance(name, str) or not name:
             raise ValueError("formal field name must be a non-empty string")
         self.name = name

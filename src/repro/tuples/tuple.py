@@ -27,7 +27,7 @@ __all__ = ["Entry", "Template", "entry", "template"]
 _HASHABLE_TEST_SENTINEL = object()
 
 
-def _validate_fields(fields: Sequence[Any]) -> tuple:
+def _validate_fields(fields: Sequence[Any]) -> tuple[Any, ...]:
     if len(fields) == 0:
         raise MalformedTupleError("a tuple must have at least one field")
     return tuple(fields)
@@ -38,11 +38,11 @@ class _BaseTuple:
 
     __slots__ = ("_fields",)
 
-    def __init__(self, fields: Sequence[Any]):
+    def __init__(self, fields: Sequence[Any]) -> None:
         self._fields = _validate_fields(fields)
 
     @property
-    def fields(self) -> tuple:
+    def fields(self) -> tuple[Any, ...]:
         """The fields of the tuple, as an immutable Python tuple."""
         return self._fields
 
@@ -51,7 +51,7 @@ class _BaseTuple:
         """Number of fields."""
         return len(self._fields)
 
-    def type_signature(self) -> tuple:
+    def type_signature(self) -> tuple[Any, ...]:
         """Sequence of field types (the *type* of the tuple, Section 2.3)."""
         return tuple_type(self._fields)
 
@@ -85,7 +85,7 @@ class Entry(_BaseTuple):
 
     __slots__ = ()
 
-    def __init__(self, fields: Sequence[Any]):
+    def __init__(self, fields: Sequence[Any]) -> None:
         super().__init__(fields)
         for position, field in enumerate(self._fields):
             if not is_defined(field):
@@ -124,7 +124,7 @@ class Template(_BaseTuple):
 
     __slots__ = ()
 
-    def __init__(self, fields: Sequence[Any]):
+    def __init__(self, fields: Sequence[Any]) -> None:
         super().__init__(fields)
         seen_formals: set[str] = set()
         for position, field in enumerate(self._fields):

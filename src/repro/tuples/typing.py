@@ -39,7 +39,7 @@ class AnyType:
 _ANY_TYPE = AnyType()
 
 
-def field_type(field: Any) -> type | AnyType:
+def field_type(field: Any) -> type[Any] | AnyType:
     """Return the type contribution of ``field`` to a tuple-type signature.
 
     Defined fields contribute their concrete Python type.  Formal fields
@@ -53,12 +53,12 @@ def field_type(field: Any) -> type | AnyType:
     return type(field)
 
 
-def tuple_type(fields: Sequence[Any]) -> tuple:
+def tuple_type(fields: Sequence[Any]) -> tuple[Any, ...]:
     """Return the type signature of a tuple (entry or template)."""
     return tuple(field_type(f) for f in fields)
 
 
-def types_compatible(entry_t: type | AnyType, template_t: type | AnyType) -> bool:
+def types_compatible(entry_t: type[Any] | AnyType, template_t: type[Any] | AnyType) -> bool:
     """Return ``True`` if a field of type ``entry_t`` fits type ``template_t``.
 
     ``AnyType`` on the template side is compatible with everything.  On the

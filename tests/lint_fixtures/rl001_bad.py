@@ -1,0 +1,32 @@
+# repro-lint: scope=RL001
+"""RL001 positive fixture: six distinct ambience leaks."""
+
+import random
+import threading
+import time
+import uuid
+
+
+def now():
+    return time.time()
+
+
+def jitter():
+    return random.random()
+
+
+def spawn(fn):
+    return threading.Thread(target=fn)
+
+
+def token():
+    return uuid.uuid4()
+
+
+def unseeded():
+    return random.Random()
+
+
+def leaked_reference():
+    # Not a call: passing the clock around leaks the same ambience.
+    return time.monotonic

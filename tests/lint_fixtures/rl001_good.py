@@ -1,0 +1,13 @@
+# repro-lint: scope=RL001
+"""RL001 negative fixture: seeded RNG and injected clocks are allowed."""
+
+import random
+
+
+def seeded(seed):
+    return random.Random(seed).random()
+
+
+def timestamp(clock):
+    # Time comes from the transport's clock, never the wall.
+    return clock.now()

@@ -1,0 +1,14 @@
+# repro-lint: scope=RL001
+"""RL001 pragma fixture: both suppression styles."""
+
+import time
+
+
+def inline_suppressed():
+    return time.time()  # repro-lint: disable=RL001
+
+
+def standalone_suppressed():
+    # repro-lint: disable=RL001 — justified here: fixture exercises the
+    # standalone pragma applying to the next code line.
+    return time.monotonic()

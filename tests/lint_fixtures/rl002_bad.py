@@ -1,0 +1,17 @@
+# repro-lint: scope=RL002
+"""RL002 positive fixture: unguarded tracer call sites."""
+
+
+class Node:
+    def __init__(self, tracer):
+        self._tracer = tracer
+
+    def handle(self, key):
+        self._tracer.record("op", key, "node", 0.0)
+
+    def flush(self):
+        self._trace_flush()
+
+    def _trace_flush(self):
+        # Exempt: inside a _trace* helper the guard lives at call sites.
+        self._tracer.record("flush", None, "node", 0.0)

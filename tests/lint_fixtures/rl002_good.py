@@ -1,0 +1,18 @@
+# repro-lint: scope=RL002
+"""RL002 negative fixture: every hot-path call behind an .enabled guard."""
+
+
+class Node:
+    def __init__(self, tracer):
+        self._tracer = tracer
+
+    def handle(self, key):
+        if self._tracer.enabled:
+            self._tracer.record("op", key, "node", 0.0)
+
+    def flush(self):
+        if self._tracer.enabled:
+            self._trace_flush()
+
+    def _trace_flush(self):
+        self._tracer.record("flush", None, "node", 0.0)

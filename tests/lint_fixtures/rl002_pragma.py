@@ -1,0 +1,10 @@
+# repro-lint: scope=RL002
+"""RL002 pragma fixture: an intentionally unguarded call, justified."""
+
+
+class Node:
+    def __init__(self, tracer):
+        self._tracer = tracer
+
+    def handle(self, key):
+        self._tracer.record("op", key, "node", 0.0)  # repro-lint: disable=RL002

@@ -1,0 +1,16 @@
+# repro-lint: role=codec
+"""RL003 positive fixture: Pong unregistered, Stale registered but gone."""
+
+
+class Ping:
+    pass
+
+
+class Stale:
+    pass
+
+
+MESSAGE_CLASSES = {
+    "Ping": Ping,
+    "Stale": Stale,
+}

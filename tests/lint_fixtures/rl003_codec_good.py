@@ -1,0 +1,16 @@
+# repro-lint: role=codec
+"""RL003 negative fixture: registry and message set agree."""
+
+
+class Ping:
+    pass
+
+
+class Pong:
+    pass
+
+
+MESSAGE_CLASSES = {
+    "Ping": Ping,
+    "Pong": Pong,
+}

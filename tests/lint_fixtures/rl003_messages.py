@@ -1,0 +1,18 @@
+# repro-lint: role=messages
+"""RL003 fixture: the message-dataclass side of the codec diff."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Ping:
+    nonce: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Pong:
+    nonce: int
+
+
+class _Internal:
+    """Not a dataclass, not public: never part of the wire contract."""

@@ -1,0 +1,10 @@
+# repro-lint: scope=RL004
+"""RL004 positive fixture: dynamic name, bad name, kind conflict, near miss."""
+
+
+def instrument(registry, dynamic_name):
+    registry.counter(dynamic_name)
+    registry.counter("Bad-Name")
+    registry.counter("requests_total")
+    registry.gauge("requests_total")
+    registry.counter("request_total")

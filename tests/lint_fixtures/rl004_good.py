@@ -1,0 +1,9 @@
+# repro-lint: scope=RL004
+"""RL004 negative fixture: literal snake_case names, one kind each."""
+
+
+def instrument(registry):
+    registry.counter("requests_total")
+    registry.counter("requests_total")
+    registry.histogram("request_latency_ms")
+    registry.gauge("queue_depth")

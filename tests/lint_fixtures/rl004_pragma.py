@@ -1,0 +1,7 @@
+# repro-lint: scope=RL004
+"""RL004 pragma fixture: a justified dynamic family name."""
+
+
+def instrument(registry, shard):
+    # repro-lint: disable=RL004 — per-shard family name, validated upstream.
+    registry.counter(f"shard_{shard}_requests_total")

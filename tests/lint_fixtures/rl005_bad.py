@@ -1,0 +1,6 @@
+# repro-lint: scope=RL005
+"""RL005 positive fixture: a raw handler invocation on the reactor path."""
+
+
+def dispatch(handler, message):
+    handler(message)

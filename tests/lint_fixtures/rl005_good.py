@@ -1,0 +1,14 @@
+# repro-lint: scope=RL005
+"""RL005 negative fixture: both containment idioms."""
+
+
+def contained(handler, message, errors):
+    try:
+        handler(message)
+    except Exception:
+        errors.inc()
+
+
+def deferred(self_guarded, handler, message):
+    # The callable is an argument of a *_guarded(...) call: contained.
+    self_guarded(lambda: handler(message))

@@ -1,0 +1,6 @@
+# repro-lint: scope=RL005
+"""RL005 pragma fixture: a justified raw invocation."""
+
+
+def dispatch(handler, message):
+    handler(message)  # repro-lint: disable=RL005

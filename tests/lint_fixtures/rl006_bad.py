@@ -1,0 +1,14 @@
+# repro-lint: scope=RL006
+"""RL006 positive fixture: per-request bookkeeping with no pruning site."""
+
+
+class Tracker:
+    def __init__(self):
+        self._pending = {}
+        self._log = []
+
+    def start(self, request_id, state):
+        self._pending[request_id] = state
+
+    def journal(self, line):
+        self._log.append(line)

@@ -1,0 +1,26 @@
+# repro-lint: scope=RL006
+"""RL006 negative fixture: every growth has a pruning counterpart."""
+
+
+class Tracker:
+    def __init__(self):
+        self._pending = {}
+        self._log = []
+        self._nodes = []
+        for index in range(4):
+            # Growth inside __init__ is bounded by construction inputs.
+            self._nodes.append(index)
+
+    def start(self, request_id, state):
+        self._pending[request_id] = state
+
+    def finish(self, request_id):
+        return self._pending.pop(request_id, None)
+
+    def journal(self, line):
+        self._log.append(line)
+
+    def rotate(self):
+        # Swap-and-drain reassignment counts as pruning.
+        drained, self._log = self._log, []
+        return drained

@@ -1,0 +1,12 @@
+# repro-lint: scope=RL006
+"""RL006 pragma fixture: growth keyed by a deployment-bounded id."""
+
+
+class Tracker:
+    def __init__(self):
+        self._per_node = {}
+
+    def observe(self, node_id, sample):
+        # repro-lint: disable=RL006 — keyed by node id, bounded by the
+        # deployment shape (fixture for the multi-line justification form).
+        self._per_node[node_id] = sample

@@ -1,0 +1,139 @@
+"""Runtime determinism sanitizer: tripwires, restoration and sim runs.
+
+The tier-1 smoke at the bottom is the dynamic counterpart of RL001: a
+small consensus-storm scenario runs clean under the sanitizer (the
+virtual-time engine never touches the wall clock), and a workload body
+that sneaks in one ``time.time()`` call trips at that exact site.
+"""
+
+import os
+import random
+import time
+import uuid
+
+import pytest
+
+from repro.lint.sanitizer import (
+    DeterminismViolation,
+    SANITIZED_TARGETS,
+    determinism_sanitizer,
+    run_sanitized,
+)
+from repro.sim import Scenario, run_scenario
+from repro.sim.clients import ok_value, op_out, op_rdp
+from repro.sim.workloads import consensus_storm
+from repro.tuples import ANY, entry, template
+
+
+class TestTripwires:
+    def test_wall_clock_trips(self):
+        with determinism_sanitizer():
+            with pytest.raises(DeterminismViolation, match="time.time"):
+                time.time()
+
+    def test_global_rng_trips(self):
+        with determinism_sanitizer():
+            with pytest.raises(DeterminismViolation, match="random.random"):
+                random.random()
+
+    def test_ambient_entropy_trips(self):
+        with determinism_sanitizer():
+            with pytest.raises(DeterminismViolation, match="os.urandom"):
+                os.urandom(8)
+            with pytest.raises(DeterminismViolation, match="uuid.uuid4"):
+                uuid.uuid4()
+
+    def test_message_names_the_offending_call_site(self):
+        with determinism_sanitizer():
+            with pytest.raises(DeterminismViolation, match=__file__.split("/")[-1].replace(".", r"\.")):
+                time.monotonic()
+
+    def test_seeded_random_instances_are_untouched(self):
+        with determinism_sanitizer():
+            rng = random.Random(42)
+            assert rng.random() == random.Random(42).random()
+
+    def test_allow_exempts_named_targets(self):
+        with determinism_sanitizer(allow=("time.sleep",)):
+            time.sleep(0)  # exempted
+            with pytest.raises(DeterminismViolation):
+                time.time()  # still sanitized
+
+
+class TestRestoration:
+    def test_entry_points_restore_on_exit(self):
+        original = time.time
+        with determinism_sanitizer():
+            assert time.time is not original
+        assert time.time is original
+        assert isinstance(time.time(), float)
+
+    def test_entry_points_restore_after_a_trip(self):
+        original = random.random
+        with pytest.raises(DeterminismViolation):
+            with determinism_sanitizer():
+                random.random()
+        assert random.random is original
+
+    def test_nested_sanitizers_compose(self):
+        original = time.time
+        with determinism_sanitizer():
+            outer = time.time
+            with determinism_sanitizer():
+                with pytest.raises(DeterminismViolation):
+                    time.time()
+            assert time.time is outer  # inner restore re-installs outer tripwire
+        assert time.time is original
+
+    def test_every_target_is_a_real_attribute(self):
+        # Guards against SANITIZED_TARGETS rotting as stdlib surfaces move.
+        missing = [
+            f"{module.__name__}.{attribute}"
+            for module, attribute in SANITIZED_TARGETS
+            if not hasattr(module, attribute)
+        ]
+        assert missing == []
+
+
+def _tainted_program():
+    time.time()  # repro-lint: disable=RL001 — the defect under test
+    result = yield op_out(entry("TAINTED", 1))
+    ok_value(result)
+
+
+def _clean_program():
+    result = yield op_out(entry("CLEAN", 1))
+    ok_value(result)
+    found = yield op_rdp(template("CLEAN", ANY))
+    ok_value(found)
+
+
+class TestSanitizedScenarios:
+    def test_consensus_storm_runs_clean_under_sanitizer(self):
+        scenario = Scenario(
+            name="sanitized-storm", clients=consensus_storm(4), seed=7
+        )
+        result = run_sanitized(scenario)
+        assert result.completed
+
+    def test_sanitized_run_matches_unsanitized_trace(self):
+        scenario = Scenario(
+            name="sanitized-replay", clients=consensus_storm(3), seed=11
+        )
+        plain = run_scenario(scenario)
+        sanitized = run_sanitized(scenario)
+        assert plain.metrics.trace_text() == sanitized.metrics.trace_text()
+
+    def test_injected_wall_clock_read_trips(self):
+        scenario = Scenario(
+            name="tainted",
+            clients=[("c0", _tainted_program), ("c1", _clean_program)],
+            seed=3,
+        )
+        with pytest.raises(DeterminismViolation, match="time.time"):
+            run_sanitized(scenario)
+
+    def test_determinism_guard_fixture_is_exported(self):
+        import repro.lint.sanitizer as plugin
+
+        assert hasattr(plugin, "determinism_guard")
