@@ -118,8 +118,39 @@ def _policy_enforcement(payload: Mapping[str, Any]) -> Iterable[Metric]:
         )
 
 
+def _notify(payload: Mapping[str, Any]) -> Iterable[Metric]:
+    modes = payload.get("modes", {})
+    push = modes.get("push")
+    if push:
+        # Seeded virtual-time result: the push-mode blocking-read latency
+        # is byte-stable per host, so a rise is a real wake-path regression.
+        yield Metric(
+            "push.in_mean",
+            float(push["in_mean"]),
+            higher_is_better=False,
+            gated=True,
+        )
+        yield Metric(
+            "push.in_p95",
+            float(push["in_p95"]),
+            higher_is_better=False,
+            gated=False,
+        )
+    speedup = payload.get("wake_speedup")
+    if speedup is not None:
+        # Poll-mean over push-mean on the same seed/workload: the factor
+        # the notification channel buys, gated so it cannot silently decay.
+        yield Metric(
+            "wake_speedup",
+            float(speedup),
+            higher_is_better=True,
+            gated=True,
+        )
+
+
 EXTRACTORS: dict[str, Callable[[Mapping[str, Any]], Iterable[Metric]]] = {
     "BENCH_net_calibration.json": _net_calibration,
+    "BENCH_notify.json": _notify,
     "BENCH_policy_enforcement.json": _policy_enforcement,
 }
 

@@ -22,9 +22,11 @@ from typing import Callable, Hashable
 from repro.errors import AccessDeniedError, OperationTimeoutError
 from repro.futures import OperationFuture
 from repro.api.space import Space
+from repro.notify import Subscription
 from repro.peo.base import DENIED
 from repro.peo.peats import PEATS
-from repro.tuples import Entry, Template
+from repro.policy.invocation import Invocation
+from repro.tuples import Entry, Template, matches
 
 __all__ = ["LocalSpace"]
 
@@ -124,6 +126,43 @@ class LocalSpace(Space):
                 )
                 return future
             time.sleep(min(interval, remaining))
+
+    def _register_watch(self, subscription: Subscription, process: Hashable):
+        """Local watch: an insert listener on the underlying tuple space.
+
+        The access policy is applied at delivery time with the watcher's
+        identity and the ``rdp`` probe — identical to the replicated
+        backends' notification-time check — so a subscriber never sees a
+        tuple the policy would hide from its direct read.  Local inserts
+        are not client requests, so events carry ``event=None``.
+        """
+        template = subscription.template
+        if isinstance(template, Entry):
+            template = template.to_template()
+        if not isinstance(template, Template):
+            raise TypeError(
+                f"watch() requires a Template, got {type(subscription.template).__name__}"
+            )
+        peats = self._peats
+        space = peats._policy_state()
+
+        def on_insert(entry: Entry) -> None:
+            if not subscription.active or not matches(entry, template):
+                return
+            invocation = Invocation(process=process, operation="rdp", arguments=(template,))
+            if not peats.monitor.authorize(invocation, space).allowed:
+                return
+            subscription.deliver(entry, None)
+
+        space.add_insert_listener(on_insert)
+        return lambda: space.remove_insert_listener(on_insert)
+
+    def _watch_pump(self, condition: Callable[[], bool], timeout: float | None) -> None:
+        """Wait on the wall clock for a concurrent thread's insert."""
+        budget = self.default_blocking_timeout if timeout is None else timeout
+        deadline = self._now() + budget
+        while not condition() and self._now() < deadline:
+            time.sleep(min(self.default_poll_interval, max(deadline - self._now(), 0.0)))
 
     def _drive(self, future: OperationFuture) -> None:
         """Local futures resolve eagerly; there is nothing to pump."""

@@ -15,6 +15,7 @@ from typing import Callable, Hashable
 from repro.errors import ReplicationError
 from repro.futures import OperationFuture
 from repro.api.space import Space
+from repro.notify import Subscription, WaiterHandle
 from repro.replication.service import ReplicatedPEATS
 from repro.tuples import Entry
 
@@ -70,9 +71,36 @@ class ReplicatedSpace(Space):
     def snapshot(self) -> tuple[Entry, ...]:
         return self._service.snapshot()
 
+    # ------------------------------------------------------------------
+    # Notification channel (repro.notify)
+    # ------------------------------------------------------------------
+
+    def _arm_waiter(self, operation, template, process, wake):
+        """Arm one waiter on every replica of the group; wake on f+1 pushes."""
+        client = self._service.client(process)
+        waiter = client.arm_waiter(template, operation, wake)
+        return WaiterHandle(
+            waiter.waiter_id, lambda: client.disarm_waiter(waiter.waiter_id)
+        )
+
+    def _register_watch(self, subscription: Subscription, process: Hashable):
+        client = self._service.client(process)
+        waiter = client.arm_waiter(
+            subscription.template,
+            "watch",
+            lambda entry, event: subscription.deliver(entry, event),
+        )
+        return lambda: client.disarm_waiter(waiter.waiter_id)
+
     def _stats_extra(self) -> dict:
         return {
-            "nodes": {node.replica_id: node.statistics for node in self._service.nodes}
+            "nodes": {node.replica_id: node.statistics for node in self._service.nodes},
+            "notify": {
+                "waiters": {
+                    node.replica_id: len(node.application.waiters)
+                    for node in self._service.nodes
+                },
+            },
         }
 
     def __repr__(self) -> str:

@@ -37,6 +37,7 @@ from repro.futures import OperationFuture
 from repro.api.space import Space
 from repro.cluster.client import ShardedClient
 from repro.cluster.service import ShardedPEATS
+from repro.notify import Subscription, WaiterHandle
 from repro.peo.base import DENIED
 from repro.tuples import Entry, Template
 from repro.tuples.fields import is_defined
@@ -116,8 +117,81 @@ class ShardedSpace(Space):
     def snapshot(self) -> tuple[Entry, ...]:
         return self._service.snapshot()
 
+    # ------------------------------------------------------------------
+    # Notification channel (repro.notify)
+    # ------------------------------------------------------------------
+
+    def _waiter_groups(self, template) -> tuple[tuple[int, object], ...]:
+        """The replica groups that must hold a waiter for ``template``:
+        the owning shard for a concrete-name template, every shard for a
+        wildcard-name one (any shard may receive the matching insert)."""
+        if isinstance(template, (Entry, Template)):
+            if is_defined(template.fields[0]):
+                shard = self._service.shard_map.shard_of_tuple(template)
+                return ((shard, self._service.group(shard)),)
+            return tuple(enumerate(self._service.groups))
+        # Malformed template: nothing to arm; the probe path will surface
+        # the error through the normal read machinery.
+        return ()
+
+    def _arm_waiter(self, operation, template, process, wake):
+        """Arm one waiter per owning replica group (f+1 vote per group)."""
+        client = self._service.client(process)
+        waiters = [
+            client.arm_waiter(template, operation, wake, replica_ids=group.replica_ids)
+            for _, group in self._waiter_groups(template)
+        ]
+        if not waiters:
+            return None
+
+        def cancel() -> None:
+            for waiter in waiters:
+                client.disarm_waiter(waiter.waiter_id)
+
+        return WaiterHandle(waiters[0].waiter_id, cancel)
+
+    def _register_watch(self, subscription: Subscription, process: Hashable):
+        """Register the watch on every owning group; events are tagged with
+        the pushing group's shard id and merged in network-delivery order
+        (deterministic under the seeded transports)."""
+        client = self._service.client(process)
+        groups = self._waiter_groups(subscription.template)
+        if not groups:
+            raise ReplicationError(
+                f"watch() requires an Entry or Template, "
+                f"got {type(subscription.template).__name__}"
+            )
+        waiters = []
+        for shard, group in groups:
+            def deliver(entry, event, _shard=shard):
+                subscription.deliver(entry, event, shard=_shard)
+
+            waiters.append(
+                client.arm_waiter(
+                    subscription.template, "watch", deliver,
+                    replica_ids=group.replica_ids,
+                )
+            )
+
+        def cancel() -> None:
+            for waiter in waiters:
+                client.disarm_waiter(waiter.waiter_id)
+
+        return cancel
+
     def _stats_extra(self) -> dict:
-        return {"shards": self._service.shard_statistics()}
+        return {
+            "shards": self._service.shard_statistics(),
+            "notify": {
+                "waiters": {
+                    shard: {
+                        node.replica_id: len(node.application.waiters)
+                        for node in group.nodes
+                    }
+                    for shard, group in enumerate(self._service.groups)
+                },
+            },
+        }
 
     def __repr__(self) -> str:
         return (

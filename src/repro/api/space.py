@@ -35,6 +35,7 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.errors import AccessDeniedError, OperationTimeoutError, TupleSpaceError
 from repro.futures import OperationFuture
+from repro.notify import Subscription
 from repro.obs import NULL_OBS
 from repro.peo.base import DENIED, DeniedResult
 from repro.policy.invocation import Invocation
@@ -84,10 +85,24 @@ class Space(TupleSpaceInterface):
     #: every replica group — the cost the ROADMAP flagged).  The delay is
     #: capped at :attr:`poll_backoff_cap` times the base interval, and a
     #: fresh read always starts back at the base interval.
+    #:
+    #: Backoff state is **per blocking operation** and monotone for its
+    #: whole life: a notification wake-up (or any other extra probe the
+    #: notify channel triggers) does not reset the escalation, so an
+    #: absent tuple costs the same bounded probe budget whether or not a
+    #: waiter is armed.  While a waiter *is* armed the chain skips the
+    #: escalation entirely and idles at the capped interval — the probes
+    #: are then a liveness fallback (a Byzantine replica may suppress its
+    #: notification), not the discovery mechanism.
     poll_backoff: float = 2.0
     #: Ceiling of the backed-off poll delay, as a multiple of the base
     #: poll interval.
     poll_backoff_cap: float = 8.0
+    #: Whether blocking reads arm a server-push waiter (repro.notify)
+    #: before falling back to polling.  Backends without a notification
+    #: channel ignore this; benchmarks flip it off to measure the
+    #: polling-only baseline.
+    notify_enabled: bool = True
 
     # ------------------------------------------------------------------
     # Backend hooks
@@ -187,13 +202,23 @@ class Space(TupleSpaceInterface):
         timeout: float | None,
         poll_interval: float | None,
     ) -> OperationFuture:
-        """Emulate a blocking read as a self-rescheduling probe chain.
+        """Emulate a blocking read: arm a waiter, then a bounded probe chain.
 
-        The recipe of Section 4: poll the non-blocking variant, letting
-        backend time advance between attempts so other clients (and view
-        changes) make progress.  Everything happens through completion
-        callbacks, so many blocking reads can be in flight concurrently —
-        this is what lets scenario clients issue ``rd``/``in`` steps.
+        The recipe of Section 4, upgraded by :mod:`repro.notify`: first a
+        per-template waiter is armed on the backend (where it supports
+        one), then the non-blocking variant probes once immediately.  From
+        there the read normally sleeps until an ``f + 1``-voted wake-up,
+        which triggers one fresh probe — the observable result always
+        comes from the normal voted read path, never from the pushed
+        entry, so the semantics (and the conformance suite) are unchanged.
+        Polling survives as a bounded fallback at the capped interval:
+        registrations are soft state and a Byzantine replica may suppress
+        its push, so the fallback — not the push — carries the liveness
+        guarantee.  Without a waiter the chain escalates with capped
+        exponential backoff exactly as before.  Everything happens through
+        completion callbacks, so many blocking reads can be in flight
+        concurrently — this is what lets scenario clients issue
+        ``rd``/``in`` steps.
         """
         probe_operation = "rdp" if operation == "rd" else "inp"
         budget = self.default_blocking_timeout if timeout is None else timeout
@@ -201,26 +226,57 @@ class Space(TupleSpaceInterface):
         max_interval = interval * self.poll_backoff_cap
         future = OperationFuture(operation=operation, submitted_at=self._now())
         deadline = self._now() + budget
+        # Monotone for the whole operation: a wake-triggered probe must not
+        # reset the fallback escalation (an armed waiter already idles the
+        # chain at the cap; see the poll_backoff docs).
         rounds = 0
+        # One probe in flight at a time; a wake-up that lands mid-probe is
+        # remembered and serviced as soon as the in-flight probe resolves.
+        probing = False
+        wake_pending = False
+        # Generation token of the scheduled fallback: a wake-triggered
+        # probe reschedules the fallback, and the superseded timer must
+        # not spawn a second concurrent probe chain.
+        epoch = 0
+        handle: Any = None
+
+        def disarm() -> None:
+            if handle is not None:
+                handle.cancel()
 
         def attempt() -> None:
-            if future.done:
+            nonlocal probing
+            if future.done or probing:
                 return
+            probing = True
             probe = self._submit_probe(probe_operation, (template,), process)
             if future.request_id is None:
                 future.request_id = probe.request_id
             probe.add_done_callback(resolve)
 
+        def fallback(token: int) -> None:
+            if token == epoch:
+                attempt()
+
+        def schedule_next(delay: float) -> None:
+            nonlocal epoch
+            epoch += 1
+            token = epoch
+            self._schedule(delay, lambda: fallback(token))
+
         def resolve(probe: OperationFuture) -> None:
-            nonlocal rounds
+            nonlocal rounds, probing, wake_pending
+            probing = False
             if future.done:
                 return
             now = self._now()
             if probe.exception is not None:
+                disarm()
                 future._complete(now, exception=probe.exception)
                 return
             status, value = probe.result()
             if status == DENIED:
+                disarm()
                 future._complete(
                     now,
                     exception=AccessDeniedError(
@@ -230,9 +286,11 @@ class Space(TupleSpaceInterface):
                 return
             if value is not None:
                 future.shard = probe.shard
+                disarm()
                 future._complete(now, result=("OK", value))
                 return
             if now >= deadline:
+                disarm()
                 future._complete(
                     now,
                     exception=OperationTimeoutError(
@@ -241,16 +299,63 @@ class Space(TupleSpaceInterface):
                     ),
                 )
                 return
-            # Capped exponential backoff: each empty round doubles the
-            # wait (up to the cap and never past the deadline), so an
-            # absent tuple stops costing a full probe — or, sharded, a
-            # full cross-shard scatter — every base interval.
-            delay = min(interval * (self.poll_backoff**rounds), max_interval)
             rounds += 1
-            self._schedule(min(delay, deadline - now), attempt)
+            if wake_pending:
+                # A push arrived while this probe was in flight (probably
+                # racing another consumer for the same tuple): re-probe
+                # right away instead of sleeping on it.
+                wake_pending = False
+                attempt()
+                return
+            if handle is not None:
+                # Waiter armed: pushes do the waking, the chain only
+                # provides the bounded liveness fallback.
+                delay = max_interval
+            else:
+                # Capped exponential backoff: each empty round doubles
+                # the wait (up to the cap and never past the deadline),
+                # so an absent tuple stops costing a full probe — or,
+                # sharded, a full cross-shard scatter — every interval.
+                delay = min(interval * (self.poll_backoff ** (rounds - 1)), max_interval)
+            schedule_next(min(delay, deadline - now))
 
+        def wake(entry: Any, event: Any) -> None:
+            # f+1 replicas vouched a match landed; re-verify through the
+            # normal voted probe path (one round trip) rather than
+            # trusting the pushed entry, which may already be consumed.
+            nonlocal wake_pending
+            if future.done:
+                return
+            if probing:
+                wake_pending = True
+                return
+            attempt()
+
+        if self.notify_enabled:
+            # Arm *before* the first probe: an insert landing between the
+            # probe's empty answer and a later registration would
+            # otherwise be invisible until the fallback poll.
+            handle = self._arm_waiter(operation, template, process, wake)
         attempt()
         return future
+
+    def _arm_waiter(
+        self,
+        operation: str,
+        template: Template,
+        process: Hashable,
+        wake: Callable[[Any, Any], None],
+    ) -> Optional[Any]:
+        """Arm a server-push waiter for one blocking read, if the backend
+        has a notification channel.
+
+        Returns a cancellable handle (``.cancel()``, idempotent) or
+        ``None`` when the backend cannot push — the blocking emulation
+        then falls back to pure polling.  ``wake(entry, event)`` fires
+        inside the backend's event loop when ``f + 1`` replicas push
+        matching notifications.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Blocking API (TupleSpaceInterface, plus the invoking process)
@@ -329,6 +434,70 @@ class Space(TupleSpaceInterface):
         return value
 
     # ------------------------------------------------------------------
+    # Reactive API (repro.notify)
+    # ------------------------------------------------------------------
+
+    def watch(
+        self,
+        template: Template,
+        *,
+        process: Hashable = None,
+        buffer: int = 256,
+        on_event: Callable[[Any], None] | None = None,
+    ) -> Subscription:
+        """Subscribe to every future insert matching ``template``.
+
+        Returns a :class:`~repro.notify.Subscription`: iterate it, call
+        ``.next(timeout=...)``, drain with ``.poll()`` or pass
+        ``on_event`` for callback delivery.  On the replicated backends an
+        event is delivered only after ``f + 1`` distinct replicas push
+        matching notifications for the same insert, and the access policy
+        is applied at notification time with ``process``'s identity — a
+        subscriber never sees a tuple the policy would hide from its
+        direct ``rdp``.  Watching observes, never consumes: taking the
+        tuple is still an explicit ``in``/``inp``.  The subscription's
+        buffer is bounded (``buffer`` events; overflow drops the oldest
+        and counts them on ``subscription.dropped``) and
+        ``subscription.cancel()`` — or closing the space — disarms it on
+        every replica.
+        """
+        subscription = Subscription(
+            template, buffer=buffer, on_event=on_event, clock=self._now
+        )
+        canceller = self._register_watch(subscription, process)
+        subscription._attach(canceller, self._watch_pump)
+        self._watch_list().append(subscription)
+        return subscription
+
+    def _register_watch(
+        self, subscription: Subscription, process: Hashable
+    ) -> Callable[[], None]:
+        """Backend hook: wire ``subscription`` to the notification channel
+        and return the canceller that disarms it everywhere."""
+        raise TupleSpaceError(
+            f"the {self.backend} backend does not support watch()"
+        )
+
+    def _watch_pump(self, condition: Callable[[], bool], timeout: float | None) -> None:
+        """Backend hook: advance the backend until ``condition()`` or for at
+        most ``timeout`` (default: the blocking-read budget) — what
+        ``Subscription.next`` blocks on."""
+        budget = self.default_blocking_timeout if timeout is None else timeout
+        network = getattr(self, "network", None)
+        if network is None:
+            raise TupleSpaceError(
+                f"the {self.backend} backend cannot pump subscriptions"
+            )
+        deadline = self._now() + budget
+        network.run_until(lambda: condition() or self._now() >= deadline)
+
+    def _watch_list(self) -> list:
+        watches = getattr(self, "_watches", None)
+        if watches is None:
+            watches = self._watches = []
+        return watches
+
+    # ------------------------------------------------------------------
     # Per-process views
     # ------------------------------------------------------------------
 
@@ -393,6 +562,8 @@ class Space(TupleSpaceInterface):
         ``connect(..., transport="asyncio"/"tcp")`` should be closed (or
         used as context managers) when done.
         """
+        for subscription in self._watch_list():
+            subscription.cancel()
         network = getattr(self, "network", None)
         close = getattr(network, "close", None)
         if close is not None:
@@ -449,6 +620,9 @@ class BoundSpace(TupleSpaceInterface):
 
     def submit_in(self, template: Template, **options: Any) -> OperationFuture:
         return self.submit("in", (template,), **options)
+
+    def watch(self, template: Template, **options: Any) -> Subscription:
+        return self._space.watch(template, process=self._process, **options)
 
     def out(self, entry: Entry) -> Any:
         return self._space.out(entry, process=self._process)

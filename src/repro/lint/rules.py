@@ -35,6 +35,7 @@ DETERMINISTIC_CORE = (
     "repro.replication",
     "repro.consensus",
     "repro.cluster",
+    "repro.notify",
     "repro.obs",
     "repro.tspace",
     "repro.peo",

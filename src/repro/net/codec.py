@@ -80,6 +80,9 @@ MESSAGE_CLASSES: dict[str, type[Any]] = {
         _messages.StateResponse,
         _messages.ViewChange,
         _messages.NewView,
+        _messages.RegisterWaiter,
+        _messages.CancelWaiter,
+        _messages.Notify,
     )
 }
 

@@ -1,0 +1,34 @@
+"""repro.notify — the server-push notification channel.
+
+The re-anchor gap this subsystem closes: every blocking ``rd``/``in`` on
+every transport was client-side polling.  Here, replicas keep a table of
+per-template *waiters* (:mod:`repro.notify.waiters`, soft state beside the
+replicated application) and push a :class:`~repro.replication.messages.
+Notify` when a matching tuple is inserted by the ordered request stream;
+the client side (:mod:`repro.notify.subscription`) tallies pushes from
+distinct replicas and acts on a wake-up only after ``f + 1`` of them agree
+— a Byzantine replica can neither forge a match nor (because the polling
+path survives as a bounded fallback) starve a waiter.
+
+On top of the wake-up channel, :class:`Subscription` is the streaming
+handle behind ``Space.watch(template)``: a bounded event buffer with
+iterator and callback delivery, uniform across the local, replicated and
+sharded backends.
+
+Everything in this package is part of the deterministic core: no ambient
+clock, RNG or thread creation — time comes in through injected clocks and
+waiting is delegated to the owning backend's pump.
+"""
+
+from repro.notify.subscription import ClientWaiter, Subscription, WaiterHandle, WatchEvent
+from repro.notify.waiters import Notification, Waiter, WaiterTable
+
+__all__ = [
+    "ClientWaiter",
+    "Notification",
+    "Subscription",
+    "Waiter",
+    "WaiterHandle",
+    "WaiterTable",
+    "WatchEvent",
+]

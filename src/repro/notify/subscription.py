@@ -1,0 +1,297 @@
+"""Client-side notify machinery: the f+1 vote and the watch subscription.
+
+:class:`ClientWaiter` is the vote state behind one armed waiter id: it
+tallies :class:`~repro.replication.messages.Notify` pushes per
+``(event, entry_digest)`` and releases the entry exactly once, when
+``f + 1`` **distinct** target replicas have vouched for the same pair —
+at least one of them is correct, so a Byzantine replica can neither forge
+a match nor replay an old one (delivered events are remembered in a
+bounded window and duplicates are dropped).
+
+:class:`Subscription` is the streaming handle ``Space.watch`` returns:
+a bounded event buffer (oldest events are dropped and counted when the
+consumer lags) with three consumption forms — non-blocking :meth:`poll`,
+blocking :meth:`next`, and iteration — plus an optional callback fired at
+delivery time.  The subscription itself never waits on any clock: blocking
+consumption delegates to the *pump* its backend attached (the simulated
+backends pump the virtual-time event loop; the local and real-transport
+backends wait on the wall clock at the API layer, outside the
+deterministic core).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+from typing import Any, Callable, Hashable, Iterator, Optional
+
+__all__ = ["ClientWaiter", "WaiterHandle", "WatchEvent", "Subscription"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WatchEvent:
+    """One delivered match: the entry, its provenance and the local time."""
+
+    entry: Any
+    #: The inserting request's ``(client, request_id)`` key (``None`` on
+    #: the local backend, where inserts are not requests).
+    event: Optional[tuple]
+    #: Backend-clock time of delivery to this subscriber.
+    at: float
+    #: Owning shard on the sharded backend, else ``None``.
+    shard: Optional[int] = None
+
+
+class WaiterHandle:
+    """Cancellable handle over one armed waiter (idempotent cancel)."""
+
+    __slots__ = ("waiter_id", "_cancel", "_cancelled")
+
+    def __init__(self, waiter_id: int, cancel: Callable[[], None]) -> None:
+        self.waiter_id = waiter_id
+        self._cancel = cancel
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self._cancel()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "armed"
+        return f"WaiterHandle(id={self.waiter_id}, {state})"
+
+
+class ClientWaiter:
+    """Vote state for one armed waiter id on one client."""
+
+    __slots__ = (
+        "waiter_id",
+        "template",
+        "operation",
+        "targets",
+        "f",
+        "on_event",
+        "armed_at",
+        "woken",
+        "_votes",
+        "_delivered",
+        "_delivered_set",
+        "_max_pending",
+    )
+
+    def __init__(
+        self,
+        waiter_id: int,
+        template: Any,
+        operation: str,
+        targets: tuple[Hashable, ...],
+        f: int,
+        *,
+        on_event: Callable[[Any, tuple], None],
+        armed_at: float,
+        max_pending_votes: int = 64,
+        delivered_window: int = 256,
+    ) -> None:
+        self.waiter_id = waiter_id
+        self.template = template
+        self.operation = operation
+        # Kept ordered (not a set): cancellation re-broadcasts to these and
+        # iteration order must be deterministic for same-seed replay.
+        self.targets = tuple(targets)
+        self.f = f
+        self.on_event = on_event
+        self.armed_at = armed_at
+        #: Set once the first vote completes (wake-latency is observed once).
+        self.woken = False
+        # (event, entry_digest) -> replicas vouching for it.  Bounded:
+        # beyond max_pending the oldest pending vote is evicted, so f
+        # Byzantine replicas spraying fabricated events cannot grow this
+        # map — and cannot evict a *real* vote faster than the correct
+        # replicas complete it (their pushes for one insert arrive within
+        # one delivery round).
+        self._votes: "collections.OrderedDict[tuple, set]" = collections.OrderedDict()
+        self._delivered: "collections.deque[tuple]" = collections.deque(
+            maxlen=delivered_window
+        )
+        self._delivered_set: set = set()
+        self._max_pending = max_pending_votes
+
+    def record(
+        self, replica: Hashable, event: tuple, entry: Any, entry_digest: str
+    ) -> Optional[Any]:
+        """Tally one push; returns the entry when the f+1 vote completes.
+
+        Duplicate pushes from the same replica and pushes for an
+        already-delivered event are dropped (idempotence), so a stale
+        retransmitted ``Notify`` can never wake the client twice.
+        """
+        if replica not in self.targets:
+            return None
+        key = (event, entry_digest)
+        if key in self._delivered_set:
+            return None
+        votes = self._votes.get(key)
+        if votes is None:
+            while len(self._votes) >= self._max_pending:
+                self._votes.popitem(last=False)
+            votes = self._votes[key] = set()
+        votes.add(replica)
+        if len(votes) < self.f + 1:
+            return None
+        del self._votes[key]
+        if len(self._delivered) == self._delivered.maxlen:
+            self._delivered_set.discard(self._delivered[0])
+        self._delivered.append(key)
+        self._delivered_set.add(key)
+        return entry
+
+    @property
+    def pending_votes(self) -> int:
+        return len(self._votes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientWaiter(id={self.waiter_id}, op={self.operation!r}, "
+            f"pending={len(self._votes)})"
+        )
+
+
+class Subscription:
+    """Streaming handle over one ``Space.watch(template)`` registration."""
+
+    def __init__(
+        self,
+        template: Any,
+        *,
+        buffer: int = 256,
+        on_event: Callable[[WatchEvent], None] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if buffer < 1:
+            raise ValueError("subscription buffer must hold at least one event")
+        self.template = template
+        self._lock = threading.Lock()
+        self._buffer: "collections.deque[WatchEvent]" = collections.deque(maxlen=buffer)
+        self._dropped = 0
+        self._delivered = 0
+        self._active = True
+        self._on_event = on_event
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._canceller: Callable[[], None] | None = None
+        self._pump: Callable[[Callable[[], bool], Optional[float]], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Backend attachment (called by the owning Space, not by users)
+    # ------------------------------------------------------------------
+
+    def _attach(
+        self,
+        canceller: Callable[[], None],
+        pump: Callable[[Callable[[], bool], Optional[float]], None],
+    ) -> None:
+        self._canceller = canceller
+        self._pump = pump
+
+    def deliver(
+        self, entry: Any, event: Optional[tuple], *, shard: Optional[int] = None
+    ) -> None:
+        """Buffer one voted match (backend plumbing calls this)."""
+        if not self._active:
+            return
+        item = WatchEvent(entry=entry, event=event, at=self._clock(), shard=shard)
+        with self._lock:
+            if len(self._buffer) == self._buffer.maxlen:
+                self._dropped += 1
+            self._buffer.append(item)
+            self._delivered += 1
+        if self._on_event is not None:
+            self._on_event(item)
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because the buffer was full (consumer lagging)."""
+        return self._dropped
+
+    @property
+    def delivered(self) -> int:
+        """Total events delivered into this subscription."""
+        return self._delivered
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def poll(self) -> list[WatchEvent]:
+        """Drain and return every currently buffered event (non-blocking)."""
+        with self._lock:
+            drained = list(self._buffer)
+            self._buffer.clear()
+        return drained
+
+    def next(self, timeout: float | None = None) -> Optional[WatchEvent]:
+        """The next event, waiting up to ``timeout`` backend-time units.
+
+        With ``timeout=None`` the owning backend's default blocking budget
+        applies (waiting forever is never the default on any backend).
+        Returns ``None`` when no event arrived in time or the subscription
+        was cancelled.
+        """
+        with self._lock:
+            if self._buffer:
+                return self._buffer.popleft()
+        if not self._active or self._pump is None:
+            return None
+        self._pump(lambda: bool(self._buffer) or not self._active, timeout)
+        with self._lock:
+            if self._buffer:
+                return self._buffer.popleft()
+        return None
+
+    def __iter__(self) -> Iterator[WatchEvent]:
+        """Yield events as they arrive; stops when :meth:`next` yields
+        nothing (cancelled, or the backend's wait budget lapsed idle)."""
+        while True:
+            item = self.next()
+            if item is None:
+                return
+            yield item
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Disarm the subscription (idempotent); buffered events remain
+        consumable via :meth:`poll`."""
+        if not self._active:
+            return
+        self._active = False
+        if self._canceller is not None:
+            self._canceller()
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.cancel()
+
+    def __repr__(self) -> str:
+        state = "active" if self._active else "cancelled"
+        return (
+            f"Subscription(template={self.template!r}, {state}, "
+            f"buffered={len(self._buffer)}, dropped={self._dropped})"
+        )

@@ -10,10 +10,11 @@ all reach ``prepare``; the earliest one defines when the system did).
 
 Canonical phases, in lifecycle order::
 
-    submit → route → pre-prepare → prepare → commit → execute → reply → complete
+    submit → route → pre-prepare → prepare → commit → execute → reply → notify → complete
 
-``route`` only appears on sharded deployments; the rest map 1:1 onto the
-paper's client/agreement/execution pipeline.  :meth:`Tracer.timeline`
+``route`` only appears on sharded deployments and ``notify`` only when a
+replica pushes a waiter wake-up (:mod:`repro.notify`); the rest map 1:1
+onto the paper's client/agreement/execution pipeline.  :meth:`Tracer.timeline`
 returns one request's phase times; :meth:`Tracer.phase_report` aggregates
 the deltas between consecutive present phases over every traced request —
 the "where did the 1.5 ms go" table.
@@ -39,6 +40,7 @@ PHASES: Tuple[str, ...] = (
     "commit",
     "execute",
     "reply",
+    "notify",
     "complete",
 )
 

@@ -36,8 +36,17 @@ from typing import Any, Callable, Hashable, Optional, TYPE_CHECKING
 
 from repro.errors import QuorumError, ReplicationError
 from repro.futures import OperationFuture
+from repro.notify import ClientWaiter
 from repro.obs import NULL_OBS
-from repro.replication.messages import ClientReply, ClientRequest, authenticate_request
+from repro.replication.crypto import digest
+from repro.replication.messages import (
+    CancelWaiter,
+    ClientReply,
+    ClientRequest,
+    Notify,
+    RegisterWaiter,
+    authenticate_request,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.net.transport import Transport
@@ -144,6 +153,15 @@ class PEATSClient:
         self._obs_quorum_failures = registry.counter(
             "client_quorum_failures_total", "Requests abandoned without an f+1 reply vote"
         ).labels()
+        self._obs_wake_latency = registry.histogram(
+            "notify_wake_latency",
+            "Delay from arming a waiter to its first f+1-voted wake-up",
+            buckets=(1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0),
+        ).labels()
+        # Armed waiters by id: soft client state mirroring the replicas'
+        # waiter tables (repro.notify).
+        self._waiters: dict[int, ClientWaiter] = {}
+        self._next_waiter_id = 0
         network.register(self._address, self._on_message)
 
     @property
@@ -167,6 +185,9 @@ class PEATSClient:
     # ------------------------------------------------------------------
 
     def _on_message(self, sender: Hashable, payload: Any) -> None:
+        if isinstance(payload, Notify):
+            self._on_notify(sender, payload)
+            return
         if not isinstance(payload, ClientReply):
             return
         if payload.replica != sender:
@@ -187,6 +208,32 @@ class PEATSClient:
         result = self._voted_result(payload.request_key, pending)
         if result is not None:
             self._resolve(pending, result)
+
+    def _on_notify(self, sender: Hashable, payload: Notify) -> None:
+        """Tally one waiter push; fire the waiter's callback on f+1 votes.
+
+        Every claim in the message is checked against local state before it
+        can count: the push must come from the replica it names (the link
+        authenticates the sender), address a waiter this client armed and
+        carry an entry whose locally recomputed digest matches the digest
+        being voted on — a Byzantine replica gets exactly one honest-shaped
+        vote, never a forged quorum.
+        """
+        if payload.replica != sender or payload.client != self.client_id:
+            return
+        waiter = self._waiters.get(payload.waiter_id)
+        if waiter is None:
+            # Stale push for a waiter already cancelled (or never armed).
+            return
+        if digest(payload.entry) != payload.entry_digest:
+            return
+        entry = waiter.record(sender, payload.event, payload.entry, payload.entry_digest)
+        if entry is None:
+            return
+        if not waiter.woken:
+            waiter.woken = True
+            self._obs_wake_latency.observe(self.network.now - waiter.armed_at)
+        waiter.on_event(entry, payload.event)
 
     def _voted_result(self, request_key: tuple, pending: PendingRequest) -> Optional[Any]:
         """Return the result vouched for by ``f + 1`` matching replies."""
@@ -253,6 +300,62 @@ class PEATSClient:
             self._retransmit_interval * (self._retransmit_backoff ** attempts),
             self._max_retransmit_interval,
         )
+
+    # ------------------------------------------------------------------
+    # Waiter channel (repro.notify)
+    # ------------------------------------------------------------------
+
+    def arm_waiter(
+        self,
+        template: Any,
+        operation: str,
+        on_event: Callable[[Any, tuple], None],
+        *,
+        replica_ids: tuple[Hashable, ...] | None = None,
+    ) -> ClientWaiter:
+        """Register a per-template wake-up on every target replica.
+
+        ``on_event(entry, event)`` fires inside the network event loop the
+        first time ``f + 1`` distinct replicas push matching notifications
+        for one insert (and again for every later insert — waiters persist
+        until :meth:`disarm_waiter`).  Registrations are soft state and
+        fire-and-forget: a replica that missed one only costs the client
+        its bounded fallback poll, never correctness.
+        """
+        targets = tuple(replica_ids) if replica_ids is not None else self.replica_ids
+        with self._mint_lock:
+            waiter_id = self._next_waiter_id
+            self._next_waiter_id += 1
+        waiter = ClientWaiter(
+            waiter_id,
+            template,
+            operation,
+            targets,
+            self.f,
+            on_event=on_event,
+            armed_at=self.network.now,
+        )
+        self._waiters[waiter_id] = waiter
+        message = RegisterWaiter(
+            client=self.client_id,
+            waiter_id=waiter_id,
+            template=template,
+            operation=operation,
+        )
+        self.network.broadcast(self._address, targets, message)
+        return waiter
+
+    def disarm_waiter(self, waiter_id: int) -> None:
+        """Cancel one armed waiter on the client and every target replica."""
+        waiter = self._waiters.pop(waiter_id, None)
+        if waiter is None:
+            return
+        message = CancelWaiter(client=self.client_id, waiter_id=waiter_id)
+        self.network.broadcast(self._address, waiter.targets, message)
+
+    @property
+    def armed_waiters(self) -> tuple[ClientWaiter, ...]:
+        return tuple(self._waiters.values())
 
     # ------------------------------------------------------------------
     # Request submission (continuation style)

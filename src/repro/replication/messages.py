@@ -25,6 +25,9 @@ __all__ = [
     "StateResponse",
     "ViewChange",
     "NewView",
+    "RegisterWaiter",
+    "CancelWaiter",
+    "Notify",
     "NULL_REQUEST_CLIENT",
     "null_request",
     "null_batch",
@@ -146,6 +149,60 @@ class ClientReply:
     request_key: tuple
     result_digest: str
     result: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisterWaiter:
+    """A client arming a per-template wake-up on one replica.
+
+    Waiter registrations are *soft state*: they travel directly from the
+    client to each replica of the target group (never through the ordering
+    protocol — different correct replicas may hold different waiter tables
+    at any instant), and they carry no client MAC vector because they are
+    never relayed: the per-link envelope MAC already authenticates the
+    immediate sender, and a replica only accepts a registration whose
+    ``client`` equals that sender.  ``operation`` is the blocking form the
+    waiter stands for (``"rd"``/``"in"``) or ``"watch"`` for a streaming
+    subscription; the replica applies the access policy *at notification
+    time* using the corresponding probe, so a waiter never learns about a
+    tuple the policy would hide from a direct read.
+    """
+
+    client: Hashable
+    waiter_id: int
+    template: Any
+    operation: str
+
+
+@dataclasses.dataclass(frozen=True)
+class CancelWaiter:
+    """A client disarming one of its waiters (idempotent)."""
+
+    client: Hashable
+    waiter_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Notify:
+    """One replica's push that a tuple matching a waiter's template landed.
+
+    ``event`` is the *inserting* request's ``(client, request_id)`` key —
+    a value every correct replica derives identically from the ordered
+    execution stream — and ``entry_digest`` is the digest of the delivered
+    entry.  A client acts on a wake-up only after ``f + 1`` distinct
+    replicas push a :class:`Notify` with the same ``(waiter_id, event,
+    entry_digest)``: at least one of them is correct, so a Byzantine
+    replica can neither forge a match nor feed the client a fabricated
+    entry.  (It also cannot *starve* a waiter — the client keeps a bounded
+    fallback poll armed, so a suppressed notification only costs latency.)
+    """
+
+    replica: Hashable
+    client: Hashable
+    waiter_id: int
+    event: tuple
+    entry: Any
+    entry_digest: str
 
 
 @dataclasses.dataclass(frozen=True)

@@ -76,13 +76,16 @@ from repro.replication.crypto import digest
 from repro.replication.messages import (
     NULL_REQUEST_CLIENT,
     Batch,
+    CancelWaiter,
     Checkpoint,
     ClientReply,
     ClientRequest,
     Commit,
     NewView,
+    Notify,
     PrePrepare,
     Prepare,
+    RegisterWaiter,
     StateRequest,
     StateResponse,
     ViewChange,
@@ -240,6 +243,9 @@ class OrderingNode:
         self._obs_executed = registry.counter(
             "pbft_executed_total", "Client requests executed in sequence order"
         ).labels(node=node)
+        self._obs_notify_pushed = registry.counter(
+            "notify_pushed_total", "Waiter notifications this node pushed to clients"
+        ).labels(node=node)
         self._batches_proposed = 0
         self._view_changes_started = 0
         self._checkpoints_taken = 0
@@ -309,15 +315,22 @@ class OrderingNode:
         """Network entry point for this replica."""
         if self.fault_mode is ReplicaFaultMode.CRASHED:
             return
-        if not isinstance(payload, ClientRequest) and sender not in self._replica_set:
-            # Every non-request message is replica-to-replica protocol
-            # traffic.  Accepting it from arbitrary network identities
-            # would let a Byzantine *client* stuff quorums (checkpoint
-            # certificates, state-transfer thresholds) or pull a full
-            # state dump past the access policy via StateRequest.
+        if (
+            not isinstance(payload, (ClientRequest, RegisterWaiter, CancelWaiter))
+            and sender not in self._replica_set
+        ):
+            # Every other message is replica-to-replica protocol traffic.
+            # Accepting it from arbitrary network identities would let a
+            # Byzantine *client* stuff quorums (checkpoint certificates,
+            # state-transfer thresholds) or pull a full state dump past
+            # the access policy via StateRequest.
             return
         if isinstance(payload, ClientRequest):
             self._on_request(sender, payload)
+        elif isinstance(payload, RegisterWaiter):
+            self._on_register_waiter(sender, payload)
+        elif isinstance(payload, CancelWaiter):
+            self._on_cancel_waiter(sender, payload)
         elif isinstance(payload, PrePrepare):
             self._on_pre_prepare(sender, payload)
         elif isinstance(payload, Prepare):
@@ -396,6 +409,61 @@ class OrderingNode:
         self._unordered.setdefault(request.key, request)
         self._maybe_drain()
         self._obs_pending_depth.set(len(self._unordered))
+
+    # ------------------------------------------------------------------
+    # Waiter registrations (repro.notify)
+    # ------------------------------------------------------------------
+
+    def _on_register_waiter(self, sender: Hashable, message: RegisterWaiter) -> None:
+        """Arm a waiter for ``sender`` (soft state, outside the ordered stream).
+
+        The per-link envelope MAC authenticates the immediate sender and
+        registrations are never relayed, so ``sender == message.client`` is
+        the whole origin check — no MAC vector needed.
+        """
+        if sender != message.client:
+            return
+        self.application.register_waiter(
+            message.client, message.waiter_id, message.template, message.operation
+        )
+
+    def _on_cancel_waiter(self, sender: Hashable, message: CancelWaiter) -> None:
+        if sender != message.client:
+            return
+        self.application.cancel_waiter(message.client, message.waiter_id)
+
+    def _drain_notifications(self) -> None:
+        """Push the notifications execution queued (fault modes apply here)."""
+        for notification in self.application.drain_notifications():
+            self._notify(notification)
+
+    def _notify(self, notification: Any) -> None:
+        if self.is_silent:
+            return
+        if self._tracer.enabled:
+            self._tracer.record(
+                "notify", notification.event, self.replica_id, self.network.now
+            )
+        entry = notification.entry
+        entry_digest = notification.entry_digest
+        if self.fault_mode is ReplicaFaultMode.LYING:
+            # Same corruption model as _reply: each liar fabricates its own
+            # entry (replica id baked in), so f liars can never assemble the
+            # f + 1 matching pushes the client's wake-up vote demands.
+            entry = ("CORRUPTED", self.replica_id, repr(entry))
+            entry_digest = digest(entry)
+        self._obs_notify_pushed.inc()
+        self._send(
+            notification.client,
+            Notify(
+                replica=self.replica_id,
+                client=notification.client,
+                waiter_id=notification.waiter_id,
+                event=notification.event,
+                entry=entry,
+                entry_digest=entry_digest,
+            ),
+        )
 
     def _maybe_drain(self) -> None:
         """Primary: drain unordered requests into batches within the window."""
@@ -606,6 +674,10 @@ class OrderingNode:
                     # a view change after the client already moved on) must
                     # not be answered with the newer cached payload.
                     self._reply(request, result)
+            # Drain unconditionally: MUTE replicas execute too, and their
+            # queued notifications must not pile up (_notify re-checks the
+            # fault mode before actually sending).
+            self._drain_notifications()
             self.last_executed = sequence
             if sequence % self.checkpoint_interval == 0:
                 self._take_checkpoint(sequence)

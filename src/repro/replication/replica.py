@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.notify import Notification, WaiterTable
 from repro.obs import NULL_OBS
 from repro.peo.base import DENIED
 from repro.policy.invocation import Invocation
@@ -79,6 +80,12 @@ class PEATSReplica:
         # Last executed (request_id, reply payload) per client: PBFT's
         # bounded reply cache (clients issue one request at a time).
         self._last_reply: dict[Any, tuple[int, Any]] = {}
+        # Soft-state waiter registrations (repro.notify): deliberately
+        # OUTSIDE capture_state — registrations arrive outside the ordered
+        # request stream, so correct replicas legitimately disagree about
+        # them and checkpoints must not.
+        self._waiters = WaiterTable()
+        self._pending_notifications: list[Notification] = []
         self.obs = NULL_OBS if obs is None else obs
         registry = self.obs.registry
         self._obs_operations = registry.counter(
@@ -89,6 +96,13 @@ class PEATSReplica:
         )
         self._obs_node = str(replica_id)
         self._obs_op_children: dict[str, Any] = {}
+        self._obs_waiters = registry.gauge(
+            "notify_waiters", "Armed waiter registrations on this replica"
+        ).labels(node=self._obs_node)
+        self._obs_suppressed = registry.counter(
+            "notify_suppressed_total",
+            "Notifications withheld because the access policy denied the waiter",
+        ).labels(node=self._obs_node)
 
     # ------------------------------------------------------------------
     # Deterministic execution
@@ -145,15 +159,84 @@ class PEATSReplica:
             )
         counter.inc()
         if operation == "out":
-            return ExecutionResult(self._space.out(arguments[0]))
+            result = ExecutionResult(self._space.out(arguments[0]))
+            self._collect_matches(arguments[0], request)
+            return result
         if operation == "rdp":
             return ExecutionResult(self._space.rdp(arguments[0]))
         if operation == "inp":
             return ExecutionResult(self._space.inp(arguments[0]))
         if operation == "cas":
             inserted, existing = self._space.cas(arguments[0], arguments[1])
+            if inserted:
+                self._collect_matches(arguments[1], request)
             return ExecutionResult((inserted, existing))
         raise AssertionError(f"unreachable operation {operation!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Notification channel (repro.notify)
+    # ------------------------------------------------------------------
+
+    def register_waiter(self, client: Any, waiter_id: int, template: Any, operation: str) -> bool:
+        """Arm one soft-state waiter for ``client`` (idempotent refresh)."""
+        accepted = self._waiters.register(client, waiter_id, template, operation)
+        self._obs_waiters.set(len(self._waiters))
+        return accepted
+
+    def cancel_waiter(self, client: Any, waiter_id: int) -> bool:
+        """Disarm one waiter (idempotent)."""
+        existed = self._waiters.cancel(client, waiter_id)
+        self._obs_waiters.set(len(self._waiters))
+        return existed
+
+    @property
+    def waiters(self) -> WaiterTable:
+        return self._waiters
+
+    def _collect_matches(self, entry: Any, request: ClientRequest) -> None:
+        """Queue a notification per armed waiter matching a fresh insert.
+
+        Called from the ordered execution path, so ``request.key`` — the
+        notification's ``event`` — is identical on every correct replica.
+        The access policy is applied here, per waiter, using the probe
+        operation the waiter stands for: a client whose direct read the
+        policy would deny must not learn about the tuple via a push.
+        Suppressed waiters stay armed (the policy may allow them later).
+        """
+        if not isinstance(entry, Entry) or not len(self._waiters):
+            return
+        from repro.replication.crypto import digest
+
+        entry_digest: Optional[str] = None
+        for waiter in self._waiters.matching(entry):
+            probe = "inp" if waiter.operation == "in" else "rdp"
+            invocation = Invocation(
+                process=waiter.client, operation=probe, arguments=(waiter.template,)
+            )
+            decision = self._monitor.authorize(invocation, self._space)
+            if not decision.allowed:
+                self._obs_suppressed.inc()
+                continue
+            if entry_digest is None:
+                entry_digest = digest(entry)
+            self._pending_notifications.append(
+                Notification(
+                    client=waiter.client,
+                    waiter_id=waiter.waiter_id,
+                    event=request.key,
+                    entry=entry,
+                    entry_digest=entry_digest,
+                )
+            )
+
+    def drain_notifications(self) -> tuple[Notification, ...]:
+        """Hand the pending pushes to the ordering layer (which owns the
+        network and the fault modes) and clear the queue."""
+        if not self._pending_notifications:
+            return ()
+        drained = tuple(self._pending_notifications)
+        self._pending_notifications.clear()
+        return drained
 
     # ------------------------------------------------------------------
     # Checkpoint state capture / transfer

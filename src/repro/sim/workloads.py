@@ -24,6 +24,9 @@ evaluate):
 * :func:`kv_readwrite` — a keyspace read/write mix (the YCSB-style load);
 * :func:`queue_producer_consumer` — producers ``out`` jobs, consumers
   ``inp`` them until a quota is met;
+* :func:`queue_consumers` — *blocking* consumers (``in`` steps) fed by
+  bursty producers, the wake-latency regime the ``repro.notify`` push
+  channel targets;
 * :func:`multi_shard_kv` — a kv mix whose tuple names are spread over a
   sharded cluster, with a tunable home-shard locality;
 * :func:`wildcard_probe_mix` — a read mix with a *match-locality* knob:
@@ -49,6 +52,7 @@ from repro.sim.clients import (
     Pause,
     ok_value,
     op_cas,
+    op_in,
     op_inp,
     op_out,
     op_rdp,
@@ -61,6 +65,7 @@ __all__ = [
     "barrier_rendezvous",
     "kv_readwrite",
     "queue_producer_consumer",
+    "queue_consumers",
     "write_burst",
     "multi_shard_kv",
     "wildcard_probe_mix",
@@ -288,6 +293,74 @@ def queue_producer_consumer(
     ]
     workload.extend(
         (f"cons-{index:02d}", consumer_factory(index, quotas[index]))
+        for index in range(consumers)
+    )
+    return workload
+
+
+def queue_consumers(
+    producers: int,
+    consumers: int,
+    *,
+    items_per_producer: int = 4,
+    burst_pause: float = 60.0,
+    timeout: float = 4_000.0,
+    poll_interval: float = 10.0,
+) -> Workload:
+    """*Blocking* consumers fed by bursty producers — the wake-latency load.
+
+    Unlike :func:`queue_producer_consumer` (whose consumers spin on
+    non-blocking ``inp`` with explicit pauses), consumers here issue
+    blocking ``in`` steps and genuinely sleep between jobs; producers
+    separate their ``out``s by ``burst_pause`` virtual ms, so the space is
+    empty most of the time and every job's consumption starts with a
+    *wake-up*.  This is exactly the regime the ``repro.notify`` push
+    channel targets: with notifications enabled a blocked consumer wakes
+    one round trip after the insert, while the pure polling fallback
+    (``Scenario.notify = False``) waits out the rest of its current
+    backed-off poll interval.  The wake-latency sweep in
+    ``benchmarks/bench_sim_scenarios.py`` runs this workload in both modes
+    and diffs the blocking-``in`` latency distributions.
+
+    Quotas partition the total job count exactly, so a fault-free run
+    conserves jobs: consumed total == produced total.
+    """
+    total = producers * items_per_producer
+    base, remainder = divmod(total, consumers)
+    quotas = [base + (1 if index < remainder else 0) for index in range(consumers)]
+
+    def producer_factory(index: int) -> Callable[[], ClientProgram]:
+        def program() -> ClientProgram:
+            for item in range(items_per_producer):
+                # Stagger before each item (not after the last) so every
+                # insert lands while consumers are already blocked.
+                yield Pause(burst_pause + (index % 3))
+                yield op_out(entry("TASK", f"qp-{index:02d}", item))
+            return ("produced", items_per_producer)
+
+        return program
+
+    def consumer_factory(index: int, quota: int) -> Callable[[], ClientProgram]:
+        def program() -> ClientProgram:
+            got = 0
+            while got < quota:
+                payload = yield op_in(
+                    template("TASK", ANY, ANY),
+                    timeout=timeout,
+                    poll_interval=poll_interval,
+                )
+                if ok_value(payload) is None:
+                    return ("starved", got)
+                got += 1
+            return ("consumed", got)
+
+        return program
+
+    workload: Workload = [
+        (f"qp-{index:02d}", producer_factory(index)) for index in range(producers)
+    ]
+    workload.extend(
+        (f"qc-{index:02d}", consumer_factory(index, quotas[index]))
         for index in range(consumers)
     )
     return workload

@@ -46,6 +46,10 @@ class TupleSpace(TupleSpaceInterface):
         # single thread, but keeping the condition here lets the
         # linearizable wrapper reuse the blocking logic.
         self._condition = threading.Condition()
+        # Insert listeners (repro.notify's local delivery path): called
+        # with each freshly inserted entry, *outside* the condition lock so
+        # a listener may issue further space operations.
+        self._insert_listeners: list[Callable[[Entry], None]] = []
         for item in initial:
             self.out(item)
 
@@ -62,7 +66,21 @@ class TupleSpace(TupleSpaceInterface):
             self._entries[entry_id] = entry
             self._name_index[entry.fields[0]].add(entry_id)
             self._condition.notify_all()
+        for listener in tuple(self._insert_listeners):
+            listener(entry)
         return True
+
+    def add_insert_listener(self, listener: Callable[[Entry], None]) -> None:
+        """Call ``listener(entry)`` after every insert (``out`` and the
+        insert arm of ``cas``), outside the space lock."""
+        self._insert_listeners.append(listener)
+
+    def remove_insert_listener(self, listener: Callable[[Entry], None]) -> None:
+        """Detach a listener added by :meth:`add_insert_listener` (idempotent)."""
+        try:
+            self._insert_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Read path

@@ -1,0 +1,18 @@
+# repro-lint: role=codec
+"""RL003 positive fixture: the push message ``Notify`` never got a wire
+tag — the exact regression the notify-channel PR guards against (the
+registrations round-trip but every push is undecodable)."""
+
+
+class RegisterWaiter:
+    pass
+
+
+class CancelWaiter:
+    pass
+
+
+MESSAGE_CLASSES = {
+    "RegisterWaiter": RegisterWaiter,
+    "CancelWaiter": CancelWaiter,
+}

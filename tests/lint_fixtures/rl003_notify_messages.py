@@ -1,0 +1,23 @@
+# repro-lint: role=messages
+"""RL003 fixture: the notify-channel message set (push-channel shape)."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisterWaiter:
+    client: str
+    waiter_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class CancelWaiter:
+    client: str
+    waiter_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Notify:
+    replica: str
+    client: str
+    waiter_id: int

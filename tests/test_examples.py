@@ -49,3 +49,11 @@ def test_leader_election_elects_justified_leader():
 def test_byzantine_attack_demo_denies_everything():
     result = run_example("byzantine_attack_demo.py")
     assert "still possible" not in result.stdout
+
+
+def test_reactive_tour_pushes_and_suppresses():
+    result = run_example("reactive_tour.py")
+    assert "watched insert Entry('TICK', 2)" in result.stdout
+    assert "fallback poll: 5000 ms" in result.stdout
+    assert "spy saw     []" in result.stdout
+    assert "loopback watch event -> Entry('EVT', 'over-the-wire')" in result.stdout

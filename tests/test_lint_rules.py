@@ -70,6 +70,16 @@ class TestRL003CodecCompleteness:
     def test_single_sided_run_is_silently_skipped(self):
         assert lint("RL003", "rl003_messages.py") == []
 
+    def test_unregistered_notify_message_is_flagged(self):
+        # The notify-channel shape: RegisterWaiter/CancelWaiter round-trip
+        # but the push itself (Notify) never got a wire tag.
+        violations = lint(
+            "RL003", "rl003_notify_messages.py", "rl003_notify_codec_bad.py"
+        )
+        assert len(violations) == 1
+        assert "'Notify'" in violations[0].message
+        assert violations[0].path.endswith("rl003_notify_codec_bad.py")
+
 
 class TestRL004MetricNameConsistency:
     def test_flags_dynamic_malformed_conflicting_and_near_miss_names(self):
