@@ -148,10 +148,55 @@ def _notify(payload: Mapping[str, Any]) -> Iterable[Metric]:
         )
 
 
+def _txn(payload: Mapping[str, Any]) -> Iterable[Metric]:
+    arms = payload.get("arms", {})
+    cross = arms.get("cross")
+    if cross:
+        # Seeded virtual-time result: the cross-shard atomic-commit
+        # latency is byte-stable per host, so a rise is a real protocol
+        # regression (an extra round, a lost push, a retry storm).
+        yield Metric(
+            "cross.transfer_mean",
+            float(cross["transfer_mean"]),
+            higher_is_better=False,
+            gated=True,
+        )
+        yield Metric(
+            "cross.commit_rate",
+            float(cross["commit_rate"]),
+            higher_is_better=True,
+            gated=True,
+        )
+        yield Metric(
+            "cross.transfer_p95",
+            float(cross["transfer_p95"]),
+            higher_is_better=False,
+            gated=False,
+        )
+        yield Metric(
+            "cross.messages",
+            float(cross["messages"]),
+            higher_is_better=False,
+            gated=False,
+        )
+    overhead = payload.get("cross_shard_overhead")
+    if overhead is not None:
+        # Cross-shard mean over single-group mean on the same seed and
+        # workload: the price of the replicated-coordinator commit,
+        # gated so protocol bloat cannot land silently.
+        yield Metric(
+            "cross_shard_overhead",
+            float(overhead),
+            higher_is_better=False,
+            gated=True,
+        )
+
+
 EXTRACTORS: dict[str, Callable[[Mapping[str, Any]], Iterable[Metric]]] = {
     "BENCH_net_calibration.json": _net_calibration,
     "BENCH_notify.json": _notify,
     "BENCH_policy_enforcement.json": _policy_enforcement,
+    "BENCH_txn.json": _txn,
 }
 
 

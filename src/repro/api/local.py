@@ -127,6 +127,20 @@ class LocalSpace(Space):
                 return future
             time.sleep(min(interval, remaining))
 
+    def _submit_txn(self, legs: tuple, process: Hashable) -> OperationFuture:
+        """Local transactions resolve eagerly under the PEATS object lock
+        — the resolve/apply cycle is one critical section, the same
+        linearization-point atomicity the ordered ``txn_exec`` request
+        gives the replicated deployments."""
+        future = OperationFuture(
+            operation="txn",
+            submitted_at=self._now(),
+            request_id=next(self._request_ids),
+        )
+        payload = self._peats.execute_transaction(legs, process=process)
+        future._complete(self._now(), result=payload)
+        return future
+
     def _register_watch(self, subscription: Subscription, process: Hashable):
         """Local watch: an insert listener on the underlying tuple space.
 

@@ -55,6 +55,11 @@ class ReplicatedSpace(Space):
     ) -> OperationFuture:
         return self._service.client(process).submit(operation, tuple(arguments))
 
+    def _submit_txn(self, legs: tuple, process: Hashable) -> OperationFuture:
+        """One group holds every leg, so one ordered ``txn_exec`` request
+        is the whole commit: the PBFT instance is the atomicity."""
+        return self._service.client(process).submit("txn_exec", (legs,))
+
     def _drive(self, future: OperationFuture) -> None:
         self._service.network.run_until(lambda: future.done)
         if not future.done:  # pragma: no cover - retransmit timers prevent this
@@ -80,7 +85,9 @@ class ReplicatedSpace(Space):
         client = self._service.client(process)
         waiter = client.arm_waiter(template, operation, wake)
         return WaiterHandle(
-            waiter.waiter_id, lambda: client.disarm_waiter(waiter.waiter_id)
+            waiter.waiter_id,
+            lambda: client.disarm_waiter(waiter.waiter_id),
+            rearm=lambda: client.rearm_waiter(waiter.waiter_id),
         )
 
     def _register_watch(self, subscription: Subscription, process: Hashable):

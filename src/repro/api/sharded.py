@@ -24,13 +24,22 @@ else the result is ``None``.  All remaining nondeterminism is the seeded
 network's, so a scenario replay returns identical results and winning
 shards.
 
-Wildcard-name ``cas`` would need a cross-group atomic commit and stays out
-of scope (see ROADMAP); it raises :class:`~repro.errors.CrossShardError`.
+Wildcard-name and cross-shard ``cas`` *do* need a cross-group atomic
+commit — and now get one, from :mod:`repro.txn`: the wildcard form first
+runs an optimistic scatter-gather read (a visible match anywhere answers
+``(False, match)`` with no transaction at all), then decides through a
+transaction staging a ``nix`` leg (required absence) on every shard plus
+the ``cas`` leg on the entry's shard; the cross-shard concrete form stages
+``nix`` + ``out``.  Operations bounced by a transaction lock return a
+``TXN-LOCKED`` payload, which the :class:`~repro.api.space.Space` layer
+resolves transparently (waiting out live holders, force-aborting expired
+ones at their replicated coordinator — see :meth:`ShardedSpace.
+_resolve_lock`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from typing import Any, Callable, Hashable
 
 from repro.errors import ReplicationError
 from repro.futures import OperationFuture
@@ -39,6 +48,7 @@ from repro.cluster.client import ShardedClient
 from repro.cluster.service import ShardedPEATS
 from repro.notify import Subscription, WaiterHandle
 from repro.peo.base import DENIED
+from repro.replication.replica import TXN_LOCKED
 from repro.tuples import Entry, Template
 from repro.tuples.fields import is_defined
 
@@ -101,7 +111,61 @@ class ShardedSpace(Space):
                 template.fields[0]
             ):
                 return _ScatterGather(self, client, operation, template).future
+        if operation == "cas":
+            template, entry = arguments[0], arguments[1]
+            if isinstance(template, (Entry, Template)) and isinstance(entry, Entry):
+                shard_map = self._service.shard_map
+                if not is_defined(template.fields[0]):
+                    return _WildcardCas(self, client, process, template, entry).future
+                if shard_map.shard_of(template.fields[0]) != shard_map.shard_of(
+                    entry.fields[0]
+                ):
+                    # Concrete template and entry on different shards: the
+                    # absence pin and the insert cannot share a group, so
+                    # the pair becomes a two-leg transaction.
+                    return self._cas_via_txn(
+                        (("nix", template), ("out", entry)), process
+                    )
         return client.submit(operation, tuple(arguments))
+
+    def _submit_txn(self, legs: tuple, process: Hashable) -> OperationFuture:
+        from repro.txn.manager import CrossShardTxn, plan_legs
+
+        plan = plan_legs(self._service.shard_map, legs)
+        if len(plan) == 1:
+            # Every leg lives on one shard: its PBFT instance alone is the
+            # atomicity — one ordered txn_exec, no coordinator protocol.
+            (shard,) = plan
+            client = self._service.client(process)
+            group = self._service.group(shard)
+            return self._resolving(
+                "txn_exec",
+                lambda: client.submit(
+                    "txn_exec", (legs,), replica_ids=group.replica_ids
+                ),
+                process,
+            )
+        return CrossShardTxn(self, process, legs).future
+
+    def _cas_via_txn(self, legs: tuple, process: Hashable) -> OperationFuture:
+        """Run ``legs`` as a transaction, answering in ``cas`` payload
+        shape: committed → inserted, a ``nix`` match → the existing entry,
+        a per-leg policy denial → the usual denial payload."""
+        future = OperationFuture(operation="cas", submitted_at=self._now())
+        inner = self._submit_txn(legs, process)
+        future.request_id = inner.request_id
+
+        def on_done(inner: OperationFuture) -> None:
+            if future.done:
+                return
+            now = self._now()
+            if inner.exception is not None:
+                future._complete(now, exception=inner.exception)
+                return
+            future._complete(now, result=_cas_payload(inner.result()))
+
+        inner.add_done_callback(on_done)
+        return future
 
     def _drive(self, future: OperationFuture) -> None:
         self._service.network.run_until(lambda: future.done)
@@ -116,6 +180,94 @@ class ShardedSpace(Space):
 
     def snapshot(self) -> tuple[Entry, ...]:
         return self._service.snapshot()
+
+    # ------------------------------------------------------------------
+    # Transaction-lock resolution (the non-blocking guarantee)
+    # ------------------------------------------------------------------
+
+    def _resolve_lock(
+        self, conflict: Any, process: Hashable, retry: Callable[[], None]
+    ) -> None:
+        """Clear one ``(txn_key, coordinator_shard, expired)`` conflict.
+
+        A *live* holder is simply outwaited (one poll interval, then
+        retry — the bounced probe was itself an ordered op, so it ticked
+        the holder's expiry clock).  An **expired** holder is resolved:
+        ``txn_force`` at its replicated coordinator group records an
+        abort iff the transaction is still undecided (first ordered
+        decision wins — a commit that already landed stays a commit),
+        then ``txn_apply`` of the recorded outcome at every participant
+        group releases the locks.  *Any* client may do this: resolution
+        needs no cooperation from the possibly-crashed owner, and the
+        coordinator is a ``3f + 1`` group, not a process — the two
+        halves of the non-blocking argument.
+        """
+        if not (isinstance(conflict, (tuple, list)) and len(conflict) == 3):
+            self._schedule(self.default_poll_interval, retry)
+            return
+        txn_key, coordinator_shard, expired = conflict
+        if (
+            not expired
+            or not isinstance(coordinator_shard, int)
+            or not 0 <= coordinator_shard < self.n_shards
+            or not isinstance(txn_key, (tuple, list))
+        ):
+            self._schedule(self.default_poll_interval, retry)
+            return
+        txn_id = tuple(txn_key)
+        client = self._service.client(process)
+
+        def on_forced(reply: OperationFuture) -> None:
+            if reply.exception is not None:
+                self._schedule(self.default_poll_interval, retry)
+                return
+            payload = reply.result()
+            value = (
+                payload[1]
+                if isinstance(payload, tuple) and len(payload) == 2
+                else None
+            )
+            if not (
+                isinstance(value, tuple) and len(value) == 4 and value[0] == "decided"
+            ):
+                # "unknown" (our bounce raced the release), "not-expired"
+                # (clock skew between bounce and force) or a refusal:
+                # give the holder one more interval.
+                self._schedule(self.default_poll_interval, retry)
+                return
+            _tag, outcome, _reason, participants = value
+            shards = sorted(
+                {
+                    shard
+                    for shard in participants
+                    if isinstance(shard, int) and 0 <= shard < self.n_shards
+                }
+            )
+            if not shards:
+                self._schedule(self.default_poll_interval, retry)
+                return
+            remaining = len(shards)
+
+            def on_applied(_reply: OperationFuture) -> None:
+                nonlocal remaining
+                remaining -= 1
+                if remaining == 0:
+                    retry()
+
+            for shard in shards:
+                client.submit(
+                    "txn_apply",
+                    (txn_id, outcome),
+                    replica_ids=self._service.group(shard).replica_ids,
+                    on_complete=on_applied,
+                )
+
+        client.submit(
+            "txn_force",
+            (txn_id,),
+            replica_ids=self._service.group(coordinator_shard).replica_ids,
+            on_complete=on_forced,
+        )
 
     # ------------------------------------------------------------------
     # Notification channel (repro.notify)
@@ -148,7 +300,15 @@ class ShardedSpace(Space):
             for waiter in waiters:
                 client.disarm_waiter(waiter.waiter_id)
 
-        return WaiterHandle(waiters[0].waiter_id, cancel)
+        def rearm() -> None:
+            # Refresh every per-group registration: a wake from shard A
+            # followed by a miss may mean the tuple was consumed by a
+            # transaction leg on shard B, whose registrations are the
+            # stale ones.
+            for waiter in waiters:
+                client.rearm_waiter(waiter.waiter_id)
+
+        return WaiterHandle(waiters[0].waiter_id, cancel, rearm=rearm)
 
     def _register_watch(self, subscription: Subscription, process: Hashable):
         """Register the watch on every owning group; events are tagged with
@@ -260,7 +420,7 @@ class _ScatterGather:
         winner = None
         for shard in sorted(self._answers):
             status, value = self._answers[shard]
-            if status != DENIED and value is not None:
+            if status not in (DENIED, TXN_LOCKED) and value is not None:
                 winner = shard
                 break
         if winner is None:
@@ -273,8 +433,18 @@ class _ScatterGather:
         self._take_from(winner)
 
     def _complete_unmatched(self) -> None:
-        """No shard holds a match: surface the lowest denial, else None."""
+        """No shard holds a visible match: a transaction-locked shard (it
+        may be hiding one) defers the whole answer to the lock-resolution
+        machinery; else surface the lowest denial, else None."""
         now = self.space._now()
+        for shard in sorted(self._answers):
+            payload = self._answers[shard]
+            if payload[0] == TXN_LOCKED:
+                # The Space-level resolving wrapper clears the conflict
+                # and re-runs the whole scatter.
+                self.future.shard = shard
+                self.future._complete(now, result=payload)
+                return
         for shard in sorted(self._answers):
             payload = self._answers[shard]
             if payload[0] == DENIED:
@@ -315,3 +485,99 @@ class _ScatterGather:
             self.future._complete(now, result=("OK", None))
             return
         self._probe_round()
+
+
+class _WildcardCas:
+    """One wildcard-name ``cas`` resolved optimistically, then atomically.
+
+    The fast path is a plain scatter-gather read: a visible match on any
+    shard answers ``(False, match)`` with no transaction at all (the same
+    answer a local ``cas`` gives, and the common case under contention-free
+    workloads).  Only when **no** shard shows a match does the operation
+    become a transaction — a ``nix`` leg pinning absence on every shard
+    plus the ``cas`` leg inserting on the entry's shard — so the
+    insert-iff-absent decision is one atomic commit across all groups, and
+    a concurrent ``out`` on any shard aborts it (surfacing the matched
+    entry, exactly as if it had been visible all along).  A denied probe
+    falls through to the transaction: the per-leg policy check there is
+    the authoritative one for ``cas``.
+    """
+
+    def __init__(
+        self,
+        space: ShardedSpace,
+        client: ShardedClient,
+        process: Hashable,
+        template: Template,
+        entry: Entry,
+    ) -> None:
+        self.space = space
+        self.process = process
+        self.template = template
+        self.entry = entry
+        self.future = OperationFuture(operation="cas", submitted_at=space._now())
+        probe = _ScatterGather(space, client, "rdp", template).future
+        if self.future.request_id is None:
+            self.future.request_id = probe.request_id
+        probe.add_done_callback(self._on_probe)
+
+    def _on_probe(self, probe: OperationFuture) -> None:
+        if self.future.done:
+            return
+        now = self.space._now()
+        if probe.exception is not None:
+            self.future._complete(now, exception=probe.exception)
+            return
+        status, value = probe.result()
+        if status == TXN_LOCKED:
+            # Defer to the Space-level lock resolution; the whole cas
+            # (including this optimistic read) is retried afterwards.
+            self.future._complete(now, result=(status, value))
+            return
+        if status != DENIED and value is not None:
+            self.future.shard = probe.shard
+            self.future._complete(now, result=("OK", (False, value)))
+            return
+        legs = (("nix", self.template), ("cas", self.template, self.entry))
+        inner = self.space._cas_via_txn(legs, self.process)
+        inner.add_done_callback(self._on_txn)
+
+    def _on_txn(self, inner: OperationFuture) -> None:
+        if self.future.done:
+            return
+        now = self.space._now()
+        if inner.exception is not None:
+            self.future._complete(now, exception=inner.exception)
+            return
+        self.future._complete(now, result=inner.result())
+
+
+def _cas_payload(payload: Any) -> tuple:
+    """Map a transaction payload onto the ``cas`` reply shape.
+
+    Committed → ``(True, None)`` (the entry went in); aborted by a ``nix``
+    match → ``(False, matched)`` (the pre-existing entry, as a plain
+    ``cas`` reports it); aborted by a per-leg policy denial → the usual
+    denial payload; aborted by a persistent lock → the ``TXN-LOCKED``
+    bounce, so the shared resolution machinery retries.
+    """
+    if isinstance(payload, tuple) and len(payload) == 2:
+        status, value = payload
+        if status == "OK" and isinstance(value, tuple) and value:
+            if value[0] == "committed":
+                return ("OK", (True, None))
+            if value[0] == "aborted":
+                reason = value[1]
+                if isinstance(reason, tuple) and reason:
+                    if reason[0] == "match" and len(reason) == 3:
+                        return ("OK", (False, reason[2]))
+                    if reason[0] == "policy-denied" and len(reason) == 3:
+                        return (DENIED, reason[2])
+                    if reason[0] == "locked" and len(reason) == 4:
+                        return (TXN_LOCKED, tuple(reason[1:]))
+                    if reason[0] == "denied" and len(reason) == 2:
+                        return (DENIED, reason[1])
+                return (DENIED, f"cas transaction aborted: {reason!r}")
+        if status in (DENIED, TXN_LOCKED):
+            return payload
+    raise ReplicationError(f"malformed cas transaction payload: {payload!r}")

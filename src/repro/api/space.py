@@ -40,6 +40,7 @@ from repro.obs import NULL_OBS
 from repro.peo.base import DENIED, DeniedResult
 from repro.policy.invocation import Invocation
 from repro.policy.monitor import Decision
+from repro.replication.replica import TXN_LOCKED
 from repro.tspace.interface import TupleSpaceInterface
 from repro.tuples import Entry, Template
 
@@ -103,6 +104,12 @@ class Space(TupleSpaceInterface):
     #: channel ignore this; benchmarks flip it off to measure the
     #: polling-only baseline.
     notify_enabled: bool = True
+    #: How many times one operation bounced by a transaction lock
+    #: (``TXN-LOCKED`` probe answers) is transparently resubmitted after
+    #: lock resolution before giving up.  Locks carry ordered expirations
+    #: and expired ones are force-resolved, so exhausting this bound means
+    #: pathological lock churn, not a wedged transaction.
+    txn_lock_retries: int = 128
 
     # ------------------------------------------------------------------
     # Backend hooks
@@ -129,6 +136,100 @@ class Space(TupleSpaceInterface):
     @abc.abstractmethod
     def snapshot(self) -> tuple[Entry, ...]:
         """All entries currently stored across the whole deployment."""
+
+    # ------------------------------------------------------------------
+    # Transaction-lock resolution
+    # ------------------------------------------------------------------
+
+    def _resolving(
+        self,
+        operation: str,
+        submit_once: Callable[[], OperationFuture],
+        process: Hashable,
+    ) -> OperationFuture:
+        """Wrap a probe submission with transparent ``TXN-LOCKED`` retry.
+
+        A replica bounces any ordinary operation that touches a name held
+        by an in-flight transaction with a ``(TXN-LOCKED, conflict)``
+        payload instead of executing it (the bounce is itself an ordered
+        op, so it ticks the lock-expiry clock).  The conflict names the
+        holder — ``(txn_key, coordinator_shard, expired)`` — and this
+        wrapper resolves it (:meth:`_resolve_lock`: wait for a live
+        holder, force-abort an expired one at its coordinator) and
+        resubmits, bounded by :attr:`txn_lock_retries`.  Callers above the
+        wrapper never see the bounce: locks are invisible except as
+        latency, exactly like the brief exclusive section of any other
+        linearizable operation.
+        """
+        first = submit_once()
+        if first.done and first.exception is None:
+            payload = first.result()
+            if not (isinstance(payload, tuple) and len(payload) == 2 and payload[0] == TXN_LOCKED):
+                return first
+        composite = OperationFuture(
+            operation=operation,
+            submitted_at=first.submitted_at,
+            request_id=first.request_id,
+        )
+        attempts = 0
+
+        def on_done(probe: OperationFuture) -> None:
+            nonlocal attempts
+            if composite.done:
+                return
+            if probe.exception is not None:
+                composite._complete(self._now(), exception=probe.exception)
+                return
+            payload = probe.result()
+            if not (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == TXN_LOCKED
+            ):
+                composite.shard = probe.shard
+                if composite.request_id is None:
+                    composite.request_id = probe.request_id
+                composite._complete(self._now(), result=payload)
+                return
+            attempts += 1
+            if attempts >= self.txn_lock_retries:
+                composite._complete(
+                    self._now(),
+                    exception=TupleSpaceError(
+                        f"{operation} still blocked by transaction locks after "
+                        f"{attempts} resolution attempts"
+                    ),
+                )
+                return
+            self._resolve_lock(payload[1], process, retry)
+
+        def retry() -> None:
+            if composite.done:
+                return
+            probe = submit_once()
+            probe.add_done_callback(on_done)
+
+        first.add_done_callback(on_done)
+        return composite
+
+    def _submit_probe_resolving(
+        self, operation: str, arguments: tuple, process: Hashable
+    ) -> OperationFuture:
+        return self._resolving(
+            operation,
+            lambda: self._submit_probe(operation, arguments, process),
+            process,
+        )
+
+    def _resolve_lock(
+        self, conflict: Any, process: Hashable, retry: Callable[[], None]
+    ) -> None:
+        """Backend hook: clear (or outwait) one lock conflict, then call
+        ``retry``.  The default just waits one poll interval — enough for
+        a live transaction to finish; the sharded backend overrides this
+        to force-resolve *expired* holders at their replicated
+        coordinator, which is what makes the protocol non-blocking."""
+        self._schedule(self.default_poll_interval, retry)
 
     # ------------------------------------------------------------------
     # Future-first API
@@ -160,7 +261,16 @@ class Space(TupleSpaceInterface):
                     f"timeout/poll_interval only apply to blocking reads, "
                     f"not {operation!r}"
                 )
-            future = self._submit_probe(operation, tuple(arguments), process)
+            future = self._submit_probe_resolving(operation, tuple(arguments), process)
+        elif operation == "transfer":
+            if timeout is not None or poll_interval is not None:
+                raise TupleSpaceError(
+                    "timeout/poll_interval only apply to blocking reads, "
+                    "not 'transfer'"
+                )
+            take_template, put_entry = arguments
+            legs = (("in", take_template), ("out", put_entry))
+            future = self._submit_txn_tracked(legs, process)
         elif operation in BLOCKING_OPERATIONS:
             future = self._submit_blocking(
                 operation,
@@ -234,6 +344,12 @@ class Space(TupleSpaceInterface):
         # remembered and serviced as soon as the in-flight probe resolves.
         probing = False
         wake_pending = False
+        # Whether the in-flight probe was triggered by a push wake-up: a
+        # wake followed by a *miss* means the tuple moved — possibly
+        # consumed by a transaction committing on a different shard than
+        # the waiter that pushed — so the soft waiter registrations are
+        # refreshed before going back to sleep (see WaiterHandle.rearm).
+        wake_probe = False
         # Generation token of the scheduled fallback: a wake-triggered
         # probe reschedules the fallback, and the superseded timer must
         # not spawn a second concurrent probe chain.
@@ -249,7 +365,7 @@ class Space(TupleSpaceInterface):
             if future.done or probing:
                 return
             probing = True
-            probe = self._submit_probe(probe_operation, (template,), process)
+            probe = self._submit_probe_resolving(probe_operation, (template,), process)
             if future.request_id is None:
                 future.request_id = probe.request_id
             probe.add_done_callback(resolve)
@@ -265,7 +381,9 @@ class Space(TupleSpaceInterface):
             self._schedule(delay, lambda: fallback(token))
 
         def resolve(probe: OperationFuture) -> None:
-            nonlocal rounds, probing, wake_pending
+            nonlocal rounds, probing, wake_pending, wake_probe
+            was_wake = wake_probe
+            wake_probe = False
             probing = False
             if future.done:
                 return
@@ -300,11 +418,21 @@ class Space(TupleSpaceInterface):
                 )
                 return
             rounds += 1
+            if was_wake and handle is not None:
+                # Woken, re-probed, missed: the match was consumed out from
+                # under us (a competing in_, or a transactional in_ leg
+                # committing on another shard).  The registrations behind
+                # the wake are soft state that may meanwhile have been shed
+                # (state transfer, restart), so refresh them — otherwise
+                # this read silently degrades to the capped-interval
+                # polling fallback for the rest of its life.
+                handle.rearm()
             if wake_pending:
                 # A push arrived while this probe was in flight (probably
                 # racing another consumer for the same tuple): re-probe
                 # right away instead of sleeping on it.
                 wake_pending = False
+                wake_probe = True
                 attempt()
                 return
             if handle is not None:
@@ -323,12 +451,13 @@ class Space(TupleSpaceInterface):
             # f+1 replicas vouched a match landed; re-verify through the
             # normal voted probe path (one round trip) rather than
             # trusting the pushed entry, which may already be consumed.
-            nonlocal wake_pending
+            nonlocal wake_pending, wake_probe
             if future.done:
                 return
             if probing:
                 wake_pending = True
                 return
+            wake_probe = True
             attempt()
 
         if self.notify_enabled:
@@ -362,7 +491,7 @@ class Space(TupleSpaceInterface):
     # ------------------------------------------------------------------
 
     def _execute(self, operation: str, arguments: tuple, process: Hashable) -> tuple[str, Any]:
-        future = self._submit_probe(operation, tuple(arguments), process)
+        future = self._submit_probe_resolving(operation, tuple(arguments), process)
         self._drive(future)
         return future.result()
 
@@ -432,6 +561,124 @@ class Space(TupleSpaceInterface):
         self._drive(future)
         status, value = future.result()
         return value
+
+    # ------------------------------------------------------------------
+    # Transactions (repro.txn)
+    # ------------------------------------------------------------------
+
+    def transact(self, process: Hashable = None) -> Any:
+        """Open a transaction: a staged multi-leg atomic operation.
+
+        Returns a :class:`repro.txn.Txn` handle.  Stage legs by chaining
+        ``.out(entry)`` / ``.rd(template)`` / ``.in_(template)`` /
+        ``.cas(template, entry)`` / ``.nix(template)``, then ``.commit()``
+        — all legs take effect at one linearization point, or none do (the
+        first refusing leg is reported in the abort reason).  On the
+        sharded backend legs spanning several shards commit through a
+        replicated-coordinator atomic commit; the protocol is non-blocking
+        — every lock carries an ordered expiration, and any blocked client
+        can force an expired transaction to resolve at its (replicated,
+        hence crash-tolerant) coordinator group.
+        """
+        from repro.txn.manager import Txn
+
+        return Txn(self, process)
+
+    def transfer(
+        self, take_template: Template, put_tuple: Entry, *, process: Hashable = None
+    ) -> Any:
+        """Atomically consume a match of ``take_template`` and insert
+        ``put_tuple`` — the canonical two-leg (often two-shard)
+        transaction.  Returns the committed :class:`~repro.txn.TxnOutcome`
+        or raises :class:`~repro.errors.TxnAbortedError` (no match on the
+        take side, a policy denial on either leg)."""
+        from repro.txn.manager import Txn
+
+        txn = Txn(self, process).in_(take_template).out(put_tuple)
+        return txn.commit().raise_for_abort()
+
+    def submit_transfer(
+        self, take_template: Template, put_tuple: Entry, **options: Any
+    ) -> OperationFuture:
+        return self.submit("transfer", (take_template, put_tuple), **options)
+
+    def _submit_txn(self, legs: tuple, process: Hashable) -> OperationFuture:
+        """Backend hook: submit one normalized leg sequence atomically."""
+        raise TupleSpaceError(
+            f"the {self.backend} backend does not support transactions"
+        )
+
+    def _submit_txn_tracked(self, legs: tuple, process: Hashable) -> OperationFuture:
+        """Submit a transaction and account its outcome (stats + metrics)."""
+        from repro.txn.legs import normalize_legs
+
+        future = self._submit_txn(normalize_legs(legs), process)
+        future.add_done_callback(self._record_txn)
+        return future
+
+    def _txn_state(self) -> dict[str, Any]:
+        state = getattr(self, "_txn_stats", None)
+        if state is None:
+            state = self._txn_stats = {
+                "committed": 0,
+                "aborted": {},
+                "commit_latency": {"count": 0, "total": 0.0, "max": 0.0},
+            }
+        return state
+
+    def _txn_meters(self) -> tuple[Any, Any, Any]:
+        meters = getattr(self, "_txn_metrics", None)
+        if meters is None:
+            registry = self.observability.registry
+            meters = self._txn_metrics = (
+                registry.counter(
+                    "txn_committed_total", "Transactions that committed"
+                ).labels(),
+                registry.counter(
+                    "txn_aborted_total", "Transactions that aborted, by reason kind"
+                ),
+                registry.histogram(
+                    "txn_commit_latency", "Backend-time latency of txn commits"
+                ).labels(),
+            )
+        return meters
+
+    @staticmethod
+    def _txn_abort_label(reason: Any) -> str:
+        # Bounded label space: only the reason *kind* (its leading tag),
+        # never the payload — policy details and lock keys are unbounded.
+        if isinstance(reason, tuple) and reason and isinstance(reason[0], str):
+            return reason[0]
+        return type(reason).__name__ if reason is not None else "unknown"
+
+    def _record_txn(self, future: OperationFuture) -> None:
+        """Completion hook of every tracked transaction: passive accounting
+        only — it never touches the event loop, so same-seed traces are
+        byte-identical with or without transaction instrumentation."""
+        state = self._txn_state()
+        committed, aborted, latency = self._txn_meters()
+        if future.exception is not None:
+            label = type(future.exception).__name__
+            state["aborted"][label] = state["aborted"].get(label, 0) + 1
+            aborted.labels(reason=label).inc()
+            return
+        payload = future.result()
+        value = payload[1] if isinstance(payload, tuple) and len(payload) == 2 else None
+        if isinstance(value, tuple) and value and value[0] == "committed":
+            state["committed"] += 1
+            committed.inc()
+            elapsed = future.latency
+            if elapsed is not None:
+                bucket = state["commit_latency"]
+                bucket["count"] += 1
+                bucket["total"] += elapsed
+                bucket["max"] = max(bucket["max"], elapsed)
+                latency.observe(elapsed)
+            return
+        reason = value[1] if isinstance(value, tuple) and len(value) > 1 else None
+        label = self._txn_abort_label(reason)
+        state["aborted"][label] = state["aborted"].get(label, 0) + 1
+        aborted.labels(reason=label).inc()
 
     # ------------------------------------------------------------------
     # Reactive API (repro.notify)
@@ -542,6 +789,12 @@ class Space(TupleSpaceInterface):
         if obs.enabled:
             report["metrics"] = obs.registry.snapshot()
             report["tracing"] = obs.tracer.statistics()
+        state = self._txn_state()
+        report["txn"] = {
+            "committed": state["committed"],
+            "aborted": dict(state["aborted"]),
+            "commit_latency": dict(state["commit_latency"]),
+        }
         report.update(self._stats_extra())
         return report
 
@@ -623,6 +876,17 @@ class BoundSpace(TupleSpaceInterface):
 
     def watch(self, template: Template, **options: Any) -> Subscription:
         return self._space.watch(template, process=self._process, **options)
+
+    def transact(self) -> Any:
+        return self._space.transact(process=self._process)
+
+    def transfer(self, take_template: Template, put_tuple: Entry) -> Any:
+        return self._space.transfer(take_template, put_tuple, process=self._process)
+
+    def submit_transfer(
+        self, take_template: Template, put_tuple: Entry, **options: Any
+    ) -> OperationFuture:
+        return self.submit("transfer", (take_template, put_tuple), **options)
 
     def out(self, entry: Entry) -> Any:
         return self._space.out(entry, process=self._process)

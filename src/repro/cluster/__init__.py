@@ -17,8 +17,9 @@ replica groups ordering disjoint request streams in parallel —
 * :mod:`repro.cluster.client` — :class:`ShardedClient` /
   :class:`ShardedClientView`: one client identity whose operations are
   routed to the owning group (templates with wildcard name fields raise
-  :class:`~repro.errors.CrossShardError` — scatter-gather reads are the
-  documented follow-up).
+  :class:`~repro.errors.CrossShardError` here — the unified API resolves
+  them instead: scatter-gather reads, and atomic transactions for
+  wildcard/cross-shard ``cas`` via ``Space.transact``).
 
 Quick start::
 

@@ -8,9 +8,11 @@ replica group — the ``f + 1`` reply vote then runs against that group's
 replicas exactly as in the single-group deployment.  Templates whose name
 field is a wildcard raise :class:`~repro.errors.CrossShardError` at
 submission time (see the routing module); the unified API's
-:class:`~repro.api.ShardedSpace` sits above this client and resolves
-wildcard-name ``rdp``/``inp`` by scatter-gathering over every group
-(using this client's per-request ``replica_ids`` override).
+:class:`~repro.api.ShardedSpace` sits above this client and resolves the
+multi-shard forms (using this client's per-request ``replica_ids``
+override): wildcard-name ``rdp``/``inp`` by scatter-gathering over every
+group, wildcard-name and cross-shard ``cas`` as atomic transactions via
+``Space.transact`` (:mod:`repro.txn`).
 
 :class:`ShardedClientView` is the tuple-space facade over that client; it
 is the single-group :class:`~repro.replication.service.ReplicatedClientView`
@@ -113,6 +115,48 @@ class ShardedClientView(ReplicatedClientView):
     name fields surface as :class:`~repro.errors.CrossShardError` from the
     underlying routing client.
     """
+
+    def _resolve_lock_sync(self, conflict: Any) -> None:
+        """Synchronous lock resolution: outwait a live holder, force an
+        expired one at its replicated coordinator group, then apply the
+        recorded outcome at every participant group (releasing the locks).
+        The synchronous twin of ``ShardedSpace._resolve_lock``."""
+        service = self._service
+        if not (isinstance(conflict, (tuple, list)) and len(conflict) == 3):
+            service.network.run_for(self.default_poll_interval)
+            return
+        txn_key, coordinator_shard, expired = conflict
+        if (
+            not expired
+            or not isinstance(coordinator_shard, int)
+            or not 0 <= coordinator_shard < service.n_shards
+            or not isinstance(txn_key, (tuple, list))
+        ):
+            service.network.run_for(self.default_poll_interval)
+            return
+        txn_id = tuple(txn_key)
+        forced = self._invoke_at(
+            coordinator_shard, "txn_force", (txn_id,)
+        )
+        value = forced[1] if isinstance(forced, tuple) and len(forced) == 2 else None
+        if not (isinstance(value, tuple) and len(value) == 4 and value[0] == "decided"):
+            service.network.run_for(self.default_poll_interval)
+            return
+        _tag, outcome, _reason, participants = value
+        for shard in sorted(
+            {s for s in participants if isinstance(s, int) and 0 <= s < service.n_shards}
+        ):
+            self._invoke_at(shard, "txn_apply", (txn_id, outcome))
+
+    def _invoke_at(self, shard: int, operation: str, arguments: tuple) -> Any:
+        """One synchronous request addressed to ``shard``'s replica group."""
+        pending = self._client.submit(
+            operation,
+            arguments,
+            replica_ids=self._service.group(shard).replica_ids,
+        )
+        self._service.network.run_until(lambda: pending.done)
+        return pending.result()
 
     def __repr__(self) -> str:
         return f"ShardedClientView(process={self.process!r})"

@@ -21,8 +21,10 @@ shard count) to a shard id.  Three policies ship with the library:
 
 Templates whose name field is a wildcard or formal match tuples on every
 shard; they cannot be routed to a single group and raise
-:class:`~repro.errors.CrossShardError` (scatter-gather reads are the
-documented follow-up).
+:class:`~repro.errors.CrossShardError` at this layer.  The unified API
+(:func:`repro.api.connect`) resolves the multi-shard forms above routing:
+wildcard-name ``rdp``/``inp`` by scatter-gather, wildcard-name and
+cross-shard ``cas`` as atomic transactions (``Space.transact``).
 """
 
 from __future__ import annotations
@@ -215,16 +217,18 @@ class ShardMap:
             if not is_defined(template_arg.fields[0]):
                 raise CrossShardError(
                     f"cas template {template_arg!r} has a wildcard/formal "
-                    "name field: a multi-shard cas would need a cross-group "
-                    "atomic commit and stays out of scope; only wildcard-name "
-                    "rdp/inp are supported cross-shard, via scatter-gather on "
-                    "the unified API (repro.api.connect)"
+                    "name field: a multi-shard cas needs a cross-group atomic "
+                    "commit, which the unified API (repro.api.connect) runs "
+                    "as a transaction — use Space.cas there, or stage it "
+                    "explicitly with Space.transact"
                 )
             target = self.shard_of_tuple(entry_arg)
             if self.shard_of_tuple(template_arg) != target:
                 raise CrossShardError(
                     f"cas template {template_arg!r} and entry {entry_arg!r} "
-                    "route to different shards"
+                    "route to different shards; the unified API commits this "
+                    "pair atomically as a transaction (Space.cas / "
+                    "Space.transact)"
                 )
             return target
         raise CrossShardError(f"operation {operation!r} cannot be routed by tuple name")

@@ -56,6 +56,7 @@ class ShardedPEATS:
         view_change_timeout: float = 50.0,
         max_batch_size: int = 8,
         checkpoint_interval: int = 8,
+        txn_ttl_ops: int | None = None,
         obs: Any = None,
     ) -> None:
         """``replica_faults`` keys may be ``(shard, index)`` pairs or flat
@@ -111,6 +112,7 @@ class ShardedPEATS:
                 view_change_timeout=view_change_timeout,
                 max_batch_size=max_batch_size,
                 checkpoint_interval=checkpoint_interval,
+                txn_ttl_ops=txn_ttl_ops,
                 obs=self.obs,
             )
             for shard in range(shards)

@@ -28,6 +28,7 @@ __all__ = [
     "QuorumError",
     "ViewChangeError",
     "CrossShardError",
+    "TxnAbortedError",
     "SimulationError",
 ]
 
@@ -152,10 +153,26 @@ class CrossShardError(ReplicationError):
 
     Tuple-space operations are routed to replica groups by the tuple's
     *name* (its first field).  A template whose name field is a wildcard or
-    formal matches tuples on every shard, so it has no single owner; until
-    scatter-gather reads exist, such operations are rejected with this
-    error.
+    formal matches tuples on every shard, so it has no single owner.  The
+    unified API (:func:`repro.api.connect`) resolves the multi-shard forms
+    itself — wildcard-name ``rdp``/``inp`` by scatter-gather, wildcard-name
+    and cross-shard ``cas`` as atomic transactions — so this error now
+    surfaces only from the lower-level routing client, and from transaction
+    legs that genuinely cannot be placed (see ``Space.transact``).
     """
+
+
+class TxnAbortedError(ReplicationError):
+    """Raised by ``TxnOutcome.raise_for_abort`` when a transaction aborted.
+
+    Carries the wire-safe abort reason (first refusing leg, policy detail,
+    lock conflict, or ``("expired",)`` for a coordinator force-abort) on
+    ``.reason``.
+    """
+
+    def __init__(self, message: str, *, reason: object = None) -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class SimulationError(ReproError):

@@ -83,6 +83,10 @@ MESSAGE_CLASSES: dict[str, type[Any]] = {
         _messages.RegisterWaiter,
         _messages.CancelWaiter,
         _messages.Notify,
+        _messages.TxnPrepare,
+        _messages.TxnVote,
+        _messages.TxnDecision,
+        _messages.TxnAck,
     )
 }
 

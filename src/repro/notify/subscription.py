@@ -44,13 +44,29 @@ class WatchEvent:
 
 
 class WaiterHandle:
-    """Cancellable handle over one armed waiter (idempotent cancel)."""
+    """Cancellable handle over one armed waiter (idempotent cancel).
 
-    __slots__ = ("waiter_id", "_cancel", "_cancelled")
+    ``rearm`` — when the backend provides one — re-broadcasts the waiter
+    registrations.  Registrations are soft state (they survive neither a
+    replica's state transfer nor a restart), so a blocking read whose
+    wake-triggered re-probe *missed* re-arms before going back to sleep:
+    the miss is evidence the tuple moved — possibly consumed by a
+    transaction on a different shard than this waiter's wake came from —
+    and the cheap re-registration restores the push path for the next
+    insert instead of silently degrading to the capped polling fallback.
+    """
 
-    def __init__(self, waiter_id: int, cancel: Callable[[], None]) -> None:
+    __slots__ = ("waiter_id", "_cancel", "_rearm", "_cancelled")
+
+    def __init__(
+        self,
+        waiter_id: int,
+        cancel: Callable[[], None],
+        rearm: Callable[[], None] | None = None,
+    ) -> None:
         self.waiter_id = waiter_id
         self._cancel = cancel
+        self._rearm = rearm
         self._cancelled = False
 
     @property
@@ -62,6 +78,13 @@ class WaiterHandle:
             return
         self._cancelled = True
         self._cancel()
+
+    def rearm(self) -> None:
+        """Refresh the registrations on every target replica (idempotent
+        server-side; a no-op when the backend gave no rearm callback)."""
+        if self._cancelled or self._rearm is None:
+            return
+        self._rearm()
 
     def __repr__(self) -> str:
         state = "cancelled" if self._cancelled else "armed"

@@ -39,6 +39,8 @@ PHASES: Tuple[str, ...] = (
     "prepare",
     "commit",
     "execute",
+    "txn-prepare",
+    "txn-decision",
     "reply",
     "notify",
     "complete",

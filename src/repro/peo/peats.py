@@ -171,6 +171,28 @@ class PEATS(PolicyEnforcedObject):
             return (DENIED, result.reason)
         return ("OK", result)
 
+    def execute_transaction(self, legs: tuple, *, process: Any = None) -> tuple[str, Any]:
+        """Execute a staged leg sequence atomically (the local fast path).
+
+        The whole resolve/apply cycle runs under the object lock, so the
+        legs observe and mutate one linearization point — exactly the
+        atomicity a single ordered ``txn_exec`` request gives the
+        replicated deployments.  Policy is enforced per leg (each leg is
+        authorized as its non-transactional equivalent), and the payload
+        mirrors the replica's: ``("OK", ("committed", results))`` or
+        ``("OK", ("aborted", reason))`` with the first refusing leg in the
+        reason.
+        """
+        from repro.txn.legs import apply_legs, normalize_legs, resolve_legs
+
+        legs = normalize_legs(legs)
+        with self._lock:
+            ok, reason, pins = resolve_legs(self._monitor, self._space, process, legs)
+            if not ok:
+                return ("OK", ("aborted", reason))
+            results, _inserted = apply_legs(self._space, legs, pins)
+            return ("OK", ("committed", results))
+
     # ------------------------------------------------------------------
     # Introspection (not policy mediated — used by tests and benchmarks;
     # a real deployment would restrict this to the service administrator).

@@ -31,6 +31,7 @@ many client identities, not from pipelining one.
 from __future__ import annotations
 
 import collections
+import dataclasses
 import threading
 from typing import Any, Callable, Hashable, Optional, TYPE_CHECKING
 
@@ -45,13 +46,25 @@ from repro.replication.messages import (
     ClientRequest,
     Notify,
     RegisterWaiter,
+    TxnAck,
+    TxnDecision,
+    TxnPrepare,
+    TxnVote,
     authenticate_request,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.net.transport import Transport
 
-__all__ = ["PendingRequest", "PEATSClient"]
+__all__ = ["PendingRequest", "PEATSClient", "TXN_PUSH_TYPES", "TXN_PUSH_RETENTION"]
+
+#: The replica→owner push messages of the transaction commit protocol.
+TXN_PUSH_TYPES = (TxnPrepare, TxnVote, TxnDecision, TxnAck)
+
+#: Transactions whose push piles a client retains (oldest pruned first);
+#: pushes are an outcome *cross-check* channel, so pruning costs nothing
+#: but a late observer's corroboration.
+TXN_PUSH_RETENTION = 256
 
 
 class PendingRequest(OperationFuture):
@@ -162,6 +175,12 @@ class PEATSClient:
         # waiter tables (repro.notify).
         self._waiters: dict[int, ClientWaiter] = {}
         self._next_waiter_id = 0
+        # Transaction pushes by txn_id: each entry dedupes one push per
+        # (message type, sender, shard) so a replica gets exactly one vote
+        # per protocol step.  Bounded to TXN_PUSH_RETENTION transactions.
+        self._txn_pushes: dict[tuple, list] = collections.OrderedDict()
+        self._txn_watchers: dict[tuple, Callable[[Hashable, Any], None]] = {}
+        self._next_txn_seq = 0
         network.register(self._address, self._on_message)
 
     @property
@@ -187,6 +206,9 @@ class PEATSClient:
     def _on_message(self, sender: Hashable, payload: Any) -> None:
         if isinstance(payload, Notify):
             self._on_notify(sender, payload)
+            return
+        if isinstance(payload, TXN_PUSH_TYPES):
+            self._on_txn_push(sender, payload)
             return
         if not isinstance(payload, ClientReply):
             return
@@ -234,6 +256,94 @@ class PEATSClient:
             waiter.woken = True
             self._obs_wake_latency.observe(self.network.now - waiter.armed_at)
         waiter.on_event(entry, payload.event)
+
+    def _on_txn_push(self, sender: Hashable, payload: Any) -> None:
+        """Record one transaction push (TxnPrepare/Vote/Decision/Ack).
+
+        Pushes are the owner-addressed broadcast leg of the commit
+        protocol: every replica that orders a transaction step pushes the
+        outcome to the transaction's *owner*, so the owner learns of a
+        decision (including a force-abort a stranger resolved) even while
+        its own driver is idle.  Like replies and notifications, a push
+        counts only from the replica it names on its authenticated link,
+        addressed to this client, once per (step, replica, shard) — so a
+        certificate needs ``f + 1`` distinct replicas and ``f`` liars can
+        never assemble one (see :meth:`txn_push_vote`).
+        """
+        if payload.replica != sender or payload.client != self.client_id:
+            return
+        txn_id = payload.txn_id
+        if not isinstance(txn_id, tuple):
+            return
+        pile = self._txn_pushes.get(txn_id)
+        if pile is None:
+            pile = self._txn_pushes[txn_id] = []
+            while len(self._txn_pushes) > TXN_PUSH_RETENTION:
+                self._txn_pushes.pop(next(iter(self._txn_pushes)))
+        slot = (type(payload).__name__, sender, getattr(payload, "shard", None))
+        if any(recorded_slot == slot for recorded_slot, _ in pile):
+            return
+        pile.append((slot, payload))
+        watcher = self._txn_watchers.get(txn_id)
+        if watcher is not None:
+            watcher(sender, payload)
+
+    def mint_txn_id(self) -> tuple:
+        """A fresh ``(client_id, seq)`` transaction identity.
+
+        Sequence numbers are minted under the same lock as request ids —
+        a retried cross-shard transaction is a *new* transaction to every
+        replica table, so ids must never repeat within a client identity.
+        """
+        with self._mint_lock:
+            seq = self._next_txn_seq
+            self._next_txn_seq += 1
+        return (self.client_id, seq)
+
+    def watch_txn(
+        self, txn_id: tuple, on_push: Callable[[Hashable, Any], None]
+    ) -> None:
+        """Fire ``on_push(sender, payload)`` for each fresh push of ``txn_id``."""
+        self._txn_watchers[txn_id] = on_push
+
+    def unwatch_txn(self, txn_id: tuple) -> None:
+        self._txn_watchers.pop(txn_id, None)
+
+    def txn_pushes(self, txn_id: tuple) -> tuple:
+        """Every recorded push for ``txn_id`` (deduped per step/replica/shard)."""
+        return tuple(payload for _, payload in self._txn_pushes.get(txn_id, ()))
+
+    def txn_push_vote(
+        self, txn_id: tuple, message_type: type, *, shard: Any = None
+    ) -> Optional[tuple]:
+        """The first push content vouched by ``f + 1`` distinct replicas.
+
+        Content is compared with the ``replica`` field masked out (each
+        replica names itself), so the vote demands byte-identical protocol
+        substance from ``f + 1`` different senders.  ``shard`` narrows the
+        tally to one participant group's pushes (votes and acks carry it).
+        Returns ``(payload, replica_ids)`` — the certified content plus
+        the distinct replicas that vouched for it (a commit's evidence) —
+        or ``None`` while no certificate exists.
+        """
+        tally: dict[str, list] = collections.defaultdict(list)
+        for slot, payload in self._txn_pushes.get(txn_id, ()):
+            if not isinstance(payload, message_type):
+                continue
+            if shard is not None and getattr(payload, "shard", None) != shard:
+                continue
+            content = digest(
+                tuple(
+                    (field.name, getattr(payload, field.name))
+                    for field in dataclasses.fields(payload)
+                    if field.name != "replica"
+                )
+            )
+            tally[content].append(payload)
+        for matching in tally.values():
+            if len(matching) >= self.f + 1:
+                return matching[0], tuple(push.replica for push in matching)
+        return None
 
     def _voted_result(self, request_key: tuple, pending: PendingRequest) -> Optional[Any]:
         """Return the result vouched for by ``f + 1`` matching replies."""
@@ -344,6 +454,27 @@ class PEATSClient:
         )
         self.network.broadcast(self._address, targets, message)
         return waiter
+
+    def rearm_waiter(self, waiter_id: int) -> None:
+        """Re-broadcast one waiter's registration to its target replicas.
+
+        Registrations are soft state: a replica rebuilt from a state
+        transfer has lost them, and a push suppressed (or consumed by a
+        cross-shard transaction before the re-probe landed) leaves the
+        client unsure its registrations still stand.  Re-registering is
+        idempotent server-side, so a wake-then-miss blocking read calls
+        this before idling back at its fallback interval.
+        """
+        waiter = self._waiters.get(waiter_id)
+        if waiter is None:
+            return
+        message = RegisterWaiter(
+            client=self.client_id,
+            waiter_id=waiter_id,
+            template=waiter.template,
+            operation=waiter.operation,
+        )
+        self.network.broadcast(self._address, waiter.targets, message)
 
     def disarm_waiter(self, waiter_id: int) -> None:
         """Cancel one armed waiter on the client and every target replica."""

@@ -17,12 +17,33 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import io
 import pickle
 from typing import Any, Hashable
 
 from repro.errors import AuthenticationError
 
-__all__ = ["KeyStore", "MessageAuthenticator", "digest"]
+__all__ = ["KeyStore", "MessageAuthenticator", "canonical_bytes", "digest"]
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """Serialise ``payload`` so that equal *content* gives equal bytes.
+
+    ``pickle.dumps`` memoises: when the same object appears twice in a
+    graph the second occurrence is emitted as a back-reference, so two
+    payloads that compare equal but share objects differently serialise
+    to different bytes.  Replicas compare digests of independently built
+    values (checkpoint states, replies voted on by clients), where object
+    identity is an execution-history accident — a cached result stored
+    twice on one replica, rebuilt on another.  Disabling the memo makes
+    the encoding a pure function of content.  Payloads are protocol data
+    (tuples, entries, scalars) and never cyclic, which ``fast`` requires.
+    """
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=4)
+    pickler.fast = True
+    pickler.dump(payload)
+    return buffer.getvalue()
 
 
 def digest(payload: Any) -> str:
@@ -31,8 +52,7 @@ def digest(payload: Any) -> str:
     Used both for request digests in the ordering protocol and for reply
     voting at the client.
     """
-    serialised = pickle.dumps(payload, protocol=4)
-    return hashlib.sha256(serialised).hexdigest()
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
 
 
 class KeyStore:
@@ -68,8 +88,10 @@ class MessageAuthenticator:
     def mac(self, sender: Hashable, receiver: Hashable, payload: Any) -> str:
         """MAC of ``payload`` under the sender/receiver shared key."""
         key = self._keystore.shared_key(sender, receiver)
-        serialised = pickle.dumps(payload, protocol=4)
-        return hmac.new(key, serialised, hashlib.sha256).hexdigest()
+        # Canonical bytes, not a plain pickle: the receiver recomputes the
+        # MAC over its own decoded copy of the payload, whose object graph
+        # need not share sub-objects the way the sender's did.
+        return hmac.new(key, canonical_bytes(payload), hashlib.sha256).hexdigest()
 
     def verify(self, sender: Hashable, receiver: Hashable, payload: Any, tag: str) -> bool:
         """Constant-time verification of a received MAC."""

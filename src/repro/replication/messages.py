@@ -28,6 +28,10 @@ __all__ = [
     "RegisterWaiter",
     "CancelWaiter",
     "Notify",
+    "TxnPrepare",
+    "TxnVote",
+    "TxnDecision",
+    "TxnAck",
     "NULL_REQUEST_CLIENT",
     "null_request",
     "null_batch",
@@ -203,6 +207,85 @@ class Notify:
     event: tuple
     entry: Any
     entry_digest: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TxnPrepare:
+    """One replica's push that a transaction was recorded at its coordinator.
+
+    Emitted by every correct replica of the *coordinator group* when the
+    ordered ``txn_prepare`` request executes.  ``participants`` is the
+    shard set the coordinator recorded for ``txn_id`` — the authoritative
+    participant list a waker or recovery client re-verifies against (a
+    decision only ever covers exactly these shards), and ``expires_at`` is
+    the coordinator-local executed-op count after which any client may
+    force-resolve an undecided transaction.  Like every transaction push,
+    the client acts only on ``f + 1`` matching copies from distinct
+    replicas of the group.
+    """
+
+    replica: Hashable
+    client: Hashable
+    txn_id: tuple
+    participants: tuple
+    expires_at: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TxnVote:
+    """One participant replica's push of its group's ordered vote.
+
+    ``vote`` is ``"yes"`` (the group locked every touched name and pinned
+    the matched entries) or ``"no"`` with ``reason`` naming the refusing
+    leg — a policy denial, a missing ``in_``/``rd`` match, or a conflicting
+    lock.  ``pins_digest`` commits the replica to the exact entries it
+    pinned, so ``f + 1`` matching pushes certify both the vote *and* the
+    snapshot the commit will apply against; a lying replica voting both
+    ways produces two singleton piles, never a certificate.
+    """
+
+    replica: Hashable
+    client: Hashable
+    txn_id: tuple
+    shard: int
+    vote: str
+    reason: Any
+    pins_digest: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TxnDecision:
+    """One coordinator replica's push of the recorded outcome.
+
+    ``outcome`` is ``"commit"`` or ``"abort"``; the coordinator records at
+    most one outcome per transaction (first ordered decision wins, later
+    ones are answered with the recorded outcome), so ``f + 1`` matching
+    pushes are a transferable decision certificate.  The push is addressed
+    to the transaction's *owner*, which is how a client learns its
+    transaction was force-aborted by a lock-expiry resolver it never met.
+    """
+
+    replica: Hashable
+    client: Hashable
+    txn_id: tuple
+    outcome: str
+    reason: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class TxnAck:
+    """One participant replica's push that it applied the decision.
+
+    After ``f + 1`` matching acks per participant group the client knows
+    the commit's effects are durable in that group (locks released, tuples
+    moved) — the transaction is finished, not merely decided.
+    """
+
+    replica: Hashable
+    client: Hashable
+    txn_id: tuple
+    shard: int
+    outcome: str
 
 
 @dataclasses.dataclass(frozen=True)

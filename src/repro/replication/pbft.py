@@ -67,6 +67,7 @@ to clients (caught by the client's ``f + 1`` matching-reply vote).
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from typing import Any, Dict, Hashable, Optional, TYPE_CHECKING
 
@@ -88,6 +89,10 @@ from repro.replication.messages import (
     RegisterWaiter,
     StateRequest,
     StateResponse,
+    TxnAck,
+    TxnDecision,
+    TxnPrepare,
+    TxnVote,
     ViewChange,
     null_batch,
     request_auth_payload,
@@ -465,6 +470,46 @@ class OrderingNode:
             ),
         )
 
+    def _drain_txn_pushes(self) -> None:
+        """Push the transaction outcome messages execution queued."""
+        for push in self.application.drain_txn_pushes():
+            self._txn_push(push)
+
+    def _txn_push(self, push: Any) -> None:
+        """Send one replica→owner transaction push (fault modes apply).
+
+        Pushes are the owner-addressed broadcast channel of the commit
+        protocol: a client accepts one only as part of an ``f + 1``
+        matching pile, so — exactly like replies and notifications — each
+        LYING replica corrupts *independently* (its replica id baked into
+        the lie) and ``f`` liars can never assemble a certificate.
+        """
+        if self.is_silent:
+            return
+        if self.fault_mode is ReplicaFaultMode.LYING:
+            if isinstance(push, TxnVote):
+                push = dataclasses.replace(
+                    push,
+                    vote="no" if push.vote == "yes" else "yes",
+                    reason=("LYING", self.replica_id),
+                    pins_digest=digest(("LYING", self.replica_id)),
+                )
+            elif isinstance(push, (TxnDecision, TxnAck)):
+                push = dataclasses.replace(
+                    push,
+                    outcome="abort" if push.outcome == "commit" else "commit",
+                    **(
+                        {"reason": ("LYING", self.replica_id)}
+                        if isinstance(push, TxnDecision)
+                        else {}
+                    ),
+                )
+            elif isinstance(push, TxnPrepare):
+                push = dataclasses.replace(
+                    push, participants=(("LYING", self.replica_id),)
+                )
+        self._send(push.client, push)
+
     def _maybe_drain(self) -> None:
         """Primary: drain unordered requests into batches within the window."""
         if not self.is_primary or self._view_changing or self.is_silent:
@@ -661,6 +706,16 @@ class OrderingNode:
                     self._tracer.record(
                         "execute", request.key, self.replica_id, self.network.now
                     )
+                    # Transaction sub-protocol steps get their own lifecycle
+                    # phases, so a trace timeline shows prepare→decision.
+                    if request.operation == "txn_prepare":
+                        self._tracer.record(
+                            "txn-prepare", request.key, self.replica_id, self.network.now
+                        )
+                    elif request.operation in ("txn_decision", "txn_force"):
+                        self._tracer.record(
+                            "txn-decision", request.key, self.replica_id, self.network.now
+                        )
                 result = self.application.execute(request)
                 self._requests_executed += 1
                 self._obs_executed.inc()
@@ -678,6 +733,7 @@ class OrderingNode:
             # queued notifications must not pile up (_notify re-checks the
             # fault mode before actually sending).
             self._drain_notifications()
+            self._drain_txn_pushes()
             self.last_executed = sequence
             if sequence % self.checkpoint_interval == 0:
                 self._take_checkpoint(sequence)

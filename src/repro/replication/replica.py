@@ -36,47 +36,118 @@ from repro.peo.base import DENIED
 from repro.policy.invocation import Invocation
 from repro.policy.monitor import ReferenceMonitor
 from repro.policy.policy import AccessPolicy
-from repro.replication.messages import ClientRequest
+from repro.replication.messages import (
+    ClientRequest,
+    TxnAck,
+    TxnDecision,
+    TxnPrepare,
+    TxnVote,
+)
 from repro.tspace.augmented import AugmentedTupleSpace
-from repro.tuples import Entry, Template
+from repro.tuples import Entry, Template, is_defined
+from repro.txn.legs import apply_legs, leg_names, resolve_legs
+from repro.txn.state import CoordinatorTable, LockTable, ParticipantTable
 
-__all__ = ["DENIED", "PEATSReplica", "ExecutionResult"]
+__all__ = ["DENIED", "TXN_LOCKED", "PEATSReplica", "ExecutionResult"]
+
+#: Reply status of an operation refused because a prepared cross-shard
+#: transaction holds a conflicting name lock.  The payload carries the
+#: wire-safe ``(txn_id, coordinator_shard, expired)`` triple a client
+#: needs to retry — or, once ``expired`` is true, to force-resolve the
+#: abandoned transaction at its coordinator group.
+TXN_LOCKED = "TXN-LOCKED"
 
 
 class ExecutionResult:
     """The outcome of executing one request on one replica."""
 
-    __slots__ = ("value", "denied", "reason")
+    __slots__ = ("value", "denied", "reason", "locked")
 
-    def __init__(self, value: Any, *, denied: bool = False, reason: str = "") -> None:
+    def __init__(
+        self,
+        value: Any,
+        *,
+        denied: bool = False,
+        reason: str = "",
+        locked: Any = None,
+    ) -> None:
         self.value = value
         self.denied = denied
         self.reason = reason
+        self.locked = locked
 
     def as_payload(self) -> Any:
         """A picklable, comparable representation for reply voting."""
         if self.denied:
             return (DENIED, self.reason)
+        if self.locked is not None:
+            return (TXN_LOCKED, self.locked)
         return ("OK", self.value)
 
     def __repr__(self) -> str:
-        status = "denied" if self.denied else "ok"
+        status = "denied" if self.denied else "locked" if self.locked else "ok"
         return f"ExecutionResult({status}, value={self.value!r})"
 
 
 class PEATSReplica:
     """One replica's copy of the policy-enforced augmented tuple space."""
 
-    #: Operations a replica understands (the augmented tuple space API,
-    #: minus the blocking reads, which a replicated object cannot offer
-    #: without a callback channel).
-    SUPPORTED_OPERATIONS = ("out", "rdp", "inp", "cas")
+    #: Operations a replica understands: the augmented tuple space API
+    #: (minus the blocking reads, which a replicated object cannot offer
+    #: without a callback channel) plus the transaction sub-protocol.
+    #: ``txn_exec`` is the single-group all-or-nothing batch; the
+    #: prepare/vote/decision/force/apply quintet is the cross-shard
+    #: atomic-commit protocol of :mod:`repro.txn`.  Transaction control
+    #: operations are not themselves policy-governed — every staged *leg*
+    #: is authorized individually as its non-transactional equivalent, so
+    #: the PEO can veto any leg but a policy never needs to know the
+    #: commit protocol exists.
+    SUPPORTED_OPERATIONS = (
+        "out",
+        "rdp",
+        "inp",
+        "cas",
+        "txn_exec",
+        "txn_prepare",
+        "txn_vote",
+        "txn_decision",
+        "txn_force",
+        "txn_apply",
+    )
 
-    def __init__(self, replica_id: Any, policy: AccessPolicy, *, obs: Any = None) -> None:
+    #: Executed-op-count lifetime of a prepared transaction's locks and of
+    #: its coordinator record's force-resolution horizon.  Measured on the
+    #: replica's own ordered execution counter — never a clock — so every
+    #: correct replica of a group expires the same transaction at the same
+    #: point of the same request sequence.  Retried probes that bounce off
+    #: a lock are themselves ordered operations, so a wedged name drives
+    #: its own lock toward expiry.
+    TXN_TTL_OPS = 64
+
+    def __init__(
+        self,
+        replica_id: Any,
+        policy: AccessPolicy,
+        *,
+        f: int = 1,
+        txn_ttl_ops: int | None = None,
+        obs: Any = None,
+    ) -> None:
         self.replica_id = replica_id
+        self.f = f
+        self.txn_ttl_ops = self.TXN_TTL_OPS if txn_ttl_ops is None else txn_ttl_ops
         self._policy = policy
         self._space = AugmentedTupleSpace()
         self._monitor = ReferenceMonitor(policy)
+        # Transaction state (repro.txn): all three tables are part of the
+        # replicated state machine — mutated only by ordered requests and
+        # included in capture_state/state_digest, so checkpoints and state
+        # transfer carry in-flight transactions exactly like tuples.
+        self._op_counter = 0
+        self._locks = LockTable()
+        self._txn_coord = CoordinatorTable()
+        self._txn_part = ParticipantTable()
+        self._pending_txn_pushes: list[Any] = []
         # Last executed (request_id, reply payload) per client: PBFT's
         # bounded reply cache (clients issue one request at a time).
         self._last_reply: dict[Any, tuple[int, Any]] = {}
@@ -131,6 +202,11 @@ class PEATSReplica:
         cached = self._last_reply.get(request.client)
         if cached is not None and cached[0] >= request.request_id:
             return cached[1]
+        # The ordered-execution counter is the deterministic clock the
+        # transaction layer measures lock expirations against: every fresh
+        # execution ticks it, every correct replica ticks it at the same
+        # request, and cached retransmissions do not.
+        self._op_counter += 1
         result = self._execute_once(request)
         payload = result.as_payload()
         self._last_reply[request.client] = (request.request_id, payload)
@@ -141,6 +217,8 @@ class PEATSReplica:
         arguments = request.arguments
         if operation not in self.SUPPORTED_OPERATIONS:
             return ExecutionResult(None, denied=True, reason=f"unsupported operation {operation!r}")
+        if operation.startswith("txn_"):
+            return self._execute_txn(request)
         invocation = Invocation(
             process=request.client, operation=operation, arguments=arguments
         )
@@ -158,6 +236,12 @@ class PEATSReplica:
                 node=self._obs_node, operation=operation
             )
         counter.inc()
+        if len(self._locks):
+            conflict = self._locks.conflicting(
+                self._operation_names(operation, arguments), self._op_counter
+            )
+            if conflict is not None:
+                return ExecutionResult(None, locked=conflict)
         if operation == "out":
             result = ExecutionResult(self._space.out(arguments[0]))
             self._collect_matches(arguments[0], request)
@@ -172,6 +256,271 @@ class PEATSReplica:
                 self._collect_matches(arguments[1], request)
             return ExecutionResult((inserted, existing))
         raise AssertionError(f"unreachable operation {operation!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Transactions (repro.txn)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _operation_names(operation: str, arguments: tuple) -> tuple:
+        """The name fields an ordinary operation touches (None = wildcard)."""
+        names: list[Any] = []
+        for argument in arguments:
+            if isinstance(argument, (Entry, Template)) and argument.fields:
+                field = argument.fields[0]
+                names.append(field if is_defined(field) else None)
+        return tuple(names)
+
+    def _txn_push(self, push: Any) -> None:
+        self._pending_txn_pushes.append(push)
+
+    def _execute_txn(self, request: ClientRequest) -> ExecutionResult:
+        operation = request.operation
+        arguments = request.arguments
+        try:
+            if operation == "txn_exec":
+                return self._txn_exec(request, *arguments)
+            if operation == "txn_prepare":
+                return self._txn_prepare(request, *arguments)
+            if operation == "txn_vote":
+                return self._txn_vote(request, *arguments)
+            if operation == "txn_decision":
+                return self._txn_decision(request, *arguments)
+            if operation == "txn_force":
+                return self._txn_force(request, *arguments)
+            return self._txn_apply(request, *arguments)
+        except TypeError:
+            # Malformed argument arity from a faulty client: a deterministic
+            # refusal, never a crashed replica.
+            return ExecutionResult(None, denied=True, reason=f"malformed {operation} arguments")
+
+    def _txn_exec(self, request: ClientRequest, legs: tuple) -> ExecutionResult:
+        """The degenerate one-group transaction: resolve + apply as one
+        ordered operation (the local/replicated/single-shard fast path)."""
+        if len(self._locks):
+            conflict = self._locks.conflicting(
+                tuple(name for leg in legs for name in leg_names(leg)), self._op_counter
+            )
+            if conflict is not None:
+                return ExecutionResult(None, locked=conflict)
+        ok, reason, pins = resolve_legs(self._monitor, self._space, request.client, legs)
+        if not ok:
+            return ExecutionResult(("aborted", reason))
+        results, inserted = apply_legs(self._space, legs, pins)
+        for entry in inserted:
+            self._collect_matches(entry, request)
+        return ExecutionResult(("committed", results))
+
+    def _txn_prepare(
+        self, request: ClientRequest, txn_id: tuple, participants: tuple
+    ) -> ExecutionResult:
+        """Coordinator: record the transaction and its resolution horizon."""
+        record = self._txn_coord.prepare(
+            tuple(txn_id), tuple(participants), self._op_counter + self.txn_ttl_ops
+        )
+        self._txn_push(
+            TxnPrepare(
+                replica=self.replica_id,
+                client=txn_id[0],
+                txn_id=tuple(txn_id),
+                participants=record[0],
+                expires_at=record[1],
+            )
+        )
+        return ExecutionResult(("prepared", record[0], record[1]))
+
+    def _txn_vote(
+        self,
+        request: ClientRequest,
+        txn_id: tuple,
+        coordinator_shard: int,
+        shard: int,
+        legs: tuple,
+    ) -> ExecutionResult:
+        """Participant: order a lock-or-refuse decision on the touched names.
+
+        A *yes* vote locks every touched name and pins the matched entries
+        — the snapshot the commit will apply.  A *no* vote (policy denial,
+        missing ``rd``/``in`` match, conflicting lock) locks nothing and is
+        final: the recorded vote is what a later ``txn_apply`` is checked
+        against, so a lying replica cannot retro-actively "have voted yes".
+        """
+        from repro.replication.crypto import digest
+
+        record = self._txn_part.get(tuple(txn_id))
+        if record is None:
+            names = tuple(name for leg in legs for name in leg_names(leg))
+            conflict = self._locks.conflicting(names, self._op_counter)
+            if conflict is not None:
+                # The full conflict triple rides in the reason so the
+                # refused transaction's driver can resolve the blocker
+                # (force an expired one, back off from a live one).
+                vote, reason, pins = "no", ("locked",) + tuple(conflict), ()
+            else:
+                ok, failure, pins = resolve_legs(
+                    self._monitor, self._space, txn_id[0], legs
+                )
+                if ok:
+                    vote, reason = "yes", None
+                    self._locks.acquire(
+                        tuple(txn_id),
+                        names,
+                        self._op_counter + self.txn_ttl_ops,
+                        coordinator_shard,
+                    )
+                else:
+                    vote, reason, pins = "no", failure, ()
+            record = self._txn_part.vote(
+                tuple(txn_id), shard, tuple(legs), tuple(pins), vote, reason
+            )
+        pins_digest = digest(record[2])
+        self._txn_push(
+            TxnVote(
+                replica=self.replica_id,
+                client=txn_id[0],
+                txn_id=tuple(txn_id),
+                shard=record[0],
+                vote=record[3],
+                reason=record[4],
+                pins_digest=pins_digest,
+            )
+        )
+        return ExecutionResult(("vote", record[3], record[4], pins_digest))
+
+    def _commit_evidence_valid(self, participants: tuple, evidence: tuple) -> bool:
+        """Structural check of a commit's vote certificates.
+
+        Every recorded participant must be covered by a yes-certificate
+        naming at least ``f + 1`` distinct replicas of its group.  The
+        certificates are plain relayed data — the *binding* safety rule is
+        that participants only ever apply legs they themselves voted for
+        and locked — but the structural check stops a buggy client from
+        committing past an incomplete vote round.
+        """
+        try:
+            certified = {}
+            for shard, vote, replicas in evidence:
+                if vote == "yes" and len(set(replicas)) >= self.f + 1:
+                    certified[shard] = True
+            return all(shard in certified for shard in participants)
+        except (TypeError, ValueError):
+            return False
+
+    def _txn_decision(
+        self,
+        request: ClientRequest,
+        txn_id: tuple,
+        outcome: str,
+        reason: Any,
+        evidence: tuple,
+    ) -> ExecutionResult:
+        """Coordinator: order the outcome (commit iff every group voted yes).
+
+        The first ordered decision wins and later ones are answered with
+        the recorded outcome, so no interleaving of a slow owner and a
+        lock-expiry resolver can certify both a commit and an abort for
+        the same transaction.
+        """
+        record = self._txn_coord.get(tuple(txn_id))
+        if record is None:
+            return ExecutionResult(("unknown",))
+        if outcome not in ("commit", "abort"):
+            return ExecutionResult(None, denied=True, reason=f"bad outcome {outcome!r}")
+        if record[2] is None and outcome == "commit":
+            if not self._commit_evidence_valid(record[0], evidence):
+                return ExecutionResult(("invalid-evidence",))
+        decided = self._txn_coord.decide(tuple(txn_id), outcome, reason)
+        assert decided is not None
+        self._txn_push(
+            TxnDecision(
+                replica=self.replica_id,
+                client=txn_id[0],
+                txn_id=tuple(txn_id),
+                outcome=decided[2],
+                reason=decided[3],
+            )
+        )
+        return ExecutionResult(("decided", decided[2], decided[3], decided[0]))
+
+    def _txn_force(self, request: ClientRequest, txn_id: tuple) -> ExecutionResult:
+        """Coordinator: resolve an expired transaction (abort iff undecided).
+
+        Any client blocked on an expired lock may submit this; the
+        non-blocking property of the protocol rests here — a vanished
+        owner's transaction is decided *at the replicated coordinator*, so
+        neither a crashed client nor ``f`` faulty replicas can wedge a
+        name forever.
+        """
+        record = self._txn_coord.get(tuple(txn_id))
+        if record is None:
+            return ExecutionResult(("unknown",))
+        participants, expires_at, outcome, reason = record
+        if outcome is None:
+            if self._op_counter < expires_at:
+                return ExecutionResult(("not-expired", expires_at))
+            decided = self._txn_coord.decide(tuple(txn_id), "abort", ("expired",))
+            assert decided is not None
+            participants, expires_at, outcome, reason = decided
+        self._txn_push(
+            TxnDecision(
+                replica=self.replica_id,
+                client=txn_id[0],
+                txn_id=tuple(txn_id),
+                outcome=outcome,
+                reason=reason,
+            )
+        )
+        return ExecutionResult(("decided", outcome, reason, participants))
+
+    def _txn_apply(
+        self, request: ClientRequest, txn_id: tuple, outcome: str
+    ) -> ExecutionResult:
+        """Participant: apply the decision against the pinned snapshot.
+
+        Commits replay the pinned legs (the lock guaranteed nothing moved
+        since the vote), fire waiter notifications for inserted entries —
+        this is the *only* point transactional effects become visible, so
+        watchers fire exactly once, on decision, never on prepare — and
+        release the locks.  A commit against a group that never voted yes
+        is refused: a forged or misdirected decision cannot make a
+        participant apply legs it never locked.
+        """
+        record = self._txn_part.get(tuple(txn_id))
+        if record is None:
+            return ExecutionResult(("unknown",))
+        if outcome not in ("commit", "abort"):
+            return ExecutionResult(None, denied=True, reason=f"bad outcome {outcome!r}")
+        shard, legs, pins, vote, reason, applied = record
+        if applied is not None:
+            return ExecutionResult(("applied", applied, ()))
+        if outcome == "commit" and vote != "yes":
+            return ExecutionResult(("refused", "did-not-vote-yes"))
+        results: tuple = ()
+        if outcome == "commit":
+            results, inserted = apply_legs(self._space, legs, pins)
+            for entry in inserted:
+                self._collect_matches(entry, request)
+        self._locks.release(tuple(txn_id))
+        self._txn_part.mark_applied(tuple(txn_id), outcome)
+        self._txn_push(
+            TxnAck(
+                replica=self.replica_id,
+                client=txn_id[0],
+                txn_id=tuple(txn_id),
+                shard=shard,
+                outcome=outcome,
+            )
+        )
+        return ExecutionResult(("applied", outcome, results))
+
+    def drain_txn_pushes(self) -> tuple:
+        """Hand pending transaction pushes to the ordering layer (which
+        owns the network and the fault modes) and clear the queue."""
+        if not self._pending_txn_pushes:
+            return ()
+        drained = tuple(self._pending_txn_pushes)
+        self._pending_txn_pushes.clear()
+        return drained
 
     # ------------------------------------------------------------------
     # Notification channel (repro.notify)
@@ -256,13 +605,27 @@ class PEATSReplica:
         """
         entries = tuple(self._space.snapshot())
         replies = tuple(sorted(self._last_reply.items(), key=repr))
-        return (entries, replies)
+        txn = (
+            self._op_counter,
+            self._locks.capture(),
+            self._txn_coord.capture(),
+            self._txn_part.capture(),
+        )
+        return (entries, replies, txn)
 
     def install_state(self, state: tuple) -> None:
         """Replace the replica state with a transferred checkpoint snapshot."""
-        entries, replies = state
+        entries, replies, txn = state
         self._space = AugmentedTupleSpace(entries)
         self._last_reply = {client: tuple(cached) for client, cached in replies}
+        # Transaction state travels with checkpoints: a recovering replica
+        # resumes with the same locks, votes and decisions — and the same
+        # deterministic expiry clock — as the peers it certified against.
+        op_counter, locks, coord, part = txn
+        self._op_counter = op_counter
+        self._locks = LockTable(locks)
+        self._txn_coord = CoordinatorTable(coord)
+        self._txn_part = ParticipantTable(part)
 
     def state_digest(self) -> str:
         """Digest of :meth:`capture_state` (checkpoint votes, reply safety)."""

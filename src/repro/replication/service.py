@@ -39,7 +39,7 @@ from repro.policy.policy import AccessPolicy
 from repro.replication.client import PEATSClient
 from repro.replication.network import NetworkConfig, SimulatedNetwork
 from repro.replication.pbft import OrderingNode, ReplicaFaultMode
-from repro.replication.replica import DENIED, PEATSReplica
+from repro.replication.replica import DENIED, TXN_LOCKED, PEATSReplica
 from repro.tspace.interface import TupleSpaceInterface
 from repro.tuples import Entry, Template
 
@@ -64,6 +64,7 @@ class ReplicatedPEATS:
         view_change_timeout: float = 50.0,
         max_batch_size: int = 8,
         checkpoint_interval: int = 8,
+        txn_ttl_ops: int | None = None,
         obs: Any = None,
     ) -> None:
         """``network``/``group`` let several replica groups share one clock.
@@ -101,7 +102,9 @@ class ReplicatedPEATS:
         replica_faults = replica_faults or {}
         self._nodes: list[OrderingNode] = []
         for index, replica_id in enumerate(self._replica_ids):
-            application = PEATSReplica(replica_id, policy, obs=self.obs)
+            application = PEATSReplica(
+                replica_id, policy, f=f, txn_ttl_ops=txn_ttl_ops, obs=self.obs
+            )
             node = OrderingNode(
                 replica_id,
                 self._replica_ids,
@@ -245,20 +248,48 @@ class ReplicatedClientView(TupleSpaceInterface):
     # TupleSpaceInterface
     # ------------------------------------------------------------------
 
+    #: Bounded retries of one operation bounced by a transaction lock.
+    txn_lock_retries: int = 128
+
+    def _execute(self, operation: str, arguments: tuple) -> tuple:
+        """One voted operation, transparently retried past ``TXN-LOCKED``
+        bounces: a name held by an in-flight transaction refuses ordinary
+        operations until the decision applies (or the lock's ordered
+        expiry lets any client force-resolve it — see
+        :meth:`_resolve_lock_sync`)."""
+        for _attempt in range(self.txn_lock_retries):
+            payload = self._client.execute_tuple_operation(operation, arguments)
+            if not (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == TXN_LOCKED
+            ):
+                return payload
+            self._resolve_lock_sync(payload[1])
+        raise ReplicationError(
+            f"{operation} still blocked by transaction locks after "
+            f"{self.txn_lock_retries} resolution attempts"
+        )
+
+    def _resolve_lock_sync(self, conflict: Any) -> None:
+        """Give the lock's holder time to decide; the sharded view
+        overrides this to force-resolve expired holders."""
+        self._service.network.run_for(self.default_poll_interval)
+
     def out(self, entry: Entry) -> Any:
-        status, value = self._client.execute_tuple_operation("out", (entry,))
+        status, value = self._execute("out", (entry,))
         if status == DENIED:
             return _denied(self._process, "out", value)
         return value
 
     def rdp(self, template: Template) -> Optional[Entry]:
-        status, value = self._client.execute_tuple_operation("rdp", (template,))
+        status, value = self._execute("rdp", (template,))
         if status == DENIED:
             return None
         return value
 
     def inp(self, template: Template) -> Optional[Entry]:
-        status, value = self._client.execute_tuple_operation("inp", (template,))
+        status, value = self._execute("inp", (template,))
         if status == DENIED:
             return None
         return value
@@ -320,7 +351,7 @@ class ReplicatedClientView(TupleSpaceInterface):
         network = self._service.network
         deadline = network.now + budget
         while True:
-            status, value = self._client.execute_tuple_operation(probe_operation, (template,))
+            status, value = self._execute(probe_operation, (template,))
             if status == DENIED:
                 raise AccessDeniedError(
                     str(value), process=self._process, operation=blocking_name
@@ -335,7 +366,7 @@ class ReplicatedClientView(TupleSpaceInterface):
             network.run_for(min(interval, remaining))
 
     def cas(self, template: Template, entry: Entry) -> tuple[Any, Optional[Entry]]:
-        status, value = self._client.execute_tuple_operation("cas", (template, entry))
+        status, value = self._execute("cas", (template, entry))
         if status == DENIED:
             return _denied(self._process, "cas", value), None
         inserted, existing = value

@@ -23,7 +23,8 @@ multi-client regime of Section 4 that the synchronous client could not
 express.
 
 Helpers :func:`op_out` / :func:`op_rdp` / :func:`op_inp` / :func:`op_cas`
-build the steps, and :func:`ok_value` unwraps replies::
+/ :func:`op_transfer` build the steps, and :func:`ok_value` unwraps
+replies::
 
     def writer(process):
         payload = yield op_out(entry("K", process, 0))
@@ -44,13 +45,19 @@ from repro.futures import OperationFuture
 from repro.replication.replica import DENIED
 from repro.tuples import Entry, Template
 
+#: Transactional steps the unified Space resolves atomically (``transfer``
+#: is an ``in`` + ``out`` pair committed as one cross-shard transaction).
+TXN_OPERATIONS = ("transfer",)
+
 __all__ = [
     "Op",
     "Pause",
+    "TXN_OPERATIONS",
     "op_out",
     "op_rdp",
     "op_inp",
     "op_cas",
+    "op_transfer",
     "op_rd",
     "op_in",
     "ok_value",
@@ -73,7 +80,7 @@ class Op:
     poll_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.operation not in PROBE_OPERATIONS + BLOCKING_OPERATIONS:
+        if self.operation not in PROBE_OPERATIONS + BLOCKING_OPERATIONS + TXN_OPERATIONS:
             raise SimulationError(f"unsupported simulated operation {self.operation!r}")
         if self.operation not in BLOCKING_OPERATIONS and (
             self.timeout is not None or self.poll_interval is not None
@@ -113,6 +120,14 @@ def op_inp(template: Template) -> Op:
 
 def op_cas(template: Template, entry: Entry) -> Op:
     return Op("cas", (template, entry))
+
+
+def op_transfer(take_template: Template, put_entry: Entry) -> Op:
+    """Atomically consume a match of ``take_template`` and insert
+    ``put_entry`` — one committed transaction even when the two names live
+    on different shards.  Resolves with ``("OK", ("committed", results))``
+    or ``("OK", ("aborted", reason))``."""
+    return Op("transfer", (take_template, put_entry))
 
 
 def op_rd(

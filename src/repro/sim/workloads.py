@@ -31,7 +31,12 @@ evaluate):
   sharded cluster, with a tunable home-shard locality;
 * :func:`wildcard_probe_mix` — a read mix with a *match-locality* knob:
   reads that do not know their tuple's name become wildcard-name probes,
-  which a sharded cluster scatter-gathers across every replica group.
+  which a sharded cluster scatter-gathers across every replica group;
+* :func:`escrow_transfers` — clients shuffle a fixed pool of token tuples
+  between name families with atomic ``transfer`` steps; every committed
+  transfer consumes exactly one token and inserts exactly one, so the
+  pool size is conserved — the invariant the transaction fault tests
+  assert under crashes and lying participants.
 
 Sharded clusters route operations by the tuple *name* (first field), so
 the single-name workloads above would land entirely on one shard.  The
@@ -56,6 +61,7 @@ from repro.sim.clients import (
     op_inp,
     op_out,
     op_rdp,
+    op_transfer,
 )
 from repro.tuples import ANY, Formal, entry, template
 
@@ -69,6 +75,7 @@ __all__ = [
     "write_burst",
     "multi_shard_kv",
     "wildcard_probe_mix",
+    "escrow_transfers",
 ]
 
 Workload = list[tuple[Hashable, Callable[[], ClientProgram]]]
@@ -464,3 +471,61 @@ def wildcard_probe_mix(
         return program
 
     return [(f"wp-{index:02d}", factory(index)) for index in range(n_clients)]
+
+
+def escrow_transfers(
+    n_clients: int,
+    *,
+    families: int = 2,
+    tokens: int = 8,
+    transfers_per_client: int = 4,
+    seed: int = 0,
+) -> Workload:
+    """Clients shuffle a fixed token pool between ``families`` name families.
+
+    An ``escrow-init`` client seeds ``tokens`` tuples spread round-robin
+    over the families ``TOKEN-0`` … ``TOKEN-{families-1}``.  Each client
+    then issues ``transfers_per_client`` atomic ``transfer`` steps, every
+    one consuming a token from a randomly chosen source family and
+    inserting a fresh token into a randomly chosen destination family —
+    a cross-shard atomic commit whenever the two families route to
+    different replica groups.  A transfer whose source family happens to
+    be empty aborts cleanly (``no-match``) and changes nothing.
+
+    The invariant: committed or aborted, crashed coordinators or lying
+    participants, the total number of ``TOKEN-*`` tuples in the merged
+    snapshot always equals ``tokens``.  Programs return
+    ``("transferred", committed, aborted)`` so a run is also checkable
+    from the client side.
+    """
+    if families < 1:
+        raise ValueError("escrow_transfers needs at least one name family")
+
+    def init_factory() -> ClientProgram:
+        for token in range(tokens):
+            yield op_out(entry(f"TOKEN-{token % families}", "init", token))
+        return ("seeded", tokens)
+
+    def factory(index: int) -> Callable[[], ClientProgram]:
+        def program() -> ClientProgram:
+            rng = random.Random((seed << 28) ^ (index * 15485863))
+            committed = aborted = 0
+            for step in range(transfers_per_client):
+                source = rng.randrange(families)
+                destination = rng.randrange(families)
+                payload = yield op_transfer(
+                    template(f"TOKEN-{source}", ANY, ANY),
+                    entry(f"TOKEN-{destination}", f"et-{index:02d}", step),
+                )
+                outcome = ok_value(payload)
+                if isinstance(outcome, tuple) and outcome and outcome[0] == "committed":
+                    committed += 1
+                else:
+                    aborted += 1
+            return ("transferred", committed, aborted)
+
+        return program
+
+    workload: Workload = [("escrow-init", init_factory)]
+    workload.extend((f"et-{index:02d}", factory(index)) for index in range(n_clients))
+    return workload

@@ -1,0 +1,50 @@
+"""repro.txn — non-blocking cross-shard atomic transactions.
+
+The building blocks behind ``Space.transact()``:
+
+* :mod:`repro.txn.legs` — the leg vocabulary (``out``/``rd``/``in``/
+  ``cas``/``nix``) with its normalization, per-leg policy mapping and the
+  resolve/apply split every execution tier shares;
+* :mod:`repro.txn.state` — the replica-side bookkeeping (lock table with
+  ordered expirations, coordinator decision log, participant vote log);
+* :mod:`repro.txn.manager` — the client-side :class:`Txn` handle and the
+  :class:`CrossShardTxn` replicated-coordinator commit driver.
+"""
+
+from repro.txn.legs import (
+    LEG_OPERATIONS,
+    NO_MATCH,
+    Pin,
+    leg_invocation,
+    leg_name,
+    leg_names,
+    normalize_leg,
+    normalize_legs,
+)
+from repro.txn.manager import (
+    CrossShardTxn,
+    Txn,
+    TxnOutcome,
+    leg_shards,
+    locked_conflict,
+    outcome_from_payload,
+    plan_legs,
+)
+
+__all__ = [
+    "LEG_OPERATIONS",
+    "NO_MATCH",
+    "Pin",
+    "leg_invocation",
+    "leg_name",
+    "leg_names",
+    "normalize_leg",
+    "normalize_legs",
+    "Txn",
+    "TxnOutcome",
+    "CrossShardTxn",
+    "leg_shards",
+    "plan_legs",
+    "locked_conflict",
+    "outcome_from_payload",
+]

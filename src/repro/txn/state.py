@@ -1,0 +1,172 @@
+"""Replicated transaction state: lock table and coordinator/participant records.
+
+Everything here is part of the replica's **deterministic state machine**:
+locks are acquired and released only by ordered requests, expirations are
+measured in the replica's executed-operation count (never a clock), and
+every structure captures to plain picklable data so checkpoints, state
+digests and state transfer cover transactions exactly like tuples.
+
+Locks are *name* locks: a lock covers one concrete tuple name, or — for
+wildcard-name legs — the whole shard (``None``).  An ordinary operation
+conflicts with a lock when their names may overlap (equal, or either side
+wildcard); the conservative overlap rule may refuse an operation that a
+finer analysis would admit, which costs the client one retry, never
+safety.
+
+Expiry is a *liveness* device, not an abort authority: a participant
+never unilaterally drops a lock (that could tear a committed transaction
+in half).  Instead an expired lock is reported as such in the
+``TXN-LOCKED`` payload, authorizing any client to submit ``txn_force`` at
+the transaction's coordinator — which aborts **iff** the transaction is
+still undecided, and otherwise hands back the recorded decision so the
+resolver can finish the apply fan-out the vanished owner abandoned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["LockTable", "CoordinatorTable", "ParticipantTable"]
+
+#: Decided/applied transaction records retained per table before the
+#: oldest are pruned (idempotency horizon for very late retransmissions).
+FINISHED_RETENTION = 256
+
+
+class LockTable:
+    """Ordered name locks with executed-op-count expirations."""
+
+    def __init__(self, records: tuple = ()) -> None:
+        # txn_key -> (names, expires_at, coordinator_shard); insertion-
+        # ordered, so correct replicas (which execute the same request
+        # prefix) hold identical tables and identical capture_state bytes.
+        self._locks: dict[Any, tuple] = {key: value for key, value in records}
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def acquire(
+        self, txn_key: Any, names: tuple, expires_at: int, coordinator_shard: int
+    ) -> None:
+        self._locks[txn_key] = (tuple(names), expires_at, coordinator_shard)
+
+    def release(self, txn_key: Any) -> None:
+        self._locks.pop(txn_key, None)
+
+    def holds(self, txn_key: Any) -> bool:
+        return txn_key in self._locks
+
+    def conflicting(self, names: tuple, op_counter: int) -> Optional[tuple]:
+        """The first lock overlapping ``names``, as the wire-safe
+        ``(txn_key, coordinator_shard, expired)`` triple of the
+        ``TXN-LOCKED`` payload.
+
+        ``names`` are the concrete names an operation touches (``None``
+        marks a wildcard name, which overlaps everything).
+        """
+        for txn_key, (locked_names, expires_at, coordinator_shard) in self._locks.items():
+            for locked in locked_names:
+                for name in names:
+                    if locked is None or name is None or locked == name:
+                        return (txn_key, coordinator_shard, op_counter >= expires_at)
+        return None
+
+    def capture(self) -> tuple:
+        return tuple(self._locks.items())
+
+    def __repr__(self) -> str:
+        return f"LockTable(locks={len(self._locks)})"
+
+
+class CoordinatorTable:
+    """Per-transaction coordinator records (participants, expiry, outcome)."""
+
+    def __init__(self, records: tuple = ()) -> None:
+        # txn_key -> (participants, expires_at, outcome|None, reason)
+        self._records: dict[Any, tuple] = {key: value for key, value in records}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, txn_key: Any) -> Optional[tuple]:
+        return self._records.get(txn_key)
+
+    def prepare(self, txn_key: Any, participants: tuple, expires_at: int) -> tuple:
+        """Record a prepared transaction (idempotent: first prepare wins)."""
+        record = self._records.get(txn_key)
+        if record is None:
+            record = (tuple(participants), expires_at, None, None)
+            self._records[txn_key] = record
+            self._prune()
+        return record
+
+    def decide(self, txn_key: Any, outcome: str, reason: Any) -> Optional[tuple]:
+        """Record the outcome (first ordered decision wins; returns the
+        authoritative record, or ``None`` for an unknown transaction)."""
+        record = self._records.get(txn_key)
+        if record is None:
+            return None
+        participants, expires_at, recorded, recorded_reason = record
+        if recorded is None:
+            record = (participants, expires_at, outcome, reason)
+            self._records[txn_key] = record
+        return self._records[txn_key]
+
+    def _prune(self) -> None:
+        # Decided records are kept only as an idempotency horizon; undecided
+        # ones are never pruned (they are what txn_force resolves).
+        decided = [key for key, record in self._records.items() if record[2] is not None]
+        for key in decided[: max(0, len(decided) - FINISHED_RETENTION)]:
+            del self._records[key]
+
+    def capture(self) -> tuple:
+        return tuple(self._records.items())
+
+    def __repr__(self) -> str:
+        return f"CoordinatorTable(txns={len(self._records)})"
+
+
+class ParticipantTable:
+    """Per-transaction participant records (vote, pins, apply status)."""
+
+    def __init__(self, records: tuple = ()) -> None:
+        # txn_key -> (shard, legs, pins, vote, reason, applied_outcome|None)
+        self._records: dict[Any, tuple] = {key: value for key, value in records}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, txn_key: Any) -> Optional[tuple]:
+        return self._records.get(txn_key)
+
+    def vote(
+        self,
+        txn_key: Any,
+        shard: int,
+        legs: tuple,
+        pins: tuple,
+        vote: str,
+        reason: Any,
+    ) -> tuple:
+        """Record this group's vote (idempotent: first vote wins)."""
+        record = self._records.get(txn_key)
+        if record is None:
+            record = (shard, tuple(legs), tuple(pins), vote, reason, None)
+            self._records[txn_key] = record
+            self._prune()
+        return record
+
+    def mark_applied(self, txn_key: Any, outcome: str) -> None:
+        record = self._records[txn_key]
+        self._records[txn_key] = record[:5] + (outcome,)
+
+    def _prune(self) -> None:
+        applied = [key for key, record in self._records.items() if record[5] is not None]
+        for key in applied[: max(0, len(applied) - FINISHED_RETENTION)]:
+            del self._records[key]
+
+    def capture(self) -> tuple:
+        return tuple(self._records.items())
+
+    def __repr__(self) -> str:
+        return f"ParticipantTable(txns={len(self._records)})"

@@ -1,0 +1,23 @@
+# repro-lint: role=codec
+"""RL003 positive fixture: the transaction message set loses its apply
+acknowledgement on the wire — ``TxnAck`` never got a tag, so a TCP
+coordinator can decide but never learn the decision was applied."""
+
+
+class TxnPrepare:
+    pass
+
+
+class TxnVote:
+    pass
+
+
+class TxnDecision:
+    pass
+
+
+MESSAGE_CLASSES = {
+    "TxnPrepare": TxnPrepare,
+    "TxnVote": TxnVote,
+    "TxnDecision": TxnDecision,
+}

@@ -1,0 +1,33 @@
+# repro-lint: role=messages
+"""RL003 fixture: the transaction sub-protocol message set."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class TxnPrepare:
+    replica: str
+    txn_id: tuple
+    participants: tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class TxnVote:
+    replica: str
+    txn_id: tuple
+    shard: int
+    vote: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TxnDecision:
+    replica: str
+    txn_id: tuple
+    outcome: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TxnAck:
+    replica: str
+    txn_id: tuple
+    shard: int

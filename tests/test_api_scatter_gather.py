@@ -114,21 +114,40 @@ class TestWildcardInp:
         assert repr(probe) in str(excinfo.value)
 
 
-class TestWildcardCasStaysOut:
-    def test_view_level_cas_raises_actionable_cross_shard_error(self):
+class TestWildcardCasIsTransactional:
+    def test_routing_layer_still_refuses_but_points_at_transactions(self):
+        # The low-level ShardMap cannot place a wildcard cas; its error now
+        # directs callers to the unified API's transactional resolution.
         space = four_shard_space()
-        view = space.service.client_view("p1")
+        shard_map = space.service.shard_map
         with pytest.raises(CrossShardError) as excinfo:
-            view.cas(template(ANY, ANY), entry("N0", 0))
+            shard_map.route("cas", (template(ANY, ANY), entry("N0", 0)))
         message = str(excinfo.value)
-        assert "rdp/inp" in message
+        assert "transact" in message
         assert "repro.api" in message
 
-    def test_api_level_cas_raises_the_same_error(self):
+    def test_api_level_wildcard_cas_inserts_when_absent(self):
         view = four_shard_space().bind("p1")
-        with pytest.raises(CrossShardError) as excinfo:
-            view.cas(template(Formal("n"), ANY), entry("N0", 0))
-        assert "scatter-gather" in str(excinfo.value)
+        inserted, existing = view.cas(template(Formal("n"), ANY), entry("N0", 0))
+        assert inserted and existing is None
+        assert view.rdp(template("N0", Formal("v"))) == entry("N0", 0)
+
+    def test_api_level_wildcard_cas_reports_any_shard_match(self):
+        view = four_shard_space().bind("p1")
+        view.out(entry("N3", "taken"))  # lives on a different shard than N0
+        inserted, existing = view.cas(template(ANY, "taken"), entry("N0", "new"))
+        assert not inserted
+        assert existing == entry("N3", "taken")
+        assert view.rdp(template("N0", Formal("v"))) is None
+
+    def test_api_level_cross_shard_concrete_cas_commits(self):
+        view = four_shard_space().bind("p1")
+        inserted, existing = view.cas(template("N1", Formal("v")), entry("N2", "x"))
+        assert inserted and existing is None
+        view.out(entry("N1", "blocker"))
+        inserted, existing = view.cas(template("N1", Formal("v")), entry("N3", "y"))
+        assert not inserted
+        assert existing == entry("N1", "blocker")
 
 
 class TestDeterministicReplay:

@@ -57,3 +57,15 @@ def test_reactive_tour_pushes_and_suppresses():
     assert "fallback poll: 5000 ms" in result.stdout
     assert "spy saw     []" in result.stdout
     assert "loopback watch event -> Entry('EVT', 'over-the-wire')" in result.stdout
+
+
+def test_txn_tour_commits_aborts_and_forces_expired_locks():
+    result = run_example("txn_tour.py")
+    assert "committed: True, took Entry('ACCT-A', 'token-7')" in result.stdout
+    assert "three-shard commit: True, 4 legs" in result.stdout
+    assert "drained retry aborts with reason ('no-match', 0)" in result.stdout
+    assert "transfer aborted cleanly" in result.stdout
+    assert (
+        "bystander forced the abort and took Entry('ACCT-A', 'stuck-token')"
+        in result.stdout
+    )

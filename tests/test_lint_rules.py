@@ -80,6 +80,16 @@ class TestRL003CodecCompleteness:
         assert "'Notify'" in violations[0].message
         assert violations[0].path.endswith("rl003_notify_codec_bad.py")
 
+    def test_unregistered_txn_message_is_flagged(self):
+        # The transaction-protocol shape: prepare/vote/decision round-trip
+        # but the apply acknowledgement (TxnAck) never got a wire tag.
+        violations = lint(
+            "RL003", "rl003_txn_messages.py", "rl003_txn_codec_bad.py"
+        )
+        assert len(violations) == 1
+        assert "'TxnAck'" in violations[0].message
+        assert violations[0].path.endswith("rl003_txn_codec_bad.py")
+
 
 class TestRL004MetricNameConsistency:
     def test_flags_dynamic_malformed_conflicting_and_near_miss_names(self):

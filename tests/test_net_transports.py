@@ -84,6 +84,59 @@ def test_lock_recipe_equivalent_on_all_transports(backend):
     assert reference == (True, True, "free", True)
 
 
+def escrow_program(space) -> tuple:
+    """One committed cross-shard transfer, one no-match abort."""
+    teller = space.bind("teller")
+    teller.out(entry("SRC", "tok"))
+    moved = teller.transfer(template("SRC", ANY), entry("DST", "tok"))
+    drained = (
+        space.transact("teller")
+        .in_(template("SRC", ANY))  # already moved: no match, clean abort
+        .out(entry("DST", "ghost"))
+        .commit()
+    )
+    stats = space.stats()["txn"]
+    return (
+        moved.committed,
+        moved.results[0].fields[1],
+        drained.committed,
+        drained.reason,
+        tuple(sorted(repr(item) for item in space.snapshot())),
+        stats["committed"],
+        stats["aborted"],
+    )
+
+
+def test_escrow_transfer_equivalent_on_all_transports():
+    # The replicated-coordinator atomic commit (prepare, ordered votes,
+    # pushed certificates, decision, apply) must behave identically on
+    # the virtual-time simulation and on both real reactors.
+    from repro.cluster import ExplicitRouting
+
+    reference = None
+    for transport in (None, "asyncio", "tcp"):
+        space = connect(
+            "sharded",
+            policy=open_policy(),
+            shards=2,
+            f=1,
+            routing=ExplicitRouting({"SRC": 0, "DST": 1}),
+            transport=transport,
+        )
+        try:
+            outcome = escrow_program(space)
+        finally:
+            space.close()
+        if reference is None:
+            reference = outcome
+        assert outcome == reference, (
+            f"txn on {transport or 'sim'}: {outcome} != {reference}"
+        )
+    assert reference[:4] == (True, "tok", False, ("no-match", 0))
+    assert reference[4] == ("Entry('DST', 'tok')",)
+    assert reference[5:] == (1, {"no-match": 1})
+
+
 def test_sharded_cluster_gets_one_reactor_per_group():
     space = build_space("sharded", "asyncio")
     try:

@@ -339,7 +339,7 @@ class TestCheckpointRecovery:
         from repro.replication.messages import Checkpoint, StateResponse
         from repro.replication.crypto import digest
 
-        bogus_state = ((), ())
+        bogus_state = ((), (), (0, (), (), ()))
         bogus_digest = digest(bogus_state)
         forged_proof = tuple(
             Checkpoint(sequence=50, state_digest=bogus_digest, replica=replica)
