@@ -192,9 +192,38 @@ def _txn(payload: Mapping[str, Any]) -> Iterable[Metric]:
         )
 
 
+def _obs_overhead(payload: Mapping[str, Any]) -> Iterable[Metric]:
+    overhead = payload.get("overhead")
+    if not overhead:
+        return
+    # Same-machine ratios (like enforcement_overhead): the flight
+    # recorder's cost relative to the bare replay, gateable even though
+    # the inputs are wall-clock.  CI compares this file at a dedicated
+    # 10% threshold so recorder bloat cannot land silently.
+    yield Metric(
+        "obs_overhead.full_vs_bare_factor",
+        float(overhead["full_vs_bare_factor"]),
+        higher_is_better=False,
+        gated=True,
+    )
+    yield Metric(
+        "obs_overhead.full_vs_tracer_factor",
+        float(overhead["full_vs_tracer_factor"]),
+        higher_is_better=False,
+        gated=False,
+    )
+    yield Metric(
+        "obs_overhead.full_best_seconds",
+        float(overhead["arms"]["full"]["best_seconds"]),
+        higher_is_better=False,
+        gated=False,
+    )
+
+
 EXTRACTORS: dict[str, Callable[[Mapping[str, Any]], Iterable[Metric]]] = {
     "BENCH_net_calibration.json": _net_calibration,
     "BENCH_notify.json": _notify,
+    "BENCH_obs_overhead.json": _obs_overhead,
     "BENCH_policy_enforcement.json": _policy_enforcement,
     "BENCH_txn.json": _txn,
 }

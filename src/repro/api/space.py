@@ -789,6 +789,19 @@ class Space(TupleSpaceInterface):
         if obs.enabled:
             report["metrics"] = obs.registry.snapshot()
             report["tracing"] = obs.tracer.statistics()
+            report["flight"] = obs.flight.statistics()
+            service = getattr(self, "service", None)
+            if obs.health.enabled and service is not None and hasattr(service, "nodes"):
+                # One health evaluation per stats() call: probes read only
+                # state the deployment already tracks (no extra messages),
+                # and the monitor's hysteresis smooths the cadence.
+                report["health"] = [
+                    finding.as_dict() for finding in obs.health.check(service)
+                ]
+            else:
+                report["health"] = [
+                    finding.as_dict() for finding in obs.health.active()
+                ]
         state = self._txn_state()
         report["txn"] = {
             "committed": state["committed"],

@@ -97,6 +97,15 @@ class ShardedClient(PEATSClient):
         counter.inc()
         if self._tracer.enabled:
             self._tracer.record("route", pending.key, f"shard-{shard}", self.network.now)
+        if self._flight.enabled:
+            self._flight.record(
+                "route",
+                self.client_id,
+                self.network.now,
+                key=pending.key,
+                shard=shard,
+                operation=operation,
+            )
         return pending
 
     def __repr__(self) -> str:

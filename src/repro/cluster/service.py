@@ -221,6 +221,20 @@ class ShardedPEATS:
             checkpoints.update(group.stable_checkpoints())
         return checkpoints
 
+    def client_statistics(self) -> dict[str, int]:
+        """Counters summed over every routing client of the cluster —
+        what the health monitor's reply-divergence probe samples."""
+        totals = {
+            "requests": 0,
+            "retransmissions": 0,
+            "mismatched_replies": 0,
+            "quorum_failures": 0,
+        }
+        for client in self._clients.values():
+            for name, value in client.statistics.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
     def shard_statistics(self) -> dict[int, dict[str, Any]]:
         """Per-shard ordering progress (executed sequences, views, ...)."""
         stats: dict[int, dict[str, Any]] = {}

@@ -157,23 +157,26 @@ class DeterminismPurity(Rule):
 
 
 _TRACE_HELPER_RE = re.compile(r"_trace\w*\Z")
+_FLIGHT_HELPER_RE = re.compile(r"_flight\w*\Z")
 
 
 @register
 class GuardedTracer(Rule):
-    """RL002 — every tracer hot-path call sits behind an ``.enabled`` guard.
+    """RL002 — every tracer/flight hot-path call sits behind ``.enabled``.
 
-    The PR 6 convention: ``tracer.record(...)`` (and ``self._trace_*``
-    batch helpers) are only reached under ``if <tracer>.enabled:`` so the
+    The PR 6 convention, extended to the flight recorder: both
+    ``tracer.record(...)`` and ``flight.record(...)`` (and the
+    ``self._trace_*`` / ``self._flight_*`` batch helpers) are only
+    reached under ``if <instrument>.enabled:`` so the
     disabled-observability hot path costs one attribute read, and the
-    NullTracer is never asked to assemble per-request state.  An
+    null instruments are never asked to assemble per-event state.  An
     unguarded call site re-introduces per-message overhead for every
     deployment that runs with observability off.
     """
 
     id = "RL002"
     name = "guarded-tracer"
-    summary = "tracer.record()/self._trace_*() must be behind an .enabled guard"
+    summary = "tracer/flight record() and _trace_*/_flight_* helpers must be behind an .enabled guard"
     scope = ("repro",)
 
     def check_module(self, module: ModuleInfo) -> Iterable[Violation]:
@@ -183,23 +186,32 @@ class GuardedTracer(Rule):
             func = node.func
             if not isinstance(func, ast.Attribute):
                 continue
-            is_record = func.attr == "record" and _mentions_tracer(func.value)
+            is_trace_record = func.attr == "record" and _mentions_tracer(func.value)
+            is_flight_record = func.attr == "record" and _mentions_flight(func.value)
             is_helper_call = (
-                _TRACE_HELPER_RE.fullmatch(func.attr) is not None
+                (
+                    _TRACE_HELPER_RE.fullmatch(func.attr) is not None
+                    or _FLIGHT_HELPER_RE.fullmatch(func.attr) is not None
+                )
                 and isinstance(func.value, ast.Name)
                 and func.value.id == "self"
             )
-            if not (is_record or is_helper_call):
+            if not (is_trace_record or is_flight_record or is_helper_call):
                 continue
             if self._exempt_or_guarded(module, node):
                 continue
-            what = "tracer.record()" if is_record else f"self.{func.attr}()"
+            if is_trace_record:
+                what = "tracer.record()"
+            elif is_flight_record:
+                what = "flight.record()"
+            else:
+                what = f"self.{func.attr}()"
             yield module.violation(
                 self.id,
                 node,
                 f"{what} call site is not behind an `.enabled` guard "
-                "(wrap it in `if <tracer>.enabled:` so disabled tracing "
-                "stays one attribute read)",
+                "(wrap it in `if <instrument>.enabled:` so disabled "
+                "observability stays one attribute read)",
             )
 
     @staticmethod
@@ -207,9 +219,11 @@ class GuardedTracer(Rule):
         child: ast.AST = node
         for ancestor in module.ancestors(node):
             if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                # Inside a ``_trace*`` helper the guard lives at the
-                # helper's call sites (which this rule checks instead).
-                if _TRACE_HELPER_RE.fullmatch(ancestor.name):
+                # Inside a ``_trace*`` / ``_flight*`` helper the guard
+                # lives at the helper's call sites (checked instead).
+                if _TRACE_HELPER_RE.fullmatch(ancestor.name) or _FLIGHT_HELPER_RE.fullmatch(
+                    ancestor.name
+                ):
                     return True
             if isinstance(ancestor, ast.If) and child in ancestor.body:
                 for sub in ast.walk(ancestor.test):
@@ -226,6 +240,17 @@ def _mentions_tracer(receiver: ast.AST) -> bool:
         if isinstance(node, ast.Name) and "tracer" in node.id.lower():
             return True
         if isinstance(node, ast.Attribute) and "tracer" in node.attr.lower():
+            return True
+    return False
+
+
+def _mentions_flight(receiver: ast.AST) -> bool:
+    """True when the receiver expression names a flight recorder
+    (``self._flight``, ``flight``, ``obs.flight`` ...)."""
+    for node in ast.walk(receiver):
+        if isinstance(node, ast.Name) and "flight" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and "flight" in node.attr.lower():
             return True
     return False
 

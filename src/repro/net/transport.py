@@ -244,6 +244,7 @@ class RealTransport:
     ) -> None:
         if reactors < 1:
             raise SimulationError("a real transport needs at least one reactor")
+        self.name = name
         self._authenticator = MessageAuthenticator(keystore or KeyStore())
         self._reactors = tuple(
             Reactor(f"repro-{name}-reactor-{index}") for index in range(reactors)
@@ -265,6 +266,7 @@ class RealTransport:
         self._last_handler_error: Optional[BaseException] = None
         self.obs = NULL_OBS if obs is None else obs
         registry = self.obs.registry
+        self._flight = self.obs.flight
         labels = {"transport": name}
         self._obs_frames_sent = registry.counter(
             "net_frames_sent_total", "Frames authenticated and dispatched"
@@ -331,6 +333,14 @@ class RealTransport:
                     self._handler_errors += 1
                     self._last_handler_error = error
                     self._obs_handler_errors.inc()
+                if self._flight.enabled:
+                    self._flight.record(
+                        "net-error",
+                        self.name,
+                        self.now,
+                        error=type(error).__name__,
+                        detail=str(error),
+                    )
 
         return run
 
@@ -439,6 +449,15 @@ class RealTransport:
             with self._lock:
                 self._rejected += 1
                 self._obs_mac_rejects.inc()
+            if self._flight.enabled:
+                self._flight.record(
+                    "net-reject",
+                    receiver,
+                    self.now,
+                    sender=str(sender),
+                    reason="bad-mac",
+                    type=type(payload).__name__,
+                )
             return
         with self._lock:
             self._delivered += 1

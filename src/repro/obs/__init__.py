@@ -1,21 +1,31 @@
 """repro.obs — observability for every deployment shape.
 
-The package bundles two passive instruments:
+The package bundles four passive instruments:
 
 * :class:`~repro.obs.registry.MetricsRegistry` — labelled counters,
   gauges and histograms with deterministic iteration order and three
   exporters (plain dicts, JSON lines, Prometheus text);
 * :class:`~repro.obs.trace.Tracer` — per-request lifecycle spans keyed
   by the ``(client, request_id)`` correlation id already on the wire,
-  assembled into phase timelines and a "where did the time go" report.
+  assembled into phase timelines and a "where did the time go" report;
+* :class:`~repro.obs.flight.FlightRecorder` — per-node bounded ring
+  buffers of typed structured events (message traffic, view changes,
+  checkpoint votes, lock grants, policy denials, ...) with drop
+  accounting, dumpable for the post-mortem ``python -m
+  repro.obs.doctor``;
+* :class:`~repro.obs.health.HealthMonitor` — online probes over
+  already-observed state (checkpoint starvation, view-change churn,
+  reply-quorum divergence, waiter occupancy, shard skew) with
+  fire/clear hysteresis, surfaced via ``Space.stats()["health"]``.
 
-:class:`Observability` carries both through ``connect(obs=...)`` /
+:class:`Observability` carries all four through ``connect(obs=...)`` /
 ``Scenario(obs=...)`` into every layer.  Components default to the
-shared :data:`NULL_OBS` (a disabled registry + tracer whose operations
-are no-ops), so instrumentation costs ~nothing until someone attaches a
-real bundle.  Neither instrument reads a clock or an RNG — enabling
-observability never perturbs the seeded simulation, so same-seed replays
-stay byte-identical (the determinism tests pin this down).
+shared :data:`NULL_OBS` (a disabled registry + tracer + recorder +
+monitor whose operations are no-ops), so instrumentation costs ~nothing
+until someone attaches a real bundle.  No instrument reads a clock or an
+RNG — enabling observability never perturbs the seeded simulation, so
+same-seed replays stay byte-identical (the determinism tests pin this
+down).
 
 Quick start::
 
@@ -44,6 +54,18 @@ from repro.obs.registry import (
     NULL_REGISTRY,
 )
 from repro.obs.trace import PHASES, NullTracer, Tracer, NULL_TRACER
+from repro.obs.flight import (
+    EVENT_KINDS,
+    FlightRecorder,
+    NullFlightRecorder,
+    NULL_FLIGHT,
+)
+from repro.obs.health import (
+    HealthMonitor,
+    HealthReport,
+    NullHealthMonitor,
+    NULL_HEALTH,
+)
 
 __all__ = [
     "Counter",
@@ -57,13 +79,27 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "EVENT_KINDS",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "HealthMonitor",
+    "HealthReport",
+    "NullHealthMonitor",
+    "NULL_HEALTH",
     "Observability",
     "NULL_OBS",
 ]
 
 
 class Observability:
-    """One registry + one tracer, handed to every layer of a deployment."""
+    """Registry + tracer + flight recorder + health monitor, one bundle.
+
+    Every instrument defaults to a live instance; pass the matching
+    null object (``NULL_FLIGHT``, ``NULL_HEALTH``, ...) to switch one
+    off individually — e.g. ``Observability(flight=NULL_FLIGHT)`` is
+    the tracer-only configuration the overhead bench measures.
+    """
 
     enabled = True
 
@@ -72,18 +108,29 @@ class Observability:
         *,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        flight: Optional[FlightRecorder] = None,
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.flight = flight if flight is not None else FlightRecorder()
+        self.health = (
+            health if health is not None else HealthMonitor(registry=self.registry)
+        )
 
     def snapshot(self) -> dict[str, Any]:
         return {
             "metrics": self.registry.snapshot(),
             "tracing": self.tracer.statistics(),
+            "flight": self.flight.statistics(),
+            "health": self.health.statistics(),
         }
 
     def __repr__(self) -> str:
-        return f"Observability(registry={self.registry!r}, tracer={self.tracer!r})"
+        return (
+            f"Observability(registry={self.registry!r}, tracer={self.tracer!r}, "
+            f"flight={self.flight!r}, health={self.health!r})"
+        )
 
 
 class _NullObservability:
@@ -92,9 +139,16 @@ class _NullObservability:
     enabled = False
     registry = NULL_REGISTRY
     tracer = NULL_TRACER
+    flight = NULL_FLIGHT
+    health = NULL_HEALTH
 
     def snapshot(self) -> dict[str, Any]:
-        return {"metrics": {}, "tracing": NULL_TRACER.statistics()}
+        return {
+            "metrics": {},
+            "tracing": NULL_TRACER.statistics(),
+            "flight": NULL_FLIGHT.statistics(),
+            "health": NULL_HEALTH.statistics(),
+        }
 
     def __repr__(self) -> str:
         return "NULL_OBS"

@@ -1,0 +1,276 @@
+"""repro.obs.flight — a per-node bounded ring-buffer flight recorder.
+
+Post-mortem diagnosis needs *history*: when a replica group wedges (a
+checkpoint certificate starves below quorum, the log window jams) the
+metrics registry shows only the final counter values and the tracer only
+per-request phase times — neither says *what the node saw happen, in
+order*.  The flight recorder keeps exactly that: per node, a bounded
+ring of typed, structured events with monotone per-node sequence numbers
+and drop accounting, cheap enough to leave on in production and bounded
+enough to dump after a crash.
+
+Events are typed — :data:`EVENT_KINDS` is the closed vocabulary —
+and structured: every event carries the recording node, the virtual (or
+wall-clock) timestamp supplied by the call site, an optional correlation
+``key`` (the same ``(client, request_id)`` id the tracer uses, already
+on every wire message), and free-form detail fields.  The per-node ring
+holds the last ``capacity`` events; older ones are evicted and counted
+in ``dropped`` so a dump is honest about what it no longer shows.
+
+Like the tracer and the metrics registry, the recorder is strictly
+passive: it never reads a clock or an RNG (timestamps are passed in by
+the call sites) and never schedules anything, so the byte-identical
+same-seed replay guarantee holds with recording enabled.  Call sites
+follow the guarded-tracer convention (``if self._flight.enabled:``),
+enforced by lint rule RL002.
+
+:meth:`FlightRecorder.dump` emits a deterministic JSON-able payload;
+``python -m repro.obs.doctor`` merges such dumps from every node of a
+deployment into one causally ordered timeline and a diagnosis.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Optional
+
+__all__ = ["EVENT_KINDS", "FlightRecorder", "NullFlightRecorder", "NULL_FLIGHT"]
+
+#: The closed vocabulary of event types a recorder accepts.  Typed events
+#: keep dumps machine-diagnosable: the doctor can pattern-match on kinds
+#: instead of parsing free text.
+EVENT_KINDS: frozenset[str] = frozenset(
+    {
+        # Message plane.
+        "msg-send",
+        "msg-recv",
+        "msg-drop",
+        # View changes.
+        "view-change",
+        "view-installed",
+        # Checkpoints and state transfer.
+        "checkpoint-vote",
+        "checkpoint-cert",
+        "state-request",
+        "state-response",
+        "state-install",
+        # Execution / client lifecycle.
+        "execute",
+        "reply",
+        "submit",
+        "complete",
+        "route",
+        "reply-mismatch",
+        "quorum-failure",
+        # Policy enforcement.
+        "policy-deny",
+        # Waiters and notifications (repro.notify).
+        "waiter-register",
+        "waiter-cancel",
+        "waiter-notify",
+        # Transaction locks and outcomes (repro.txn).
+        "lock-grant",
+        "lock-release",
+        "lock-expire",
+        "txn-vote",
+        "txn-decision",
+        # Real transports (repro.net).
+        "net-reject",
+        "net-error",
+    }
+)
+
+
+def _jsonable(value: Any) -> Any:
+    """Deterministically convert an event field for a JSON dump."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+class FlightRecorder:
+    """Per-node bounded ring buffers of typed, structured events.
+
+    ``capacity`` is per node: the recorder holds at most that many of a
+    node's most recent events; older ones are evicted (and counted) as
+    the ring wraps.  Memory is therefore bounded by
+    ``capacity * nodes`` regardless of run length.
+    """
+
+    enabled = True
+
+    def __init__(self, *, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._lock = threading.Lock()
+        self.capacity = capacity
+        # node -> ring list (append until capacity, then overwrite at head).
+        self._rings: dict[str, list[dict[str, Any]]] = {}
+        self._heads: dict[str, int] = {}
+        self._next_seq: dict[str, int] = {}
+        self._dropped: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (hot path — called from inside the event loops)
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        node: Any,
+        now: float,
+        *,
+        key: Optional[Hashable] = None,
+        **details: Any,
+    ) -> None:
+        """Append one ``kind`` event observed by ``node`` at time ``now``.
+
+        ``key`` carries the on-wire correlation id when the event belongs
+        to one request's lifecycle; ``details`` are free-form structured
+        fields (sequence numbers, digests, view numbers, reasons).
+        """
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown flight event kind {kind!r}")
+        name = str(node)
+        event: dict[str, Any] = {"kind": kind, "t": now}
+        if key is not None:
+            event["key"] = key
+        if details:
+            event.update(details)
+        with self._lock:
+            seq = self._next_seq.get(name, 0)
+            self._next_seq[name] = seq + 1
+            event["seq"] = seq
+            ring = self._rings.get(name)
+            if ring is None:
+                ring = []
+                self._rings[name] = ring
+                self._heads[name] = 0
+                self._dropped[name] = 0
+            if len(ring) < self.capacity:
+                ring.append(event)
+            else:
+                head = self._heads[name]
+                ring[head] = event
+                self._heads[name] = (head + 1) % self.capacity
+                self._dropped[name] += 1
+
+    # ------------------------------------------------------------------
+    # Assembly / dumps
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> list[str]:
+        with self._lock:
+            return sorted(self._rings)
+
+    def events(self, node: Any) -> list[dict[str, Any]]:
+        """One node's retained events, oldest first (sequence order)."""
+        name = str(node)
+        with self._lock:
+            ring = self._rings.get(name)
+            if not ring:
+                return []
+            head = self._heads[name]
+            ordered = ring[head:] + ring[:head]
+            return [dict(event) for event in ordered]
+
+    def dump_node(self, node: Any) -> dict[str, Any]:
+        """One node's recording as a deterministic JSON-able payload."""
+        name = str(node)
+        events = [
+            {field: _jsonable(value) for field, value in event.items()}
+            for event in self.events(name)
+        ]
+        with self._lock:
+            recorded = self._next_seq.get(name, 0)
+            dropped = self._dropped.get(name, 0)
+        return {
+            "node": name,
+            "capacity": self.capacity,
+            "recorded": recorded,
+            "dropped": dropped,
+            "events": events,
+        }
+
+    def dump(self) -> dict[str, Any]:
+        """Every node's recording, keyed by node name (sorted)."""
+        return {
+            "capacity": self.capacity,
+            "nodes": {name: self.dump_node(name) for name in self.nodes()},
+        }
+
+    def statistics(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "nodes": len(self._rings),
+                "retained": sum(len(ring) for ring in self._rings.values()),
+                "recorded": sum(self._next_seq.values()),
+                "dropped": sum(self._dropped.values()),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._rings.clear()
+            self._heads.clear()
+            self._next_seq.clear()
+            self._dropped.clear()
+
+    def __repr__(self) -> str:
+        stats = self.statistics()
+        return (
+            f"FlightRecorder(nodes={stats['nodes']}, retained={stats['retained']}, "
+            f"dropped={stats['dropped']})"
+        )
+
+
+class NullFlightRecorder:
+    """Disabled recorder: ``enabled`` is False so call sites skip entirely."""
+
+    enabled = False
+    capacity = 0
+
+    def record(
+        self,
+        kind: str,
+        node: Any,
+        now: float,
+        *,
+        key: Optional[Hashable] = None,
+        **details: Any,
+    ) -> None:
+        pass
+
+    def nodes(self) -> list[str]:
+        return []
+
+    def events(self, node: Any) -> list[dict[str, Any]]:
+        return []
+
+    def dump_node(self, node: Any) -> dict[str, Any]:
+        return {
+            "node": str(node),
+            "capacity": 0,
+            "recorded": 0,
+            "dropped": 0,
+            "events": [],
+        }
+
+    def dump(self) -> dict[str, Any]:
+        return {"capacity": 0, "nodes": {}}
+
+    def statistics(self) -> dict[str, Any]:
+        return {"nodes": 0, "retained": 0, "recorded": 0, "dropped": 0}
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullFlightRecorder()"
+
+
+#: Shared disabled recorder — the default every component binds against.
+NULL_FLIGHT = NullFlightRecorder()

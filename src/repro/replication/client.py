@@ -153,10 +153,16 @@ class PEATSClient:
         self._retransmit_interval = retransmit_interval
         self._retransmit_backoff = retransmit_backoff
         self._max_retransmit_interval = max_retransmit_interval
-        self._statistics = {"requests": 0, "retransmissions": 0, "mismatched_replies": 0}
+        self._statistics = {
+            "requests": 0,
+            "retransmissions": 0,
+            "mismatched_replies": 0,
+            "quorum_failures": 0,
+        }
         self.obs = NULL_OBS if obs is None else obs
         registry = self.obs.registry
         self._tracer = self.obs.tracer
+        self._flight = self.obs.flight
         self._obs_requests = registry.counter(
             "client_requests_total", "Requests submitted by replicated-PEATS clients"
         ).labels()
@@ -356,6 +362,15 @@ class PEATSClient:
                 return matching[0].result
         if len(replies) >= len(pending.targets):
             self._statistics["mismatched_replies"] += 1
+            if self._flight.enabled:
+                self._flight.record(
+                    "reply-mismatch",
+                    self.client_id,
+                    self.network.now,
+                    key=request_key,
+                    replies=len(replies),
+                    digests=sorted(tally),
+                )
         return None
 
     def _resolve(self, pending: PendingRequest, result: Any) -> None:
@@ -363,6 +378,10 @@ class PEATSClient:
         self._replies.pop(pending.key, None)
         if self._tracer.enabled:
             self._tracer.record("complete", pending.key, self.client_id, self.network.now)
+        if self._flight.enabled:
+            self._flight.record(
+                "complete", self.client_id, self.network.now, key=pending.key
+            )
         pending._complete(self.network.now, result=result)
 
     def _fail(self, pending: PendingRequest, exception: BaseException) -> None:
@@ -376,7 +395,16 @@ class PEATSClient:
             return
         pending.attempts += 1
         if pending.attempts > self._max_retransmissions:
+            self._statistics["quorum_failures"] += 1
             self._obs_quorum_failures.inc()
+            if self._flight.enabled:
+                self._flight.record(
+                    "quorum-failure",
+                    self.client_id,
+                    self.network.now,
+                    key=request_key,
+                    attempts=pending.attempts,
+                )
             self._fail(
                 pending,
                 QuorumError(
@@ -532,6 +560,14 @@ class PEATSClient:
         self._obs_requests.inc()
         if self._tracer.enabled:
             self._tracer.record("submit", request.key, self.client_id, self.network.now)
+        if self._flight.enabled:
+            self._flight.record(
+                "submit",
+                self.client_id,
+                self.network.now,
+                key=request.key,
+                operation=operation,
+            )
         if on_complete is not None:
             pending.add_done_callback(on_complete)
         self.network.broadcast(self._address, targets, request)

@@ -42,6 +42,7 @@ import random
 from typing import Any, Callable, Hashable, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.flight import NULL_FLIGHT
 from repro.replication.crypto import KeyStore, MessageAuthenticator
 
 __all__ = ["NetworkConfig", "Envelope", "Timer", "SimulatedNetwork"]
@@ -126,6 +127,15 @@ class SimulatedNetwork:
         # Per-receiver serialisation horizon (only used when the config's
         # processing_time is positive).
         self._busy_until: dict[Hashable, float] = {}
+        # Flight recorder for drop/reject accounting (attach_flight); the
+        # network is the only component that can attribute a message that
+        # never reached a handler.  Strictly passive: recording consumes
+        # no randomness and schedules nothing.
+        self._flight = NULL_FLIGHT
+
+    def attach_flight(self, flight: Any) -> None:
+        """Record message drops/rejects into ``flight`` (see repro.obs)."""
+        self._flight = flight
 
     # ------------------------------------------------------------------
     # Topology management
@@ -195,9 +205,27 @@ class SimulatedNetwork:
             raise SimulationError(f"unknown receiver {receiver!r}")
         if frozenset((sender, receiver)) in self._partitioned:
             self._dropped += 1
+            if self._flight.enabled:
+                self._flight.record(
+                    "msg-drop",
+                    sender,
+                    self._now,
+                    receiver=str(receiver),
+                    reason="partitioned",
+                    type=type(payload).__name__,
+                )
             return
         if self._config.drop_probability and self._rng.random() < self._config.drop_probability:
             self._dropped += 1
+            if self._flight.enabled:
+                self._flight.record(
+                    "msg-drop",
+                    sender,
+                    self._now,
+                    receiver=str(receiver),
+                    reason="lossy-link",
+                    type=type(payload).__name__,
+                )
             return
         mac = self._authenticator.mac(sender, receiver, payload)
         if sender in self._in_flight_tamper:
@@ -274,6 +302,15 @@ class SimulatedNetwork:
             envelope.sender, envelope.receiver, envelope.payload, envelope.mac
         ):
             self._rejected += 1
+            if self._flight.enabled:
+                self._flight.record(
+                    "net-reject",
+                    envelope.receiver,
+                    self._now,
+                    sender=str(envelope.sender),
+                    reason="bad-mac",
+                    type=type(envelope.payload).__name__,
+                )
             return True
         self._delivered += 1
         handler(envelope.sender, envelope.payload)

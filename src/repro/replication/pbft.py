@@ -112,6 +112,11 @@ class ReplicaFaultMode(enum.Enum):
     CRASHED = "crashed"
     MUTE = "mute"
     LYING = "lying"
+    #: Executes and replies correctly but computes a corrupted (yet
+    #: deterministic) checkpoint digest — the PR 9 wedge shape: with two
+    #: of four replicas divergent the checkpoint votes split 2-vs-2,
+    #: no 2f+1 certificate ever forms, and the log window jams.
+    DIVERGENT = "divergent"
 
 
 class OrderingNode:
@@ -221,6 +226,7 @@ class OrderingNode:
         self.obs = NULL_OBS if obs is None else obs
         registry = self.obs.registry
         self._tracer = self.obs.tracer
+        self._flight = self.obs.flight
         node = str(replica_id)
         self._obs_batches = registry.counter(
             "pbft_batches_total", "Consensus batches this node pre-prepared as primary"
@@ -301,6 +307,13 @@ class OrderingNode:
     def _multicast(self, payload: Any) -> None:
         if self.is_silent:
             return
+        if self._flight.enabled:
+            self._flight.record(
+                "msg-send",
+                self.replica_id,
+                self.network.now,
+                type=type(payload).__name__,
+            )
         self.network.broadcast(self.replica_id, self.replica_ids, payload)
 
     def _send(self, receiver: Hashable, payload: Any) -> None:
@@ -330,6 +343,15 @@ class OrderingNode:
             # state-transfer thresholds) or pull a full state dump past
             # the access policy via StateRequest.
             return
+        if self._flight.enabled:
+            self._flight.record(
+                "msg-recv",
+                self.replica_id,
+                self.network.now,
+                key=payload.key if isinstance(payload, ClientRequest) else None,
+                type=type(payload).__name__,
+                sender=str(sender),
+            )
         if isinstance(payload, ClientRequest):
             self._on_request(sender, payload)
         elif isinstance(payload, RegisterWaiter):
@@ -449,6 +471,14 @@ class OrderingNode:
             self._tracer.record(
                 "notify", notification.event, self.replica_id, self.network.now
             )
+        if self._flight.enabled:
+            self._flight.record(
+                "waiter-notify",
+                self.replica_id,
+                self.network.now,
+                client=str(notification.client),
+                waiter_id=notification.waiter_id,
+            )
         entry = notification.entry
         entry_digest = notification.entry_digest
         if self.fault_mode is ReplicaFaultMode.LYING:
@@ -486,6 +516,16 @@ class OrderingNode:
         """
         if self.is_silent:
             return
+        if self._flight.enabled:
+            kind = "txn-vote" if isinstance(push, TxnVote) else "txn-decision"
+            self._flight.record(
+                kind,
+                self.replica_id,
+                self.network.now,
+                txn=repr(push.txn_id),
+                client=str(push.client),
+                type=type(push).__name__,
+            )
         if self.fault_mode is ReplicaFaultMode.LYING:
             if isinstance(push, TxnVote):
                 push = dataclasses.replace(
@@ -716,6 +756,15 @@ class OrderingNode:
                         self._tracer.record(
                             "txn-decision", request.key, self.replica_id, self.network.now
                         )
+                if self._flight.enabled and request.client != NULL_REQUEST_CLIENT:
+                    self._flight.record(
+                        "execute",
+                        self.replica_id,
+                        self.network.now,
+                        key=request.key,
+                        sequence=sequence,
+                        operation=request.operation,
+                    )
                 result = self.application.execute(request)
                 self._requests_executed += 1
                 self._obs_executed.inc()
@@ -746,6 +795,14 @@ class OrderingNode:
             return
         if self._tracer.enabled:
             self._tracer.record("reply", request.key, self.replica_id, self.network.now)
+        if self._flight.enabled:
+            self._flight.record(
+                "reply",
+                self.replica_id,
+                self.network.now,
+                key=request.key,
+                client=str(request.client),
+            )
         if self.fault_mode is ReplicaFaultMode.LYING:
             # Each liar corrupts independently (the replica id is baked into
             # the lie), so colluding on an identical wrong answer — which
@@ -769,8 +826,16 @@ class OrderingNode:
         self._obs_checkpoints.inc()
         state = self.application.capture_state()
         self._checkpoint_states[sequence] = state
+        state_digest = digest(state)
+        if self.fault_mode is ReplicaFaultMode.DIVERGENT:
+            # Deterministically corrupted digest: the vote is internally
+            # consistent (the same wrong digest every time), so two such
+            # replicas split the quorum instead of merely being outvoted —
+            # the certificate starves and the log window jams, which is
+            # exactly how PR 9's nondeterministic-digest bug manifested.
+            state_digest = digest((state, "divergent-checkpoint"))
         message = Checkpoint(
-            sequence=sequence, state_digest=digest(state), replica=self.replica_id
+            sequence=sequence, state_digest=state_digest, replica=self.replica_id
         )
         self._own_checkpoint = message
         self._record_checkpoint_vote(self.replica_id, message)
@@ -781,6 +846,25 @@ class OrderingNode:
         current = self._checkpoint_votes.get(replica)
         if current is None or message.sequence >= current.sequence:
             self._checkpoint_votes[replica] = message
+            if self._flight.enabled:
+                self._flight.record(
+                    "checkpoint-vote",
+                    self.replica_id,
+                    self.network.now,
+                    sequence=message.sequence,
+                    digest=message.state_digest,
+                    voter=str(replica),
+                )
+
+    def checkpoint_vote_table(self) -> dict[Hashable, tuple[int, str]]:
+        """The latest checkpoint vote this node has seen per replica,
+        as ``{replica: (sequence, state_digest)}`` — what the health
+        monitor merges to attribute a starved certificate to the
+        replicas whose digests diverge."""
+        return {
+            replica: (vote.sequence, vote.state_digest)
+            for replica, vote in self._checkpoint_votes.items()
+        }
 
     def _on_checkpoint(self, sender: Hashable, message: Checkpoint) -> None:
         if message.replica != sender:
@@ -808,6 +892,15 @@ class OrderingNode:
         """Adopt a stable checkpoint certificate: truncate and slide the window."""
         self.stable_checkpoint = sequence
         self._checkpoint_proof = proof
+        if self._flight.enabled:
+            self._flight.record(
+                "checkpoint-cert",
+                self.replica_id,
+                self.network.now,
+                sequence=sequence,
+                digest=proof[0].state_digest if proof else None,
+                votes=len(proof),
+            )
         own_state = self._checkpoint_states.get(sequence)
         certified_digest = proof[0].state_digest if proof else None
         self._truncate(sequence)
@@ -909,6 +1002,10 @@ class OrderingNode:
     # ------------------------------------------------------------------
 
     def _request_state(self, sequence: int) -> None:
+        if self._flight.enabled:
+            self._flight.record(
+                "state-request", self.replica_id, self.network.now, sequence=sequence
+            )
         self._multicast(StateRequest(sequence=sequence, replica=self.replica_id))
 
     def _on_state_request(self, sender: Hashable, message: StateRequest) -> None:
@@ -916,6 +1013,14 @@ class OrderingNode:
             return
         if self.stable_checkpoint < message.sequence:
             return
+        if self._flight.enabled:
+            self._flight.record(
+                "state-response",
+                self.replica_id,
+                self.network.now,
+                sequence=self.stable_checkpoint,
+                requester=str(sender),
+            )
         self._send(
             sender,
             StateResponse(
@@ -982,6 +1087,15 @@ class OrderingNode:
         ]
         if len(matching) < self.f + 1:
             return
+        if self._flight.enabled:
+            self._flight.record(
+                "state-install",
+                self.replica_id,
+                self.network.now,
+                sequence=message.sequence,
+                digest=message.state_digest,
+                responders=len(matching),
+            )
         self.application.install_state(message.state)
         self.last_executed = message.sequence
         self.next_sequence = max(self.next_sequence, message.sequence + 1)
@@ -1174,6 +1288,15 @@ class OrderingNode:
         self._obs_view_changes.inc()
         self._view_changing = True
         self._view_change_started_at = self.network.now
+        if self._flight.enabled:
+            self._flight.record(
+                "view-change",
+                self.replica_id,
+                self.network.now,
+                new_view=new_view,
+                last_executed=self.last_executed,
+                stable_checkpoint=self.stable_checkpoint,
+            )
         self._highest_vote = max(self._highest_vote, new_view)
         # Report every prepared certificate this replica holds above its
         # stable checkpoint — including sequences it already executed.  A
@@ -1341,6 +1464,14 @@ class OrderingNode:
     ) -> None:
         self.view = new_view
         self._view_changing = False
+        if self._flight.enabled:
+            self._flight.record(
+                "view-installed",
+                self.replica_id,
+                self.network.now,
+                view=new_view,
+                reproposals=len(reproposals),
+            )
         self._sent_prepare.clear()
         self._sent_commit.clear()
         if stable > self.stable_checkpoint:

@@ -132,6 +132,7 @@ class PEATSReplica:
         f: int = 1,
         txn_ttl_ops: int | None = None,
         obs: Any = None,
+        now_fn: Any = None,
     ) -> None:
         self.replica_id = replica_id
         self.f = f
@@ -159,6 +160,11 @@ class PEATSReplica:
         self._pending_notifications: list[Notification] = []
         self.obs = NULL_OBS if obs is None else obs
         registry = self.obs.registry
+        self._flight = self.obs.flight
+        # Flight-event timestamp source: the owning service passes its
+        # transport clock; standalone replicas (unit tests, the local
+        # backend) stamp 0.0 — the recorder itself never reads a clock.
+        self._now = now_fn if now_fn is not None else (lambda: 0.0)
         self._obs_operations = registry.counter(
             "peats_operations_total", "Invocations the reference monitor authorized"
         )
@@ -227,6 +233,15 @@ class PEATSReplica:
             self._obs_denials.labels(
                 node=self._obs_node, operation=operation, reason=decision.reason
             ).inc()
+            if self._flight.enabled:
+                self._flight.record(
+                    "policy-deny",
+                    self.replica_id,
+                    self._now(),
+                    key=request.key,
+                    operation=operation,
+                    reason=str(decision.reason),
+                )
             return ExecutionResult(None, denied=True, reason=decision.reason)
         counter = self._obs_op_children.get(operation)
         if counter is None:
@@ -368,6 +383,15 @@ class PEATSReplica:
                         self._op_counter + self.txn_ttl_ops,
                         coordinator_shard,
                     )
+                    if self._flight.enabled:
+                        self._flight.record(
+                            "lock-grant",
+                            self.replica_id,
+                            self._now(),
+                            txn=repr(tuple(txn_id)),
+                            names=sorted(str(name) for name in names),
+                            expires_at=self._op_counter + self.txn_ttl_ops,
+                        )
                 else:
                     vote, reason, pins = "no", failure, ()
             record = self._txn_part.vote(
@@ -461,6 +485,15 @@ class PEATSReplica:
             decided = self._txn_coord.decide(tuple(txn_id), "abort", ("expired",))
             assert decided is not None
             participants, expires_at, outcome, reason = decided
+            if self._flight.enabled:
+                self._flight.record(
+                    "lock-expire",
+                    self.replica_id,
+                    self._now(),
+                    txn=repr(tuple(txn_id)),
+                    expired_at=expires_at,
+                    forced_by=str(request.client),
+                )
         self._txn_push(
             TxnDecision(
                 replica=self.replica_id,
@@ -501,6 +534,14 @@ class PEATSReplica:
             for entry in inserted:
                 self._collect_matches(entry, request)
         self._locks.release(tuple(txn_id))
+        if self._flight.enabled:
+            self._flight.record(
+                "lock-release",
+                self.replica_id,
+                self._now(),
+                txn=repr(tuple(txn_id)),
+                outcome=outcome,
+            )
         self._txn_part.mark_applied(tuple(txn_id), outcome)
         self._txn_push(
             TxnAck(
@@ -530,17 +571,45 @@ class PEATSReplica:
         """Arm one soft-state waiter for ``client`` (idempotent refresh)."""
         accepted = self._waiters.register(client, waiter_id, template, operation)
         self._obs_waiters.set(len(self._waiters))
+        if self._flight.enabled:
+            self._flight.record(
+                "waiter-register",
+                self.replica_id,
+                self._now(),
+                client=str(client),
+                waiter_id=waiter_id,
+                operation=operation,
+                accepted=accepted,
+            )
         return accepted
 
     def cancel_waiter(self, client: Any, waiter_id: int) -> bool:
         """Disarm one waiter (idempotent)."""
         existed = self._waiters.cancel(client, waiter_id)
         self._obs_waiters.set(len(self._waiters))
+        if self._flight.enabled:
+            self._flight.record(
+                "waiter-cancel",
+                self.replica_id,
+                self._now(),
+                client=str(client),
+                waiter_id=waiter_id,
+            )
         return existed
 
     @property
     def waiters(self) -> WaiterTable:
         return self._waiters
+
+    def occupancy(self) -> dict[str, int]:
+        """Bounded-table fill levels, for the health monitor's occupancy
+        probe: current sizes plus the hard caps where one exists."""
+        return {
+            "waiters": len(self._waiters),
+            "waiter_cap": self._waiters.max_waiters,
+            "reply_cache": len(self._last_reply),
+            "locks": len(self._locks),
+        }
 
     def _collect_matches(self, entry: Any, request: ClientRequest) -> None:
         """Queue a notification per armed waiter matching a fresh insert.

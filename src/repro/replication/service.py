@@ -100,10 +100,18 @@ class ReplicatedPEATS:
             f"{prefix}replica-{index}" for index in range(self.n_replicas)
         )
         replica_faults = replica_faults or {}
+        attach = getattr(self._network, "attach_flight", None)
+        if attach is not None and self.obs.flight.enabled:
+            attach(self.obs.flight)
         self._nodes: list[OrderingNode] = []
         for index, replica_id in enumerate(self._replica_ids):
             application = PEATSReplica(
-                replica_id, policy, f=f, txn_ttl_ops=txn_ttl_ops, obs=self.obs
+                replica_id,
+                policy,
+                f=f,
+                txn_ttl_ops=txn_ttl_ops,
+                obs=self.obs,
+                now_fn=lambda: self._network.now,
             )
             node = OrderingNode(
                 replica_id,
@@ -215,6 +223,20 @@ class ReplicatedPEATS:
     def stable_checkpoints(self) -> dict[str, int]:
         """Stable-checkpoint sequence per replica (log-truncation horizon)."""
         return {node.replica_id: node.stable_checkpoint for node in self._nodes}
+
+    def client_statistics(self) -> dict[str, int]:
+        """Counters summed over every attached client — what the health
+        monitor's reply-divergence probe samples between evaluations."""
+        totals = {
+            "requests": 0,
+            "retransmissions": 0,
+            "mismatched_replies": 0,
+            "quorum_failures": 0,
+        }
+        for client in self._clients.values():
+            for name, value in client.statistics.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
 
     def __repr__(self) -> str:
         return (

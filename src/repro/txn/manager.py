@@ -496,6 +496,16 @@ class CrossShardTxn:
         # The *ordered* outcome is authoritative: first decision wins, so a
         # lock-expiry force-abort that raced us overrides our commit intent.
         _tag, outcome, reason, _participants = value
+        flight = self.client.obs.flight
+        if flight.enabled:
+            flight.record(
+                "txn-decision",
+                self.client.client_id,
+                self.space._now(),
+                txn=repr(self.txn_id),
+                outcome=outcome,
+                participants=list(self.participants),
+            )
         self.decided_outcome = outcome
         if outcome == "abort":
             self.outcome_reason = reason

@@ -1,0 +1,17 @@
+# repro-lint: scope=RL002
+"""RL002 positive fixture: unguarded flight-recorder call sites."""
+
+
+class Node:
+    def __init__(self, flight):
+        self._flight = flight
+
+    def handle(self, payload):
+        self._flight.record("msg-recv", "node", 0.0, type=type(payload).__name__)
+
+    def checkpoint(self):
+        self._flight_note()
+
+    def _flight_note(self):
+        # Exempt: inside a _flight* helper the guard lives at call sites.
+        self._flight.record("checkpoint-vote", "node", 0.0)

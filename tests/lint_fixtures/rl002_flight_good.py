@@ -1,0 +1,18 @@
+# repro-lint: scope=RL002
+"""RL002 negative fixture: flight hot-path calls behind .enabled guards."""
+
+
+class Node:
+    def __init__(self, flight):
+        self._flight = flight
+
+    def handle(self, payload):
+        if self._flight.enabled:
+            self._flight.record("msg-recv", "node", 0.0, type=type(payload).__name__)
+
+    def checkpoint(self):
+        if self._flight.enabled:
+            self._flight_note()
+
+    def _flight_note(self):
+        self._flight.record("checkpoint-vote", "node", 0.0)

@@ -42,9 +42,27 @@ POLICY = {
 }
 
 
+OBS = {
+    "benchmark": "obs_overhead",
+    "overhead": {
+        "repeats": 5,
+        "arms": {
+            "bare": {"best_seconds": 0.025, "flight_events": 0},
+            "tracer": {"best_seconds": 0.026, "flight_events": 0},
+            "full": {"best_seconds": 0.028, "flight_events": 800},
+        },
+        "tracer_vs_bare_factor": 1.04,
+        "full_vs_tracer_factor": 1.08,
+        "full_vs_bare_factor": 1.12,
+        "trace_digest": "d" * 64,
+    },
+}
+
+
 def payloads():
     return {
         "BENCH_net_calibration.json": copy.deepcopy(CALIBRATION),
+        "BENCH_obs_overhead.json": copy.deepcopy(OBS),
         "BENCH_policy_enforcement.json": copy.deepcopy(POLICY),
     }
 
@@ -57,7 +75,22 @@ def test_extractors_classify_gated_vs_informational():
     assert policy["attack_battery[weak].denied_pct"].gated
     assert policy["enforcement_overhead.overhead_factor"].gated
     assert not policy["enforcement_overhead.enforced_us_per_round"].gated
+    obs = {m.name: m for m in extract_metrics("BENCH_obs_overhead.json", OBS)}
+    assert obs["obs_overhead.full_vs_bare_factor"].gated
+    assert not obs["obs_overhead.full_vs_tracer_factor"].gated
+    assert not obs["obs_overhead.full_best_seconds"].gated
     assert extract_metrics("BENCH_unknown.json", {}) == []
+
+
+def test_obs_overhead_factor_gates_at_ten_percent():
+    fresh = payloads()
+    fresh["BENCH_obs_overhead.json"]["overhead"]["full_vs_bare_factor"] = 1.30  # +16%
+    report = compare_payloads(payloads(), fresh, threshold=0.10)
+    assert not report["ok"]
+    assert any("full_vs_bare_factor" in item for item in report["regressions"])
+    # The same move passes at the default 25% threshold: only the
+    # dedicated CI comparison holds this file to 10%.
+    assert compare_payloads(payloads(), fresh, threshold=0.25)["ok"]
 
 
 def test_identical_runs_pass():

@@ -54,6 +54,16 @@ class TestRL002GuardedTracer:
     def test_pragma_suppresses(self):
         assert lint("RL002", "rl002_pragma.py") == []
 
+    def test_flags_unguarded_flight_record_and_helper_calls(self):
+        violations = lint("RL002", "rl002_flight_bad.py")
+        assert len(violations) == 2
+        messages = [v.message for v in violations]
+        assert any("flight.record()" in m for m in messages)
+        assert any("_flight_note" in m for m in messages)
+
+    def test_guarded_flight_calls_and_helper_body_are_clean(self):
+        assert lint("RL002", "rl002_flight_good.py") == []
+
 
 class TestRL003CodecCompleteness:
     def test_flags_unregistered_and_stale_names(self):

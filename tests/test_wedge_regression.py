@@ -1,0 +1,97 @@
+"""Regression: the PR 9 checkpoint wedge must now be diagnosable.
+
+PR 9's digest nondeterminism made replicas vote different digests for
+the same checkpoint sequence, so no 2f+1 certificate could form, the
+log window jammed at ``stable + log_window`` and the group wedged with
+every counter frozen.  This file re-creates that failure shape on
+purpose — :data:`ReplicaFaultMode.DIVERGENT` corrupts the checkpoint
+digest deterministically on replicas 1 and 3, splitting the vote 2-vs-2
+at f=1 — and asserts the PR 10 instruments see it:
+
+* the ``checkpoint-starvation`` probe fires *critical* once execution
+  runs a full log window past the stable checkpoint, and its report
+  names both digest camps;
+* the post-mortem doctor, fed only the flight dumps, attributes the
+  divergence to exactly replicas {1, 3} vs {0, 2}.
+"""
+
+from __future__ import annotations
+
+from repro.obs import Observability
+from repro.obs.doctor import diagnose, merge_dumps
+from repro.replication.pbft import ReplicaFaultMode
+from repro.sim import FaultModeWindow, Scenario, run_scenario
+from repro.sim.workloads import consensus_storm
+
+CHECKPOINT_INTERVAL = 4  # log window defaults to 2x = 8
+
+
+def _wedge(obs):
+    return Scenario(
+        name="pr9-wedge",
+        clients=consensus_storm(12),
+        faults=[
+            FaultModeWindow(replica=1, mode=ReplicaFaultMode.DIVERGENT, start=0.0),
+            FaultModeWindow(replica=3, mode=ReplicaFaultMode.DIVERGENT, start=0.0),
+        ],
+        seed=11,
+        checkpoint_interval=CHECKPOINT_INTERVAL,
+        deadline=2500.0,  # the group wedges; the run must still terminate
+        obs=obs,
+    )
+
+
+def _run_wedge():
+    obs = Observability()
+    result = run_scenario(_wedge(obs))
+    assert not result.completed, "the divergent wedge is supposed to stall"
+    return obs, result
+
+
+class TestWedgeRegression:
+    def test_group_wedges_within_one_log_window(self):
+        _obs, result = _run_wedge()
+        nodes = result.service.nodes
+        window = max(node.log_window for node in nodes)
+        assert all(node.stable_checkpoint == 0 for node in nodes)
+        # The primary stops assigning sequences at the high-water mark:
+        # execution gets exactly one log window past the stable checkpoint.
+        assert max(node.last_executed for node in nodes) == window
+
+    def test_starvation_probe_fires_critical_and_names_both_camps(self):
+        obs, result = _run_wedge()
+        reports = []
+        for _ in range(obs.health.fire_after):
+            reports = obs.health.check(result.service)
+        starvation = [r for r in reports if r.probe == "checkpoint-starvation"]
+        assert len(starvation) == 1
+        report = starvation[0]
+        assert report.level == "critical"
+        assert report.data["lag"] >= report.data["log_window"]
+        camps = sorted(report.data["votes_by_digest"].values())
+        assert camps == [
+            ["replica-0", "replica-2"], ["replica-1", "replica-3"],
+        ]
+
+    def test_doctor_attributes_divergence_from_flight_dumps_alone(self):
+        obs, _result = _run_wedge()
+        diagnosis = diagnose(merge_dumps([obs.flight.dump()]))
+        divergence = [
+            f for f in diagnosis["findings"] if f["kind"] == "checkpoint-divergence"
+        ]
+        assert len(divergence) == 1
+        finding = divergence[0]
+        assert finding["level"] == "critical"
+        assert finding["data"]["quorum"] == 3  # n=4, f=1
+        camps = sorted(finding["data"]["votes_by_digest"].values())
+        assert camps == [
+            ["replica-0", "replica-2"], ["replica-1", "replica-3"],
+        ]
+        # The two camps disagree: two distinct digests, neither at quorum.
+        digests = list(finding["data"]["votes_by_digest"])
+        assert len(digests) == 2 and digests[0] != digests[1]
+
+    def test_wedge_replay_is_deterministic(self):
+        first_obs, _ = _run_wedge()
+        second_obs, _ = _run_wedge()
+        assert first_obs.flight.dump() == second_obs.flight.dump()
